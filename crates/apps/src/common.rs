@@ -1,0 +1,158 @@
+//! Shared plumbing for application generators.
+
+use scd_tango::{Op, ScriptProgram, ThreadProgram};
+
+/// Coherence block size all generators lay data out for (the paper's 16 B).
+pub const BLOCK_BYTES: u64 = 16;
+
+/// Size of one shared word (all four applications use 8-byte data).
+pub const WORD: u64 = 8;
+
+/// A generated application run: one operation stream per processor plus
+/// the Table 2 self-characterization.
+#[derive(Clone, Debug)]
+pub struct AppRun {
+    /// Application name as the paper spells it.
+    pub name: &'static str,
+    /// Per-processor operation streams.
+    pub programs: Vec<Vec<Op>>,
+    /// Bytes of shared space touched (Table 2's "shared space").
+    pub shared_bytes: u64,
+}
+
+impl AppRun {
+    /// Boxes the streams for `scd-machine`-style consumption.
+    pub fn boxed_programs(&self) -> Vec<Box<dyn ThreadProgram>> {
+        self.programs
+            .iter()
+            .map(|ops| Box::new(ScriptProgram::new(ops.clone())) as Box<dyn ThreadProgram>)
+            .collect()
+    }
+
+    /// Total operations across all processors.
+    pub fn total_ops(&self) -> usize {
+        self.programs.iter().map(Vec::len).sum()
+    }
+
+    /// Shared references (reads + writes) across all processors.
+    pub fn shared_refs(&self) -> u64 {
+        self.programs
+            .iter()
+            .flatten()
+            .filter(|op| op.is_reference())
+            .count() as u64
+    }
+
+    /// Reads across all processors.
+    pub fn reads(&self) -> u64 {
+        self.programs
+            .iter()
+            .flatten()
+            .filter(|op| matches!(op, Op::Read(_)))
+            .count() as u64
+    }
+
+    /// Writes across all processors.
+    pub fn writes(&self) -> u64 {
+        self.programs
+            .iter()
+            .flatten()
+            .filter(|op| matches!(op, Op::Write(_)))
+            .count() as u64
+    }
+
+    /// Synchronization operations across all processors.
+    pub fn sync_ops(&self) -> u64 {
+        self.programs
+            .iter()
+            .flatten()
+            .filter(|op| op.is_sync())
+            .count() as u64
+    }
+}
+
+/// Scales `v` by `f`, keeping at least `min`.
+pub(crate) fn scaled_dim(v: usize, f: f64, min: usize) -> usize {
+    ((v as f64 * f).round() as usize).max(min)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use scd_tango::Op;
+
+    /// Asserts every processor issues the same barriers in the same order
+    /// (a mismatched barrier would deadlock the machine).
+    pub fn assert_barriers_aligned(programs: &[Vec<Op>]) {
+        let barrier_seq = |ops: &[Op]| {
+            ops.iter()
+                .filter_map(|op| match op {
+                    Op::Barrier(b) => Some(*b),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        let first = barrier_seq(&programs[0]);
+        for (p, ops) in programs.iter().enumerate().skip(1) {
+            assert_eq!(
+                barrier_seq(ops),
+                first,
+                "processor {p} disagrees on barrier sequence"
+            );
+        }
+    }
+
+    /// Asserts lock/unlock pairs balance per processor.
+    pub fn assert_locks_balanced(programs: &[Vec<Op>]) {
+        for (p, ops) in programs.iter().enumerate() {
+            let mut held = std::collections::HashSet::new();
+            for op in ops {
+                match op {
+                    Op::Lock(l) => assert!(held.insert(*l), "proc {p} re-locks {l}"),
+                    Op::Unlock(l) => {
+                        assert!(held.remove(l), "proc {p} unlocks unheld {l}")
+                    }
+                    _ => {}
+                }
+            }
+            assert!(held.is_empty(), "proc {p} finishes holding {held:?}");
+        }
+    }
+
+    /// Asserts all references fall inside the declared shared space.
+    pub fn assert_addresses_in_bounds(programs: &[Vec<Op>], shared_bytes: u64) {
+        for (p, ops) in programs.iter().enumerate() {
+            for op in ops {
+                if let Op::Read(a) | Op::Write(a) = op {
+                    assert!(
+                        *a < shared_bytes,
+                        "proc {p} references {a:#x} beyond shared space {shared_bytes:#x}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scd_tango::Op;
+
+    #[test]
+    fn apprun_counters() {
+        let run = AppRun {
+            name: "x",
+            programs: vec![
+                vec![Op::Read(0), Op::Write(8), Op::Lock(0), Op::Unlock(0)],
+                vec![Op::Read(16), Op::Compute(5)],
+            ],
+            shared_bytes: 64,
+        };
+        assert_eq!(run.total_ops(), 6);
+        assert_eq!(run.shared_refs(), 3);
+        assert_eq!(run.reads(), 2);
+        assert_eq!(run.writes(), 1);
+        assert_eq!(run.sync_ops(), 2);
+        assert_eq!(run.boxed_programs().len(), 2);
+    }
+}

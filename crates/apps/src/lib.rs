@@ -1,0 +1,54 @@
+//! # scd-apps — the paper's four benchmark applications
+//!
+//! The paper drives its simulator with Tango-instrumented runs of four
+//! programs (§5, Table 2):
+//!
+//! * **LU** — dense L-U factorization; after each pivot step the pivot
+//!   column is read by *all* processors (read-shared data that devastates
+//!   `Dir_i NB`);
+//! * **DWF** — a wavefront string matcher searching gene databases; its
+//!   pattern and library arrays are read-only and constantly read by every
+//!   process, while the active working set (the wavefront) stays small;
+//! * **MP3D** — a 3-D rarefied-flow particle simulator; most data is shared
+//!   by only one or two processors at a time (migratory space cells);
+//! * **LocusRoute** — a standard-cell router whose central cost array is
+//!   shared among the several processors working on the same geographic
+//!   region (sharer counts just above the pointer count, the pattern that
+//!   makes `Dir_i B` broadcast frequently).
+//!
+//! The original binaries are not available, so each module re-implements
+//! the application's *kernel* as a deterministic generator of the same
+//! sharing pattern (see DESIGN.md for the substitution argument). Programs
+//! are pre-generated per-processor operation streams; the machine still
+//! couples their interleaving to simulated time exactly as Tango's coupled
+//! mode does, because a processor only issues its next operation when the
+//! previous one completes.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod dwf;
+pub mod locusroute;
+pub mod lu;
+pub mod mp3d;
+pub mod synth;
+
+pub use common::{AppRun, BLOCK_BYTES, WORD};
+pub use dwf::{dwf, DwfParams};
+pub use locusroute::{locusroute, LocusRouteParams};
+pub use lu::{lu, LuParams};
+pub use mp3d::{mp3d, Mp3dParams};
+pub use synth::{synth, SharingPattern, SynthParams};
+
+/// Builds the standard four-application suite at the given scale.
+///
+/// `scale` ∈ (0, 1] shrinks the default problem sizes (full-size runs take
+/// a few seconds each; tests use small scales).
+pub fn suite(procs: usize, seed: u64, scale: f64) -> Vec<AppRun> {
+    vec![
+        lu(&LuParams::scaled(scale), procs, seed),
+        dwf(&DwfParams::scaled(scale), procs, seed),
+        mp3d(&Mp3dParams::scaled(scale), procs, seed),
+        locusroute(&LocusRouteParams::scaled(scale), procs, seed),
+    ]
+}

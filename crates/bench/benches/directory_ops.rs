@@ -1,0 +1,102 @@
+//! Hot-path microbenchmarks for directory entries: sharer recording,
+//! invalidation-target computation, and the write-reset, per scheme. These
+//! operations run once per directory transaction in the simulator (and per
+//! memory transaction in hardware), so they are the innermost loop of every
+//! experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scd_core::{DirEntry, NodeSet, Scheme};
+
+const P: usize = 64;
+
+fn schemes() -> Vec<(&'static str, Scheme)> {
+    vec![
+        ("Dir64", Scheme::FullVector),
+        ("Dir3B", Scheme::dir_b(3)),
+        ("Dir3NB", Scheme::dir_nb(3)),
+        ("Dir3X", Scheme::dir_x(3)),
+        ("Dir3CV2", Scheme::dir_cv(3, 2)),
+        ("Dir8CV4", Scheme::dir_cv(8, 4)),
+    ]
+}
+
+fn bench_add_sharer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("entry/add_sharer_x16");
+    for (name, scheme) in schemes() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, &s| {
+            b.iter(|| {
+                let mut e = DirEntry::new(s, P);
+                for n in 0..16u16 {
+                    black_box(e.add_sharer(black_box(n * 3 % P as u16)));
+                }
+                e
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_invalidation_targets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("entry/invalidation_targets");
+    for (name, scheme) in schemes() {
+        // Pre-overflowed entry: the expensive representation.
+        let mut e = DirEntry::new(scheme, P);
+        for n in [1u16, 9, 17, 25, 33, 41, 49, 57] {
+            e.add_sharer(n);
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(name), &e, |b, e| {
+            b.iter(|| black_box(e.invalidation_targets(black_box(5))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_write_reset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("entry/make_dirty_after_overflow");
+    for (name, scheme) in schemes() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, &s| {
+            b.iter(|| {
+                let mut e = DirEntry::new(s, P);
+                for n in 0..8u16 {
+                    e.add_sharer(n * 7 % P as u16);
+                }
+                e.make_dirty(black_box(13));
+                e
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_nodeset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nodeset");
+    g.bench_function("insert_iter_1024", |b| {
+        b.iter(|| {
+            let mut s = NodeSet::new(1024);
+            for n in (0..1024u16).step_by(3) {
+                s.insert(n);
+            }
+            black_box(s.iter().count())
+        })
+    });
+    g.bench_function("union_difference_1024", |b| {
+        let a = NodeSet::from_iter(1024, (0..1024).step_by(2).map(|n| n as u16));
+        let d = NodeSet::from_iter(1024, (0..1024).step_by(3).map(|n| n as u16));
+        b.iter(|| {
+            let mut x = a.clone();
+            x.union_with(&d);
+            x.difference_with(black_box(&d));
+            x
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_add_sharer,
+    bench_invalidation_targets,
+    bench_write_reset,
+    bench_nodeset
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! End-to-end simulator throughput: full DASH machine runs of a small LU
+//! problem per directory scheme, plus a sparse-directory configuration.
+//! This is the cost of one data point in Figures 7–14.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scd_apps::{lu, LuParams};
+use scd_core::{Replacement, Scheme};
+use scd_machine::{Machine, MachineConfig};
+
+fn bench_machine(c: &mut Criterion) {
+    let app = lu(
+        &LuParams {
+            n: 24,
+            update_cost: 4,
+        },
+        32,
+        1,
+    );
+    let mut g = c.benchmark_group("machine/lu24_32procs");
+    g.sample_size(10);
+    for (name, scheme) in [
+        ("Dir32", Scheme::FullVector),
+        ("Dir3CV2", Scheme::dir_cv(3, 2)),
+        ("Dir3B", Scheme::dir_b(3)),
+        ("Dir3NB", Scheme::dir_nb(3)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, &s| {
+            b.iter(|| {
+                let cfg = MachineConfig::paper_32().with_scheme(s);
+                let stats = Machine::new(cfg, app.boxed_programs()).run();
+                black_box(stats.cycles)
+            })
+        });
+    }
+    g.bench_function("Dir32-sparse-f1", |b| {
+        b.iter(|| {
+            let cfg = MachineConfig::paper_32()
+                .with_scaled_caches(512)
+                .with_sparse(16, 4, Replacement::Random);
+            let stats = Machine::new(cfg, app.boxed_programs()).run();
+            black_box(stats.cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Mesh interconnect microbenchmarks: distance/routing arithmetic and the
+//! per-message accounting of `Network::send` (called once per protocol
+//! message in the simulator).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scd_noc::{LatencyModel, Mesh, Network};
+use scd_sim::{EventQueue, SimRng};
+
+fn bench_mesh(c: &mut Criterion) {
+    let mesh = Mesh::near_square(256);
+    c.bench_function("mesh/distance_all_pairs_256", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for a in 0..mesh.nodes() {
+                for d in 0..mesh.nodes() {
+                    acc += mesh.distance(a, d);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("mesh/route_diameter_256", |b| {
+        b.iter(|| black_box(mesh.route(black_box(0), black_box(mesh.nodes() - 1))))
+    });
+}
+
+fn bench_network_send(c: &mut Criterion) {
+    c.bench_function("network/send_10k", |b| {
+        let mut rng = SimRng::new(3);
+        let pairs: Vec<(usize, usize)> = (0..10_000)
+            .map(|_| (rng.index(32), rng.index(32)))
+            .collect();
+        b.iter(|| {
+            let mut net = Network::new(
+                32,
+                LatencyModel::Mesh {
+                    fixed: 13,
+                    per_hop: 1,
+                },
+            );
+            let mut acc = 0u64;
+            for (i, &(s, d)) in pairs.iter().enumerate() {
+                acc += net.send(i as u64, s, d);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/schedule_pop_10k", |b| {
+        let mut rng = SimRng::new(9);
+        let delays: Vec<u64> = (0..10_000).map(|_| rng.below(500)).collect();
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for (i, &d) in delays.iter().enumerate() {
+                q.schedule(d, i);
+            }
+            let mut acc = 0u64;
+            while let Some((t, _)) = q.pop() {
+                acc ^= t;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_mesh, bench_network_send, bench_event_queue);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure-2 Monte-Carlo throughput: events per second of the invalidation
+//! analysis, per scheme (this is what bounds how smooth the published
+//! curves can be).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scd_core::analysis::average_invalidations;
+use scd_core::Scheme;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2/average_invalidations_1k_events");
+    for (name, scheme) in [
+        ("Dir32", Scheme::dir_n()),
+        ("Dir3B", Scheme::dir_b(3)),
+        ("Dir3X", Scheme::dir_x(3)),
+        ("Dir3CV2", Scheme::dir_cv(3, 2)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, &s| {
+            b.iter(|| black_box(average_invalidations(s, 32, black_box(12), 1_000, 1)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

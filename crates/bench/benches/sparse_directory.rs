@@ -1,0 +1,57 @@
+//! Sparse-directory throughput: lookup/allocate streams with varying
+//! associativity and replacement policy — the per-transaction cost a home
+//! node pays for the §4.2 organization.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scd_core::{Replacement, Scheme, SparseDirectory};
+use scd_sim::SimRng;
+
+fn bench_allocate_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse/allocate_stream_4k");
+    for policy in [Replacement::Lru, Replacement::Random, Replacement::Lra] {
+        for ways in [1usize, 4] {
+            let id = format!("{policy:?}/assoc{ways}");
+            g.bench_with_input(BenchmarkId::from_parameter(id), &(policy, ways), |b, &(p, w)| {
+                // Key stream with locality over 4x the directory's capacity.
+                let mut rng = SimRng::new(42);
+                let keys: Vec<u64> = (0..4096).map(|_| rng.below(1024)).collect();
+                b.iter(|| {
+                    let mut sd = SparseDirectory::new(Scheme::FullVector, 32, 256, w, p, 7);
+                    for (t, &k) in keys.iter().enumerate() {
+                        match sd.allocate(k, t as u64) {
+                            scd_core::sparse::Allocation::Hit(e)
+                            | scd_core::sparse::Allocation::Inserted(e) => {
+                                e.add_sharer((k % 32) as u16);
+                            }
+                            scd_core::sparse::Allocation::Replaced { entry, .. } => {
+                                entry.add_sharer((k % 32) as u16);
+                            }
+                        }
+                    }
+                    black_box(sd.stats())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_lookup_hit(c: &mut Criterion) {
+    c.bench_function("sparse/lookup_hit", |b| {
+        let mut sd =
+            SparseDirectory::new(Scheme::FullVector, 32, 256, 4, Replacement::Lru, 7);
+        for k in 0..256u64 {
+            if let scd_core::sparse::Allocation::Inserted(e) = sd.allocate(k, k) {
+                e.add_sharer(1);
+            }
+        }
+        let mut t = 1000u64;
+        b.iter(|| {
+            t += 1;
+            black_box(sd.lookup(black_box(t % 256), t).is_some())
+        })
+    });
+}
+
+criterion_group!(benches, bench_allocate_stream, bench_lookup_hit);
+criterion_main!(benches);

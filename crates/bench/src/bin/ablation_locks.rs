@@ -1,0 +1,80 @@
+//! §7 synchronization ablation — directory-based queue locks.
+//!
+//! "In DASH, the directory bit vectors are also used to keep track of
+//! processors queued for a lock... Once we switch to a coarse vector
+//! scheme... we have to release all processors in that region and let them
+//! try to regain the lock."
+//!
+//! A contended-lock microbenchmark measures how grant precision degrades
+//! with the waiter-vector representation: grants stay constant, but coarse
+//! vectors add retry messages, and broadcast waiter-vectors behave like a
+//! global wake-up (the hot spot the paper says queue locks avoid).
+
+use scd_core::Scheme;
+use scd_machine::{Machine, MachineConfig};
+use scd_tango::{Op, ScriptProgram, ThreadProgram};
+
+fn contended_lock_run(scheme: Scheme, clusters: usize, iters: usize) -> scd_machine::RunStats {
+    let cfg = MachineConfig::paper_32()
+        .with_scheme(scheme);
+    let mut cfg = cfg;
+    cfg.clusters = clusters;
+    cfg.check_invariants = true;
+    let programs: Vec<Box<dyn ThreadProgram>> = (0..clusters)
+        .map(|_| {
+            let mut ops = Vec::new();
+            for _ in 0..iters {
+                ops.push(Op::Lock(0));
+                ops.push(Op::Read(0));
+                ops.push(Op::Compute(20));
+                ops.push(Op::Write(0));
+                ops.push(Op::Unlock(0));
+            }
+            Box::new(ScriptProgram::new(ops)) as Box<dyn ThreadProgram>
+        })
+        .collect();
+    Machine::new(cfg, programs).run()
+}
+
+fn main() {
+    let clusters = 32;
+    let iters = 40;
+    println!(
+        "Queue-lock ablation: {clusters} clusters each acquiring a single lock {iters}x\n"
+    );
+    println!(
+        "{:<22} {:>9} {:>8} {:>9} {:>10} {:>10}",
+        "waiter representation", "cycles", "grants", "retries", "lock msgs", "per crit."
+    );
+    let mut csv = String::from("scheme,cycles,grants,retries,requests,replies\n");
+    for (name, scheme) in [
+        ("full vector", Scheme::FullVector),
+        ("Dir4CV8", Scheme::dir_cv(4, 8)),
+        ("Dir4CV4", Scheme::dir_cv(4, 4)),
+        ("Dir4CV2", Scheme::dir_cv(4, 2)),
+        ("Dir1B (broadcast)", Scheme::dir_b(1)),
+    ] {
+        let stats = contended_lock_run(scheme, clusters, iters);
+        let (grants, retries) = stats.lock_metrics;
+        let total = stats.traffic.total();
+        println!(
+            "{:<22} {:>9} {:>8} {:>9} {:>10} {:>10.2}",
+            name,
+            stats.cycles,
+            grants,
+            retries,
+            total,
+            total as f64 / (clusters * iters) as f64,
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            name,
+            stats.cycles,
+            grants,
+            retries,
+            stats.traffic.get(scd_stats::MessageClass::Request),
+            stats.traffic.get(scd_stats::MessageClass::Reply),
+        ));
+    }
+    bench::write_results("ablation_locks.csv", &csv);
+}

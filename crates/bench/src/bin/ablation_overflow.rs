@@ -1,0 +1,67 @@
+//! §7 future-work evaluation: the overflow directory ("small directory
+//! entries ... overflow into a small cache of much wider entries") against
+//! the paper's published schemes, at the same ~17-bit storage budget.
+//!
+//! Expected shape: on read-by-all data (LU) the overflow cache absorbs the
+//! widely shared blocks precisely, matching the full bit vector's traffic
+//! where `Dir3NB` thrashes and `Dir3CV2` rounds to regions.
+
+use bench::{run_app, run_app_with};
+use scd_apps::{locusroute, lu, LocusRouteParams, LuParams};
+use scd_core::{Replacement, Scheme};
+use scd_machine::MachineConfig;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let apps = [
+        lu(&LuParams::scaled(scale), 32, 0xD45B),
+        locusroute(&LocusRouteParams::scaled(scale), 32, 0xD45B),
+    ];
+    let mut csv = String::from("app,config,cycles,invalidations,total,promotions,displacements\n");
+    for app in &apps {
+        println!("Overflow directory vs. published schemes, {}:", app.name);
+        println!(
+            "{:<26} {:>10} {:>12} {:>10} {:>11} {:>8}",
+            "configuration", "cycles", "inval msgs", "total", "promotions", "displ."
+        );
+        let mut rows: Vec<(String, scd_machine::RunStats)> = vec![
+            ("Dir32 (full)".into(), run_app(app, Scheme::FullVector)),
+            ("Dir3CV2".into(), run_app(app, Scheme::dir_cv(3, 2))),
+            ("Dir3NB".into(), run_app(app, Scheme::dir_nb(3))),
+        ];
+        for wide in [8usize, 32, 128] {
+            let cfg = MachineConfig::paper_32().with_overflow(3, wide, 4, Replacement::Lru);
+            rows.push((
+                format!("Dir3 + {wide}-wide overflow"),
+                run_app_with(app, cfg),
+            ));
+        }
+        for (name, stats) in rows {
+            let o = stats.overflow.unwrap_or_default();
+            println!(
+                "{:<26} {:>10} {:>12} {:>10} {:>11} {:>8}",
+                name,
+                stats.cycles,
+                stats.traffic.get(scd_stats::MessageClass::Invalidation),
+                stats.traffic.total(),
+                o.promotions,
+                o.displacements,
+            );
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                app.name,
+                name,
+                stats.cycles,
+                stats.traffic.get(scd_stats::MessageClass::Invalidation),
+                stats.traffic.total(),
+                o.promotions,
+                o.displacements,
+            ));
+        }
+        println!();
+    }
+    bench::write_results("ablation_overflow.csv", &csv);
+}

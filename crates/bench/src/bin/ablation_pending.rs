@@ -1,0 +1,46 @@
+//! Pending-queue ablation — the cost of replacing DASH's NAK/retry with
+//! per-block request queueing at the home (DESIGN.md §7).
+//!
+//! Reports, for each application, how often requests actually queued and
+//! the worst queue depth. Small numbers justify the substitution: the
+//! queued path is rare, so the message-count difference vs NAK/retry is
+//! negligible.
+
+use bench::{run_app, scheme_suite};
+use scd_apps::suite;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let apps = suite(32, 0xD45B, scale);
+    println!("Home pending-queue ablation (conflicting-transaction serialization)\n");
+    println!(
+        "{:<12} {:<14} {:>12} {:>12} {:>13} {:>9} {:>7}",
+        "app", "scheme", "total reqs", "ever queued", "queued/1000", "maxdepth", "races"
+    );
+    let mut csv = String::from("app,scheme,requests,queued,max_depth,races,forwards\n");
+    for app in &apps {
+        for (name, scheme) in scheme_suite() {
+            let stats = run_app(app, scheme);
+            let reqs = stats.traffic.get(scd_stats::MessageClass::Request);
+            let (depth, queued) = stats.queue_metrics;
+            println!(
+                "{:<12} {:<14} {:>12} {:>12} {:>13.2} {:>9} {:>7}",
+                app.name,
+                name,
+                reqs,
+                queued,
+                queued as f64 / reqs.max(1) as f64 * 1000.0,
+                depth,
+                stats.protocol.races,
+            );
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                app.name, name, reqs, queued, depth, stats.protocol.races, stats.protocol.forwards
+            ));
+        }
+    }
+    bench::write_results("ablation_pending.csv", &csv);
+}

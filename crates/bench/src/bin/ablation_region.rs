@@ -1,0 +1,59 @@
+//! Coarse-vector region-size ablation — the i/r trade-off DESIGN.md calls
+//! out: with a fixed storage budget, more pointers mean coarser regions
+//! (`r = ceil(P / (i * log2 P))`). Sweeps region size for fixed i = 3 and
+//! the storage-derived pairs, on LocusRoute (the worst-case app for
+//! extraneous invalidations) and LU.
+
+use bench::run_app;
+use scd_apps::{locusroute, lu, LocusRouteParams, LuParams};
+use scd_core::Scheme;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let apps = [
+        lu(&LuParams::scaled(scale), 32, 0xD45B),
+        locusroute(&LocusRouteParams::scaled(scale), 32, 0xD45B),
+    ];
+    let schemes: Vec<(String, Scheme)> = vec![
+        ("Dir32 (full)".into(), Scheme::FullVector),
+        ("Dir3CV2".into(), Scheme::dir_cv(3, 2)),
+        ("Dir3CV4".into(), Scheme::dir_cv(3, 4)),
+        ("Dir3CV8".into(), Scheme::dir_cv(3, 8)),
+        ("Dir3CV16".into(), Scheme::dir_cv(3, 16)),
+        ("Dir3B (r=P)".into(), Scheme::dir_b(3)),
+    ];
+    let mut csv = String::from("app,scheme,cycles,invalidations,total_traffic\n");
+    for app in &apps {
+        println!("Region-size sweep, {}:", app.name);
+        println!(
+            "{:<14} {:>10} {:>14} {:>12} {:>10}",
+            "scheme", "cycles", "invalidations", "total msgs", "vs full"
+        );
+        let mut base = None;
+        for (name, scheme) in &schemes {
+            let stats = run_app(app, *scheme);
+            let b = base.get_or_insert(stats.traffic.total());
+            println!(
+                "{:<14} {:>10} {:>14} {:>12} {:>9.2}x",
+                name,
+                stats.cycles,
+                stats.traffic.get(scd_stats::MessageClass::Invalidation),
+                stats.traffic.total(),
+                stats.traffic.total() as f64 / *b as f64,
+            );
+            csv.push_str(&format!(
+                "{},{},{},{},{}\n",
+                app.name,
+                name,
+                stats.cycles,
+                stats.traffic.get(scd_stats::MessageClass::Invalidation),
+                stats.traffic.total(),
+            ));
+        }
+        println!();
+    }
+    bench::write_results("ablation_region.csv", &csv);
+}

@@ -1,0 +1,61 @@
+//! Scaling beyond the paper's 32 processors ("we believe that a
+//! combination of the two techniques presented will allow machines to be
+//! scaled to hundreds of processors"). The original could not simulate
+//! past 32; we run LU at 32 and 64 clusters and check that the
+//! coarse-vector advantage persists (with region size adapting to the
+//! fixed ~17-bit storage budget: Dir3CV2 at 32, Dir3CV4 at 64).
+
+use bench::run_app_with;
+use scd_apps::{lu, LuParams};
+use scd_core::Scheme;
+use scd_machine::MachineConfig;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let mut csv = String::from("procs,scheme,cycles,invalidations,total\n");
+    for procs in [32usize, 64] {
+        let n = ((72.0 * scale).round() as usize).max(16) * procs / 32;
+        let app = lu(&LuParams { n, update_cost: 4 }, procs, 0xD45B);
+        // Budget-equivalent schemes at this processor count.
+        let r = if procs == 32 { 2 } else { 4 };
+        let schemes = [
+            ("full vector".to_string(), Scheme::FullVector),
+            (format!("Dir3CV{r}"), Scheme::dir_cv(3, r)),
+            ("Dir3B".to_string(), Scheme::dir_b(3)),
+            ("Dir3NB".to_string(), Scheme::dir_nb(3)),
+        ];
+        println!("LU (n={n}) on {procs} processors:");
+        println!(
+            "{:<14} {:>10} {:>12} {:>12} {:>8}",
+            "scheme", "cycles", "inval msgs", "total msgs", "vs full"
+        );
+        let mut base = None;
+        for (name, scheme) in schemes {
+            let mut cfg = MachineConfig::paper_32().with_scheme(scheme);
+            cfg.clusters = procs;
+            let stats = run_app_with(&app, cfg);
+            let b = base.get_or_insert(stats.traffic.total());
+            println!(
+                "{:<14} {:>10} {:>12} {:>12} {:>7.2}x",
+                name,
+                stats.cycles,
+                stats.traffic.get(scd_stats::MessageClass::Invalidation),
+                stats.traffic.total(),
+                stats.traffic.total() as f64 / *b as f64,
+            );
+            csv.push_str(&format!(
+                "{},{},{},{},{}\n",
+                procs,
+                name,
+                stats.cycles,
+                stats.traffic.get(scd_stats::MessageClass::Invalidation),
+                stats.traffic.total(),
+            ));
+        }
+        println!();
+    }
+    bench::write_results("ablation_scale.csv", &csv);
+}

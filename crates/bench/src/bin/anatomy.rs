@@ -1,0 +1,43 @@
+//! Execution-time anatomy: where simulated processor-time goes per
+//! application and scheme — busy computation, memory stalls, or
+//! synchronization stalls. Not a paper artifact, but it explains the
+//! Figure 7–10 results: `Dir3NB`'s extra time is almost entirely memory
+//! stall from pointer-eviction rereads.
+
+use bench::{run_app, scheme_suite};
+use scd_apps::suite;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let apps = suite(32, 0xD45B, scale);
+    println!("Execution-time anatomy (fraction of total processor-time):\n");
+    println!(
+        "{:<12} {:<14} {:>8} {:>10} {:>10} {:>10}",
+        "app", "scheme", "busy", "mem stall", "sync stall", "cycles"
+    );
+    let mut csv = String::from("app,scheme,busy,mem_stall,sync_stall,cycles\n");
+    for app in &apps {
+        for (name, scheme) in scheme_suite() {
+            let stats = run_app(app, scheme);
+            let (busy, mem, sync) = stats.stalls.fractions();
+            println!(
+                "{:<12} {:<14} {:>7.1}% {:>9.1}% {:>9.1}% {:>10}",
+                app.name,
+                name,
+                busy * 100.0,
+                mem * 100.0,
+                sync * 100.0,
+                stats.cycles,
+            );
+            csv.push_str(&format!(
+                "{},{},{:.4},{:.4},{:.4},{}\n",
+                app.name, name, busy, mem, sync, stats.cycles
+            ));
+        }
+        println!();
+    }
+    bench::write_results("anatomy.csv", &csv);
+}

@@ -1,0 +1,52 @@
+//! Figure 13 — effect of sparse-directory associativity on message
+//! traffic (LU, full bit vector): associativities {1, 2, 4} at size
+//! factors {1, 2, 4}, normalized to the non-sparse run.
+
+use bench::{run_app_with, sparse_config};
+use scd_apps::{lu, LuParams};
+use scd_core::{Replacement, Scheme};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let app = lu(
+        &LuParams {
+            n: (96.0 * scale).round().max(16.0) as usize,
+            update_cost: 4,
+        },
+        32,
+        0xD45B,
+    );
+    let base = run_app_with(
+        &app,
+        sparse_config(&app, Scheme::FullVector, 0, 4, Replacement::Random),
+    );
+    println!("Figure 13: effect of associativity in sparse directory (LU, Dir32)");
+    println!("normalized message traffic (non-sparse = 100)\n");
+    println!(
+        "{:>12} {:>8} {:>8} {:>8}",
+        "size factor", "assoc 1", "assoc 2", "assoc 4"
+    );
+    let mut csv = String::from("size_factor,assoc,traffic,norm_traffic,replacements\n");
+    for factor in [1usize, 2, 4] {
+        print!("{factor:>12}");
+        for ways in [1usize, 2, 4] {
+            let cfg = sparse_config(&app, Scheme::FullVector, factor, ways, Replacement::Random);
+            let stats = run_app_with(&app, cfg);
+            let norm = stats.traffic.total() as f64 / base.traffic.total() as f64 * 100.0;
+            print!(" {norm:>8.1}");
+            csv.push_str(&format!(
+                "{},{},{},{:.4},{}\n",
+                factor,
+                ways,
+                stats.traffic.total(),
+                norm / 100.0,
+                stats.sparse.map_or(0, |s| s.replacements),
+            ));
+        }
+        println!();
+    }
+    bench::write_results("fig13.csv", &csv);
+}

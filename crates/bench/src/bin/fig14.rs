@@ -1,0 +1,57 @@
+//! Figure 14 — effect of sparse-directory replacement policy on message
+//! traffic (LU, full bit vector, 4-way): LRU vs Random vs LRA at size
+//! factors {1, 2, 4}, normalized to the non-sparse run.
+
+use bench::{run_app_with, sparse_config};
+use scd_apps::{lu, LuParams};
+use scd_core::{Replacement, Scheme};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let app = lu(
+        &LuParams {
+            n: (96.0 * scale).round().max(16.0) as usize,
+            update_cost: 4,
+        },
+        32,
+        0xD45B,
+    );
+    let base = run_app_with(
+        &app,
+        sparse_config(&app, Scheme::FullVector, 0, 4, Replacement::Random),
+    );
+    let policies = [
+        ("LRU", Replacement::Lru),
+        ("Rand", Replacement::Random),
+        ("LRA", Replacement::Lra),
+    ];
+    println!("Figure 14: effect of replacement policies in sparse directory (LU, Dir32, 4-way)");
+    println!("normalized message traffic (non-sparse = 100)\n");
+    println!(
+        "{:>12} {:>8} {:>8} {:>8}",
+        "size factor", "LRU", "Rand", "LRA"
+    );
+    let mut csv = String::from("size_factor,policy,traffic,norm_traffic,replacements\n");
+    for factor in [1usize, 2, 4] {
+        print!("{factor:>12}");
+        for (name, policy) in policies {
+            let cfg = sparse_config(&app, Scheme::FullVector, factor, 4, policy);
+            let stats = run_app_with(&app, cfg);
+            let norm = stats.traffic.total() as f64 / base.traffic.total() as f64 * 100.0;
+            print!(" {norm:>8.1}");
+            csv.push_str(&format!(
+                "{},{},{},{:.4},{}\n",
+                factor,
+                name,
+                stats.traffic.total(),
+                norm / 100.0,
+                stats.sparse.map_or(0, |s| s.replacements),
+            ));
+        }
+        println!();
+    }
+    bench::write_results("fig14.csv", &csv);
+}

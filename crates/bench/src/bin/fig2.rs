@@ -1,0 +1,96 @@
+//! Figure 2 — average invalidation messages sent as a function of the
+//! number of sharers, for 32 processors (2a) and 64 processors (2b).
+//!
+//! Monte-Carlo analysis over the directory-entry implementations in
+//! `scd-core` (see `scd_core::analysis` for the precise event model).
+
+use scd_core::analysis::invalidation_curve;
+use scd_core::Scheme;
+
+const EVENTS: usize = 20_000;
+const SEED: u64 = 0xF162;
+
+fn panel(p: usize, schemes: &[(&str, Scheme)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 2 panel: {p} processors, {EVENTS} events/point");
+    let curves: Vec<(&str, Vec<f64>)> = schemes
+        .iter()
+        .map(|(name, s)| (*name, invalidation_curve(*s, p, EVENTS, SEED)))
+        .collect();
+    let _ = write!(out, "{:>8}", "sharers");
+    for (name, _) in &curves {
+        let _ = write!(out, "{name:>12}");
+    }
+    let _ = writeln!(out);
+    for s in 0..=p - 2 {
+        let _ = write!(out, "{s:>8}");
+        for (_, c) in &curves {
+            let _ = write!(out, "{:>12.2}", c[s]);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn csv(p: usize, schemes: &[(&str, Scheme)]) -> String {
+    use std::fmt::Write as _;
+    let curves: Vec<(&str, Vec<f64>)> = schemes
+        .iter()
+        .map(|(name, s)| (*name, invalidation_curve(*s, p, EVENTS, SEED)))
+        .collect();
+    let mut out = String::from("sharers");
+    for (name, _) in &curves {
+        let _ = write!(out, ",{name}");
+    }
+    out.push('\n');
+    for s in 0..=p - 2 {
+        let _ = write!(out, "{s}");
+        for (_, c) in &curves {
+            let _ = write!(out, ",{:.4}", c[s]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn chart(p: usize, schemes: &[(&str, Scheme)]) -> String {
+    let curves: Vec<(&str, Vec<f64>)> = schemes
+        .iter()
+        .map(|(name, s)| (*name, invalidation_curve(*s, p, 2_000, SEED)))
+        .collect();
+    let refs: Vec<(&str, &[f64])> = curves
+        .iter()
+        .map(|(n, c)| (*n, c.as_slice()))
+        .collect();
+    scd_stats::render_chart(
+        &format!("Average invalidations vs sharers ({p} processors)"),
+        &refs,
+        64,
+        16,
+    )
+}
+
+fn main() {
+    // 2a: 32 processors — Dir3B, Dir3CV2, Dir (the paper's panel a legend).
+    let a: Vec<(&str, Scheme)> = vec![
+        ("Dir3B", Scheme::dir_b(3)),
+        ("Dir3CV2", Scheme::dir_cv(3, 2)),
+        ("Dir", Scheme::dir_n()),
+    ];
+    // 2b: 64 processors — adds Dir3X and uses region size 4.
+    let b: Vec<(&str, Scheme)> = vec![
+        ("Dir3B", Scheme::dir_b(3)),
+        ("Dir3X", Scheme::dir_x(3)),
+        ("Dir3CV4", Scheme::dir_cv(3, 4)),
+        ("Dir", Scheme::dir_n()),
+    ];
+    println!("{}", chart(32, &a));
+    println!("{}", chart(64, &b));
+    let out_a = panel(32, &a);
+    let out_b = panel(64, &b);
+    println!("{out_a}");
+    println!("{out_b}");
+    bench::write_results("fig2a.csv", &csv(32, &a));
+    bench::write_results("fig2b.csv", &csv(64, &b));
+}

@@ -1,0 +1,45 @@
+//! Figures 3–6 — invalidation distributions of shared data for the
+//! LocusRoute application under Dir32 (full vector), Dir3NB, Dir3B, and
+//! Dir3CV2.
+//!
+//! Each write transaction at a directory is an invalidation event weighted
+//! by the number of invalidation messages sent; `Dir_i NB` additionally
+//! turns read-caused pointer evictions into size-1 events (§6.1).
+
+use bench::run_app;
+use scd_apps::{locusroute, LocusRouteParams};
+use scd_core::Scheme;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let app = locusroute(&LocusRouteParams::scaled(scale), 32, 0xD45B);
+
+    let figures = [
+        ("Figure 3", "Dir32 (full bit vector)", Scheme::dir_n()),
+        ("Figure 4", "Dir3NB", Scheme::dir_nb(3)),
+        ("Figure 5", "Dir3B", Scheme::dir_b(3)),
+        ("Figure 6", "Dir3CV2", Scheme::dir_cv(3, 2)),
+    ];
+    for (fig, name, scheme) in figures {
+        let stats = run_app(&app, scheme);
+        let h = &stats.invalidations;
+        println!(
+            "{}",
+            h.render(
+                &format!("{fig}: invalidation distribution, LocusRoute, {name}"),
+                60
+            )
+        );
+        println!(
+            "  total invalidations: {}  (events {}, avg {:.2})\n",
+            h.weight(),
+            h.events(),
+            h.mean()
+        );
+        let file = format!("{}.csv", fig.to_lowercase().replace(' ', ""));
+        bench::write_results(&file, &h.to_csv());
+    }
+}

@@ -1,0 +1,66 @@
+//! Figures 7–10 — normalized execution time and message traffic of the
+//! four directory schemes (Full Vector, Coarse Vector, Broadcast,
+//! Non-Broadcast) for LU, DWF, MP3D and LocusRoute.
+//!
+//! The traffic bars are broken down into requests (incl. writebacks),
+//! replies, and invalidations+acknowledgements, exactly as the paper's
+//! stacked charts.
+
+use bench::{run_app, scheme_suite};
+use scd_apps::suite;
+use scd_stats::MessageClass;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let apps = suite(32, 0xD45B, scale);
+    let mut csv = String::from(
+        "app,scheme,cycles,norm_time,requests,replies,invalidations,acks,total,norm_traffic\n",
+    );
+    for (fig, app) in apps.iter().enumerate() {
+        println!(
+            "Figure {}: performance for {} (normalized to Full Vector = 100)\n",
+            fig + 7,
+            app.name
+        );
+        let mut baseline = None;
+        println!(
+            "{:<14} {:>10} {:>6}  {:>9} {:>9} {:>11} {:>9} {:>7}",
+            "scheme", "cycles", "time", "requests", "replies", "inval+ack", "total", "msgs"
+        );
+        for (name, scheme) in scheme_suite() {
+            let stats = run_app(app, scheme);
+            let base = baseline.get_or_insert_with(|| stats.clone());
+            let nt = stats.cycles as f64 / base.cycles as f64 * 100.0;
+            let nm = stats.traffic.total() as f64 / base.traffic.total() as f64 * 100.0;
+            println!(
+                "{:<14} {:>10} {:>6.1}  {:>9} {:>9} {:>11} {:>9} {:>7.1}",
+                name,
+                stats.cycles,
+                nt,
+                stats.traffic.get(MessageClass::Request),
+                stats.traffic.get(MessageClass::Reply),
+                stats.traffic.coherence(),
+                stats.traffic.total(),
+                nm,
+            );
+            csv.push_str(&format!(
+                "{},{},{},{:.4},{},{},{},{},{},{:.4}\n",
+                app.name,
+                name,
+                stats.cycles,
+                nt / 100.0,
+                stats.traffic.get(MessageClass::Request),
+                stats.traffic.get(MessageClass::Reply),
+                stats.traffic.get(MessageClass::Invalidation),
+                stats.traffic.get(MessageClass::Acknowledgement),
+                stats.traffic.total(),
+                nm / 100.0,
+            ));
+        }
+        println!();
+    }
+    bench::write_results("fig7_10.csv", &csv);
+}

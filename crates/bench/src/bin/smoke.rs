@@ -1,0 +1,38 @@
+//! Quick end-to-end calibration: run every app on every scheme at a given
+//! scale and print wall time, simulated cycles and traffic. Used to tune
+//! problem sizes before the real experiments.
+
+use bench::{run_app, scheme_suite};
+use scd_apps::suite;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let apps = suite(32, 0xD45B, scale);
+    for app in &apps {
+        println!(
+            "== {} | ops={} refs={} reads={} writes={} sync={} shared={}KB",
+            app.name,
+            app.total_ops(),
+            app.shared_refs(),
+            app.reads(),
+            app.writes(),
+            app.sync_ops(),
+            app.shared_bytes / 1024,
+        );
+        for (name, scheme) in scheme_suite() {
+            let t0 = std::time::Instant::now();
+            let stats = run_app(app, scheme);
+            println!(
+                "  {name:<14} cycles={:>9} wall={:>6.2}s  {}  inval_events={} avg_inv={:.2}",
+                stats.cycles,
+                t0.elapsed().as_secs_f64(),
+                stats.traffic,
+                stats.invalidations.events(),
+                stats.invalidations.mean(),
+            );
+        }
+    }
+}

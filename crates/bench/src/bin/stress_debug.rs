@@ -1,0 +1,46 @@
+//! Internal debugging harness: replays the randomized coherence stress from
+//! the integration suite with per-block message tracing.
+//!
+//! Usage: `stress_debug <scheme-index 0..8> [trace-block]`, with
+//! `BLOCKS`/`WR`/`SEED` environment overrides. Scheme indices follow the
+//! order in the source. When a trace block is given, every protocol
+//! message touching it is printed with its delivery time — invaluable for
+//! reconstructing protocol interleavings.
+
+use scd_machine::{Machine, MachineConfig};
+use scd_sim::SimRng;
+use scd_core::Scheme;
+use scd_tango::{Op, ScriptProgram, ThreadProgram};
+
+fn random_programs(procs: usize, ops_per_proc: usize, blocks: u64, write_ratio: f64, seed: u64) -> Vec<Box<dyn ThreadProgram>> {
+    let mut root = SimRng::new(seed);
+    (0..procs).map(|p| {
+        let mut rng = root.fork(p as u64);
+        let mut ops = Vec::with_capacity(ops_per_proc);
+        for _ in 0..ops_per_proc {
+            let addr = rng.below(blocks) * 16;
+            if rng.chance(write_ratio) { ops.push(Op::Write(addr)); } else { ops.push(Op::Read(addr)); }
+            if rng.chance(0.3) { ops.push(Op::Compute(rng.below(20))); }
+        }
+        Box::new(ScriptProgram::new(ops)) as Box<dyn ThreadProgram>
+    }).collect()
+}
+
+fn main() {
+    let scheme_idx: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let trace: Option<u64> = std::env::args().nth(2).and_then(|s| s.parse().ok());
+    let schemes = [
+        Scheme::FullVector, Scheme::dir_b(3), Scheme::dir_nb(3), Scheme::dir_x(3),
+        Scheme::dir_cv(3, 2), Scheme::dir_cv(1, 4), Scheme::dir_b(1), Scheme::dir_nb(1),
+    ];
+    let scheme = schemes[scheme_idx];
+    eprintln!("scheme {scheme_idx}: {scheme:?}");
+    let blocks: u64 = std::env::var("BLOCKS").ok().and_then(|s| s.parse().ok()).unwrap_or(24);
+    let wr: f64 = std::env::var("WR").ok().and_then(|s| s.parse().ok()).unwrap_or(0.4);
+    let seed: u64 = std::env::var("SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xC0FFEE);
+    let mut cfg = MachineConfig::tiny(8).with_scheme(scheme);
+    cfg.trace_block = trace;
+    let programs = random_programs(cfg.processors(), 400, blocks, wr, seed);
+    let stats = Machine::new(cfg, programs).run();
+    eprintln!("ok: {} cycles {}", stats.cycles, stats.traffic);
+}

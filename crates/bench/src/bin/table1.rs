@@ -1,0 +1,65 @@
+//! Table 1 — sample machine configurations: cluster/processor counts,
+//! memory and cache provisioning, directory scheme, and the resulting
+//! directory memory overhead.
+
+use scd_core::overhead::table1_rows;
+use scd_stats::{render_table, Align};
+
+fn main() {
+    let rows = table1_rows();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.spec.clusters.to_string(),
+                r.spec.processors().to_string(),
+                format!("{}", r.spec.total_memory() >> 20),
+                format!("{}", r.spec.total_cache() >> 20),
+                r.spec.block_bytes.to_string(),
+                r.label.clone(),
+                format!("{:.1}%", r.report.overhead * 100.0),
+            ]
+        })
+        .collect();
+    let rendered = render_table(
+        &[
+            "clusters",
+            "processors",
+            "main memory (MB)",
+            "cache (MB)",
+            "block (B)",
+            "directory scheme",
+            "overhead",
+        ],
+        &[
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Left,
+            Align::Right,
+        ],
+        &table,
+    );
+    println!("Table 1: sample machine configurations\n\n{rendered}");
+
+    let mut csv = String::from(
+        "clusters,processors,main_memory_mb,cache_mb,block_bytes,scheme,entry_bits,entries,overhead\n",
+    );
+    for r in &rows {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{:.4}\n",
+            r.spec.clusters,
+            r.spec.processors(),
+            r.spec.total_memory() >> 20,
+            r.spec.total_cache() >> 20,
+            r.spec.block_bytes,
+            r.label,
+            r.report.entry_bits,
+            r.report.entries,
+            r.report.overhead,
+        ));
+    }
+    bench::write_results("table1.csv", &csv);
+}

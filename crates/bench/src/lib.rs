@@ -1,0 +1,26 @@
+//! # bench — experiment harness regenerating every table and figure
+//!
+//! One binary per artifact (see DESIGN.md §3 for the index):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig2` | Figure 2a/2b — invalidations vs. sharers per scheme |
+//! | `table1` | Table 1 — machine configurations and directory overhead |
+//! | `table2` | Table 2 — application characteristics |
+//! | `fig3_6` | Figures 3–6 — LocusRoute invalidation distributions |
+//! | `fig7_10` | Figures 7–10 — exec time + traffic per scheme per app |
+//! | `fig11_12` | Figures 11/12 — sparse directory size-factor sweeps |
+//! | `fig13` | Figure 13 — sparse associativity sweep (LU) |
+//! | `fig14` | Figure 14 — sparse replacement-policy sweep (LU) |
+//! | `ablation_locks` | §7 queue-lock grant-to-region behaviour |
+//! | `ablation_pending` | home pending-queue depth (NAK-replacement design) |
+//! | `ablation_region` | coarse-vector region-size sensitivity |
+//!
+//! Each binary prints the paper-style table/chart to stdout and writes CSV
+//! under `results/`. Criterion benches in `benches/` time the hot paths.
+
+pub mod runner;
+
+pub use runner::{
+    run_app, run_app_with, scheme_suite, sparse_config, write_results, SPARSE_CACHE_RATIO,
+};

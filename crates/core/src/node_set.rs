@@ -1,0 +1,271 @@
+//! A dynamically sized bitset over cluster/node identifiers.
+//!
+//! Directory entries, invalidation target sets, and sharer supersets are all
+//! sets of nodes. The paper's machines range from 16 clusters to 1024
+//! processors, so the set is backed by a small vector of 64-bit words rather
+//! than a fixed-width integer.
+
+/// Identifier of a cluster (processing node) in the machine.
+///
+/// The paper's directory state is kept per *cluster* (DASH keeps one
+/// presence bit per cluster, intra-cluster coherence being snoopy), so all
+/// directory-level APIs speak `NodeId`.
+pub type NodeId = u16;
+
+/// A set of nodes, backed by a bit vector.
+///
+/// The set has a fixed universe size (`capacity`) established at creation;
+/// inserting a node `>= capacity` panics in debug builds and is masked out
+/// of iteration in release builds.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl NodeSet {
+    /// Creates an empty set over a universe of `capacity` nodes.
+    pub fn new(capacity: usize) -> Self {
+        NodeSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Creates a set containing every node in the universe.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = NodeSet::new(capacity);
+        for w in 0..s.words.len() {
+            s.words[w] = !0u64;
+        }
+        s.mask_tail();
+        s
+    }
+
+    /// Creates a set from an iterator of node ids.
+    pub fn from_iter<I: IntoIterator<Item = NodeId>>(capacity: usize, iter: I) -> Self {
+        let mut s = NodeSet::new(capacity);
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+
+    /// The universe size this set was created with.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Clears bits beyond `capacity` (kept as an invariant after whole-word ops).
+    fn mask_tail(&mut self) {
+        let rem = self.capacity % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Inserts `node`; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        debug_assert!((node as usize) < self.capacity, "node out of universe");
+        let (w, b) = (node as usize / 64, node as usize % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `node`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        debug_assert!((node as usize) < self.capacity, "node out of universe");
+        let (w, b) = (node as usize / 64, node as usize % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        if node as usize >= self.capacity {
+            return false;
+        }
+        let (w, b) = (node as usize / 64, node as usize % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of nodes in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no node is present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all nodes.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference (`self -= other`).
+    pub fn difference_with(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// True if every node of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &NodeSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// The lowest-numbered node in the set, if any.
+    pub fn first(&self) -> Option<NodeId> {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some((i * 64 + w.trailing_zeros() as usize) as NodeId);
+            }
+        }
+        None
+    }
+
+    /// Iterates over members in ascending order.
+    pub fn iter(&self) -> NodeSetIter<'_> {
+        NodeSetIter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over the members of a [`NodeSet`].
+pub struct NodeSetIter<'a> {
+    set: &'a NodeSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for NodeSetIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some((self.word_idx * 64 + bit) as NodeId);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeSet {
+    type Item = NodeId;
+    type IntoIter = NodeSetIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_members() {
+        let s = NodeSet::new(100);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.first(), None);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = NodeSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "second insert reports already-present");
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        let s = NodeSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let s = NodeSet::from_iter(200, [5, 199, 63, 64, 0]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![0, 5, 63, 64, 199]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = NodeSet::from_iter(64, [1, 2, 3]);
+        let b = NodeSet::from_iter(64, [3, 4]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        a.difference_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2]);
+        let mut i = u.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![3, 4]);
+        assert!(i.is_subset_of(&u));
+        assert!(!u.is_subset_of(&i));
+    }
+
+    #[test]
+    fn first_finds_lowest() {
+        let s = NodeSet::from_iter(128, [90, 17, 65]);
+        assert_eq!(s.first(), Some(17));
+    }
+}

@@ -1,0 +1,203 @@
+//! Directory scheme descriptors and their storage-cost arithmetic.
+//!
+//! The paper compares five memory-based directory organizations:
+//!
+//! * `Dir_N` — full bit vector, one presence bit per cluster (§3.1)
+//! * `Dir_i B` — `i` pointers, overflow sets a broadcast bit (§3.2.1)
+//! * `Dir_i NB` — `i` pointers, overflow evicts an existing sharer (§3.2.2)
+//! * `Dir_i X` — `i` pointers, overflow collapses them into one composite
+//!   (superset) pointer whose bits may be 0, 1, or X (§3.2.3)
+//! * `Dir_i CV_r` — `i` pointers, overflow reinterprets the same storage as a
+//!   coarse bit vector with one bit per region of `r` clusters (§4.1)
+//!
+//! [`Scheme`] carries the parameters; [`Scheme::state_bits`] reproduces the
+//! paper's storage accounting (used by the Table 1 overhead model).
+
+/// Victim selection policy for `Dir_i NB` pointer overflow.
+///
+/// The paper (following Agarwal et al.) invalidates "one of the caches
+/// already sharing the block" without fixing the choice; both options are
+/// provided so the sensitivity can be measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NbVictim {
+    /// Evict the pointer that has been resident longest (FIFO order).
+    Oldest,
+    /// Evict a pseudo-randomly chosen pointer (deterministic per entry,
+    /// derived from an internal rotation counter — keeps the simulator
+    /// reproducible without threading an RNG through the directory).
+    Rotating,
+}
+
+/// A directory scheme together with its parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// `Dir_N`: full bit vector, one bit per cluster.
+    FullVector,
+    /// `Dir_i B`: limited pointers with broadcast on overflow.
+    LimitedB {
+        /// Number of pointers per entry.
+        i: usize,
+    },
+    /// `Dir_i NB`: limited pointers, never broadcast; overflow evicts.
+    LimitedNB {
+        /// Number of pointers per entry.
+        i: usize,
+        /// How the evicted sharer is chosen on overflow.
+        victim: NbVictim,
+    },
+    /// `Dir_i X`: limited pointers collapsing to a composite (superset)
+    /// pointer on overflow.
+    Superset {
+        /// Number of pointers per entry before the collapse.
+        i: usize,
+    },
+    /// `Dir_i CV_r`: limited pointers reinterpreted as a coarse vector with
+    /// one bit per `r` clusters on overflow.
+    CoarseVector {
+        /// Number of pointers per entry before the switch.
+        i: usize,
+        /// Region size: number of clusters covered by one coarse-vector bit.
+        r: usize,
+    },
+}
+
+impl Scheme {
+    /// Shorthand constructors matching the paper's notation.
+    pub fn dir_n() -> Self {
+        Scheme::FullVector
+    }
+
+    /// `Dir_i B`.
+    pub fn dir_b(i: usize) -> Self {
+        Scheme::LimitedB { i }
+    }
+
+    /// `Dir_i NB` with the default (oldest-pointer) victim policy.
+    pub fn dir_nb(i: usize) -> Self {
+        Scheme::LimitedNB {
+            i,
+            victim: NbVictim::Oldest,
+        }
+    }
+
+    /// `Dir_i X`.
+    pub fn dir_x(i: usize) -> Self {
+        Scheme::Superset { i }
+    }
+
+    /// `Dir_i CV_r`.
+    pub fn dir_cv(i: usize, r: usize) -> Self {
+        Scheme::CoarseVector { i, r }
+    }
+
+    /// `Dir_i CV_r` with `r` derived from the pointer storage budget, as the
+    /// paper does: the coarse vector reuses exactly the bits that previously
+    /// held the `i` pointers, so `r = ceil(P / (i * ceil(log2 P)))`.
+    pub fn dir_cv_auto(i: usize, p: usize) -> Self {
+        let bits = i * ptr_bits(p);
+        let r = p.div_ceil(bits.max(1)).max(1);
+        Scheme::CoarseVector { i, r }
+    }
+
+    /// Number of *sharer-state* bits one entry needs for a `p`-cluster
+    /// machine (excluding the dirty bit and any sparse-directory tag, which
+    /// [`mod@crate::overhead`] accounts separately).
+    pub fn state_bits(&self, p: usize) -> usize {
+        match *self {
+            Scheme::FullVector => p,
+            Scheme::LimitedB { i } => i * ptr_bits(p) + 1, // + broadcast bit
+            Scheme::LimitedNB { i, .. } => i * ptr_bits(p),
+            Scheme::Superset { i } => (i * ptr_bits(p)).max(2 * ptr_bits(p)) + 1, // + mode bit
+            Scheme::CoarseVector { i, r } => {
+                // Pointer mode and coarse mode share storage; one extra bit
+                // records which representation is active.
+                (i * ptr_bits(p)).max(p.div_ceil(r)) + 1
+            }
+        }
+    }
+
+    /// Human-readable name in the paper's notation (e.g. `Dir3CV2`).
+    pub fn name(&self, p: usize) -> String {
+        match *self {
+            Scheme::FullVector => format!("Dir{p}"),
+            Scheme::LimitedB { i } => format!("Dir{i}B"),
+            Scheme::LimitedNB { i, .. } => format!("Dir{i}NB"),
+            Scheme::Superset { i } => format!("Dir{i}X"),
+            Scheme::CoarseVector { i, r } => format!("Dir{i}CV{r}"),
+        }
+    }
+
+    /// The pointer count `i`, if this is a limited-pointer variant.
+    pub fn pointer_count(&self) -> Option<usize> {
+        match *self {
+            Scheme::FullVector => None,
+            Scheme::LimitedB { i }
+            | Scheme::LimitedNB { i, .. }
+            | Scheme::Superset { i }
+            | Scheme::CoarseVector { i, .. } => Some(i),
+        }
+    }
+}
+
+/// Bits needed for one node pointer on a `p`-cluster machine: `ceil(log2 p)`.
+pub fn ptr_bits(p: usize) -> usize {
+    assert!(p >= 1, "machine must have at least one cluster");
+    usize::BITS as usize - (p - 1).leading_zeros() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointer_width() {
+        assert_eq!(ptr_bits(1), 0);
+        assert_eq!(ptr_bits(2), 1);
+        assert_eq!(ptr_bits(16), 4);
+        assert_eq!(ptr_bits(17), 5);
+        assert_eq!(ptr_bits(32), 5);
+        assert_eq!(ptr_bits(1024), 10);
+    }
+
+    #[test]
+    fn full_vector_bits_match_dash_prototype() {
+        // DASH prototype: 16 clusters, full bit vector => 16 state bits
+        // (+1 dirty = the paper's 17 bits per 16-byte block).
+        assert_eq!(Scheme::FullVector.state_bits(16), 16);
+    }
+
+    #[test]
+    fn limited_pointer_bits() {
+        // Dir3 on 32 clusters: 3 pointers x 5 bits.
+        assert_eq!(Scheme::dir_nb(3).state_bits(32), 15);
+        assert_eq!(Scheme::dir_b(3).state_bits(32), 16); // + broadcast bit
+    }
+
+    #[test]
+    fn coarse_vector_reuses_pointer_storage() {
+        // Dir3CV2 on 32 clusters: max(15, 16) + mode bit.
+        assert_eq!(Scheme::dir_cv(3, 2).state_bits(32), 17);
+        // Auto-derived region size for 3 pointers on 32 clusters:
+        // 15 bits of storage -> r = ceil(32/15) = 3... the paper instead
+        // allows itself ~17 bits and chooses r = 2; both are representable.
+        match Scheme::dir_cv_auto(3, 32) {
+            Scheme::CoarseVector { i: 3, r } => assert_eq!(r, 3),
+            s => panic!("unexpected {s:?}"),
+        }
+    }
+
+    #[test]
+    fn names_follow_paper_notation() {
+        assert_eq!(Scheme::dir_n().name(32), "Dir32");
+        assert_eq!(Scheme::dir_b(3).name(32), "Dir3B");
+        assert_eq!(Scheme::dir_nb(3).name(32), "Dir3NB");
+        assert_eq!(Scheme::dir_x(3).name(32), "Dir3X");
+        assert_eq!(Scheme::dir_cv(3, 2).name(32), "Dir3CV2");
+    }
+
+    #[test]
+    fn pointer_counts() {
+        assert_eq!(Scheme::dir_n().pointer_count(), None);
+        assert_eq!(Scheme::dir_cv(8, 4).pointer_count(), Some(8));
+    }
+}

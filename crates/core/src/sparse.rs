@@ -1,0 +1,548 @@
+//! Sparse directories: a set-associative directory *cache* with no backing
+//! store (paper §4.2).
+//!
+//! Main memory is far larger than all processor caches combined, so at any
+//! instant most directory entries are empty. A sparse directory keeps only
+//! the active entries. When a set fills up, a victim entry is chosen
+//! (LRU / random / LRA), all cached copies of the victim block are
+//! invalidated, and the slot is reused — no write-back of directory state is
+//! ever needed, because state for an uncached block is trivially empty.
+//!
+//! This module is purely the storage organization; sending the replacement
+//! invalidations and collecting acknowledgements is the protocol layer's job
+//! (DASH uses the Remote Access Cache for that). [`SparseDirectory::allocate`]
+//! therefore *returns* the victim's entry so the caller can compute the
+//! invalidation set.
+
+use crate::entry::DirEntry;
+use crate::scheme::Scheme;
+
+/// Replacement policy for conflicting sparse-directory entries (§6.3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Replacement {
+    /// Least-recently-used: replace the entry touched longest ago. Hardest
+    /// to implement in hardware, best-performing in the paper.
+    Lru,
+    /// Uniform random choice. Easiest in hardware; the paper found it beats
+    /// LRA.
+    Random,
+    /// Least-recently-allocated: replace the entry *allocated* first,
+    /// regardless of use. Worst of the three in the paper.
+    Lra,
+}
+
+/// One way of one set.
+#[derive(Clone, Debug)]
+struct Slot {
+    /// Key (block identifier) currently resident, if any.
+    key: u64,
+    valid: bool,
+    entry: DirEntry,
+    /// Last lookup/update time (LRU).
+    last_use: u64,
+    /// Allocation time (LRA).
+    allocated: u64,
+}
+
+/// Statistics the experiment harness reads off a sparse directory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SparseStats {
+    /// Lookups that found the key resident.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Allocations satisfied by an invalid (empty) slot.
+    pub fills: u64,
+    /// Allocations that displaced a live entry (replacement invalidations
+    /// were required).
+    pub replacements: u64,
+}
+
+/// Result of [`SparseDirectory::allocate`].
+pub enum Allocation<'a> {
+    /// The key was already resident.
+    Hit(&'a mut DirEntry),
+    /// An empty slot was filled; entry starts uncached.
+    Inserted(&'a mut DirEntry),
+    /// A live victim was displaced. The caller must invalidate all cached
+    /// copies of `victim_key` (the returned `victim` entry says which
+    /// clusters those are). The new `entry` starts uncached.
+    Replaced {
+        /// Block identifier that lost its directory entry.
+        victim_key: u64,
+        /// The displaced entry (ownership transferred to the caller).
+        victim: DirEntry,
+        /// Fresh entry for the requested key.
+        entry: &'a mut DirEntry,
+    },
+}
+
+/// A set-associative sparse directory.
+///
+/// Keys are abstract block identifiers (the machine layer passes home-local
+/// block indices). Indexing is `key % num_sets` — tags in a real sparse
+/// directory are only a few bits because it holds a large fraction of memory
+/// blocks (paper §4.2).
+pub struct SparseDirectory {
+    scheme: Scheme,
+    clusters: usize,
+    sets: usize,
+    ways: usize,
+    policy: Replacement,
+    slots: Vec<Slot>,
+    stats: SparseStats,
+    /// xorshift64* state for the random policy (deterministic per seed).
+    rng_state: u64,
+}
+
+impl SparseDirectory {
+    /// Creates a sparse directory with `entries` total slots organized as
+    /// `entries / ways` sets of `ways` ways.
+    ///
+    /// # Panics
+    /// If `entries` is not a positive multiple of `ways`.
+    pub fn new(
+        scheme: Scheme,
+        clusters: usize,
+        entries: usize,
+        ways: usize,
+        policy: Replacement,
+        seed: u64,
+    ) -> Self {
+        assert!(ways >= 1, "associativity must be at least 1");
+        assert!(
+            entries >= ways && entries.is_multiple_of(ways),
+            "entry count {entries} must be a positive multiple of associativity {ways}"
+        );
+        let proto = DirEntry::new(scheme, clusters);
+        SparseDirectory {
+            scheme,
+            clusters,
+            sets: entries / ways,
+            ways,
+            policy,
+            slots: vec![
+                Slot {
+                    key: 0,
+                    valid: false,
+                    entry: proto,
+                    last_use: 0,
+                    allocated: 0,
+                };
+                entries
+            ],
+            stats: SparseStats::default(),
+            rng_state: seed | 1,
+        }
+    }
+
+    /// Total number of directory slots.
+    pub fn entries(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Directory scheme used for entries.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SparseStats {
+        self.stats
+    }
+
+    fn set_range(&self, key: u64) -> std::ops::Range<usize> {
+        let set = (key % self.sets as u64) as usize;
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    fn next_random(&mut self) -> u64 {
+        // xorshift64* — cheap, deterministic, good enough for victim choice.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Looks up `key` without allocating; touches LRU state on hit.
+    pub fn lookup(&mut self, key: u64, now: u64) -> Option<&mut DirEntry> {
+        let range = self.set_range(key);
+        for idx in range {
+            if self.slots[idx].valid && self.slots[idx].key == key {
+                self.stats.hits += 1;
+                self.slots[idx].last_use = now;
+                return Some(&mut self.slots[idx].entry);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Read-only probe (no statistics or LRU update).
+    pub fn probe(&self, key: u64) -> Option<&DirEntry> {
+        self.set_range(key)
+            .map(|idx| &self.slots[idx])
+            .find(|s| s.valid && s.key == key)
+            .map(|s| &s.entry)
+    }
+
+    /// Finds or creates the entry for `key`, evicting a victim if the set is
+    /// full. See [`Allocation`].
+    pub fn allocate(&mut self, key: u64, now: u64) -> Allocation<'_> {
+        self.allocate_excluding(key, now, |_| false)
+            .expect("no keys banned, allocation cannot stall")
+    }
+
+    /// Like [`Self::allocate`], but never victimizes a key for which
+    /// `banned` returns true (the protocol pins blocks with in-flight
+    /// transactions). Returns `None` if the set is full and every resident
+    /// key is banned — the caller must park the request until one of them
+    /// unpins.
+    pub fn allocate_excluding(
+        &mut self,
+        key: u64,
+        now: u64,
+        banned: impl Fn(u64) -> bool,
+    ) -> Option<Allocation<'_>> {
+        let range = self.set_range(key);
+
+        // 1. Hit?
+        if let Some(idx) = range
+            .clone()
+            .find(|&i| self.slots[i].valid && self.slots[i].key == key)
+        {
+            self.stats.hits += 1;
+            let slot = &mut self.slots[idx];
+            slot.last_use = now;
+            return Some(Allocation::Hit(&mut slot.entry));
+        }
+        self.stats.misses += 1;
+
+        // 2. Empty way? Also opportunistically reclaim slots whose entry
+        // became empty (all copies written back) — the paper notes empty
+        // slots are created when caches write back dirty lines.
+        if let Some(idx) = range
+            .clone()
+            .find(|&i| !self.slots[i].valid || self.slots[i].entry.is_empty())
+        {
+            self.stats.fills += 1;
+            let slot = &mut self.slots[idx];
+            slot.key = key;
+            slot.valid = true;
+            slot.entry.clear();
+            slot.last_use = now;
+            slot.allocated = now;
+            return Some(Allocation::Inserted(&mut slot.entry));
+        }
+
+        // 3. Replacement, skipping pinned (banned) victims.
+        let eligible: Vec<usize> = range
+            .clone()
+            .filter(|&i| !banned(self.slots[i].key))
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let victim_idx = match self.policy {
+            Replacement::Lru => eligible
+                .iter()
+                .copied()
+                .min_by_key(|&i| self.slots[i].last_use)
+                .expect("eligible is non-empty"),
+            Replacement::Lra => eligible
+                .iter()
+                .copied()
+                .min_by_key(|&i| self.slots[i].allocated)
+                .expect("eligible is non-empty"),
+            Replacement::Random => {
+                let off = (self.next_random() % eligible.len() as u64) as usize;
+                eligible[off]
+            }
+        };
+        self.stats.replacements += 1;
+        let slot = &mut self.slots[victim_idx];
+        let victim_key = slot.key;
+        let mut victim = DirEntry::new(self.scheme, self.clusters);
+        std::mem::swap(&mut victim, &mut slot.entry);
+        slot.key = key;
+        slot.valid = true;
+        slot.last_use = now;
+        slot.allocated = now;
+        Some(Allocation::Replaced {
+            victim_key,
+            victim,
+            entry: &mut slot.entry,
+        })
+    }
+
+    /// Drops the entry for `key` (used when the protocol empties an entry —
+    /// e.g. last copy written back — and wants the slot reusable at once).
+    pub fn invalidate_key(&mut self, key: u64) -> bool {
+        let range = self.set_range(key);
+        for idx in range {
+            if self.slots[idx].valid && self.slots[idx].key == key {
+                self.slots[idx].valid = false;
+                self.slots[idx].entry.clear();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True if [`Self::allocate_excluding`] would return `None` for `key`:
+    /// the key is absent, no way is reclaimable, and every resident is
+    /// banned.
+    pub fn would_stall(&self, key: u64, banned: impl Fn(u64) -> bool) -> bool {
+        let range = self.set_range(key);
+        for i in range.clone() {
+            let s = &self.slots[i];
+            if s.valid && s.key == key {
+                return false;
+            }
+        }
+        for i in range.clone() {
+            let s = &self.slots[i];
+            if !s.valid || s.entry.is_empty() {
+                return false;
+            }
+        }
+        range.into_iter().all(|i| banned(self.slots[i].key))
+    }
+
+    /// Keys of the valid entries in `key`'s set (stall diagnostics).
+    pub fn resident_set_keys(&self, key: u64) -> Vec<u64> {
+        self.set_range(key)
+            .map(|i| &self.slots[i])
+            .filter(|s| s.valid)
+            .map(|s| s.key)
+            .collect()
+    }
+
+    /// Number of currently live (valid, non-empty) entries.
+    pub fn live_entries(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.valid && !s.entry.is_empty())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: usize = 32;
+
+    fn dir(entries: usize, ways: usize, policy: Replacement) -> SparseDirectory {
+        SparseDirectory::new(Scheme::dir_n(), P, entries, ways, policy, 42)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut d = dir(8, 2, Replacement::Lru);
+        assert!(d.lookup(100, 0).is_none());
+        match d.allocate(100, 1) {
+            Allocation::Inserted(e) => {
+                e.add_sharer(3);
+            }
+            _ => panic!("expected insert"),
+        }
+        let e = d.lookup(100, 2).expect("resident now");
+        assert!(e.sharer_superset().contains(3));
+        assert_eq!(d.stats().hits, 1);
+        assert_eq!(d.stats().misses, 2);
+    }
+
+    #[test]
+    fn conflicting_keys_fill_then_replace_lru() {
+        // 4 sets x 1 way; keys 0, 4, 8 all map to set 0.
+        let mut d = dir(4, 1, Replacement::Lru);
+        match d.allocate(0, 10) {
+            Allocation::Inserted(e) => {
+                e.add_sharer(1);
+            }
+            _ => panic!(),
+        }
+        match d.allocate(4, 20) {
+            Allocation::Replaced {
+                victim_key, victim, ..
+            } => {
+                assert_eq!(victim_key, 0);
+                assert!(victim.sharer_superset().contains(1));
+            }
+            _ => panic!("direct-mapped conflict must replace"),
+        }
+        assert!(d.probe(0).is_none());
+        assert!(d.probe(4).is_some());
+        assert_eq!(d.stats().replacements, 1);
+    }
+
+    #[test]
+    fn lru_picks_least_recently_used_way() {
+        // 1 set x 2 ways.
+        let mut d = dir(2, 2, Replacement::Lru);
+        match d.allocate(1, 0) {
+            Allocation::Inserted(e) => {
+                e.add_sharer(0);
+            }
+            _ => panic!(),
+        }
+        match d.allocate(2, 1) {
+            Allocation::Inserted(e) => {
+                e.add_sharer(0);
+            }
+            _ => panic!(),
+        }
+        // Touch key 1 so key 2 becomes LRU.
+        assert!(d.lookup(1, 5).is_some());
+        match d.allocate(3, 6) {
+            Allocation::Replaced { victim_key, .. } => assert_eq!(victim_key, 2),
+            _ => panic!("full set must replace"),
+        }
+    }
+
+    #[test]
+    fn lra_ignores_recency_of_use() {
+        let mut d = dir(2, 2, Replacement::Lra);
+        match d.allocate(1, 0) {
+            Allocation::Inserted(e) => {
+                e.add_sharer(0);
+            }
+            _ => panic!(),
+        }
+        match d.allocate(2, 1) {
+            Allocation::Inserted(e) => {
+                e.add_sharer(0);
+            }
+            _ => panic!(),
+        }
+        // Heavy use of key 1 does not protect it under LRA.
+        for t in 2..50 {
+            assert!(d.lookup(1, t).is_some());
+        }
+        match d.allocate(3, 50) {
+            Allocation::Replaced { victim_key, .. } => {
+                assert_eq!(victim_key, 1, "LRA evicts the earliest allocation")
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut d = SparseDirectory::new(Scheme::dir_n(), P, 4, 4, Replacement::Random, seed);
+            for k in 0..4 {
+                if let Allocation::Inserted(e) = d.allocate(k, k) {
+                    e.add_sharer(0);
+                } else {
+                    panic!()
+                }
+            }
+            let mut victims = vec![];
+            for k in 4..12 {
+                if let Allocation::Replaced {
+                    victim_key, entry, ..
+                } = d.allocate(k, k)
+                {
+                    // Keep the fresh entry live so the next allocation also
+                    // has to replace (empty entries are reclaimed first).
+                    entry.add_sharer(0);
+                    victims.push(victim_key);
+                } else {
+                    panic!()
+                }
+            }
+            victims
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn empty_entries_are_reclaimed_before_replacement() {
+        let mut d = dir(2, 2, Replacement::Lru);
+        match d.allocate(1, 0) {
+            Allocation::Inserted(e) => {
+                e.add_sharer(4);
+            }
+            _ => panic!(),
+        }
+        match d.allocate(2, 1) {
+            Allocation::Inserted(e) => {
+                e.add_sharer(5);
+            }
+            _ => panic!(),
+        }
+        // Key 1's entry empties out (e.g. dirty writeback of the only copy).
+        d.lookup(1, 2).unwrap().clear();
+        match d.allocate(3, 3) {
+            Allocation::Inserted(_) => {}
+            _ => panic!("empty entry should be reclaimed without invalidations"),
+        }
+        assert!(d.probe(2).is_some(), "live entry untouched");
+    }
+
+    #[test]
+    fn invalidate_key_frees_slot() {
+        let mut d = dir(4, 2, Replacement::Lru);
+        if let Allocation::Inserted(e) = d.allocate(9, 0) {
+            e.add_sharer(1);
+        } else {
+            panic!()
+        }
+        assert_eq!(d.live_entries(), 1);
+        assert!(d.invalidate_key(9));
+        assert!(!d.invalidate_key(9));
+        assert_eq!(d.live_entries(), 0);
+        assert!(d.probe(9).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of associativity")]
+    fn entries_must_be_multiple_of_ways() {
+        dir(5, 2, Replacement::Lru);
+    }
+
+    #[test]
+    fn banned_victims_are_skipped() {
+        // 1 set x 2 ways, keys 1 and 2 resident, key 1 pinned.
+        let mut d = dir(2, 2, Replacement::Lru);
+        for k in [1u64, 2] {
+            if let Allocation::Inserted(e) = d.allocate(k, k) {
+                e.add_sharer(0);
+            } else {
+                panic!()
+            }
+        }
+        match d.allocate_excluding(3, 10, |k| k == 1) {
+            Some(Allocation::Replaced { victim_key, .. }) => {
+                assert_eq!(victim_key, 2, "pinned key 1 must survive")
+            }
+            _ => panic!("expected replacement of the unpinned way"),
+        }
+        assert!(d.probe(1).is_some());
+    }
+
+    #[test]
+    fn fully_pinned_set_stalls() {
+        let mut d = dir(2, 2, Replacement::Lru);
+        for k in [1u64, 2] {
+            if let Allocation::Inserted(e) = d.allocate(k, k) {
+                e.add_sharer(0);
+            } else {
+                panic!()
+            }
+        }
+        assert!(d.allocate_excluding(3, 10, |_| true).is_none());
+        // Nothing was displaced.
+        assert!(d.probe(1).is_some() && d.probe(2).is_some());
+    }
+}

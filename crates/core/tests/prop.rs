@@ -1,0 +1,201 @@
+//! Property-based tests for the directory schemes and sparse organization.
+//!
+//! The key invariants the paper's correctness rests on:
+//!
+//! 1. Every scheme's representation is a **superset** of the true sharer
+//!    set (except `Dir_i NB`, where the true set is trimmed by evictions
+//!    and the representation is exact).
+//! 2. Invalidation targets never include the writer.
+//! 3. With at most `i` sharers, the limited schemes are exact.
+//! 4. Sparse directories never exceed capacity and never displace without
+//!    reporting the victim.
+
+use proptest::prelude::*;
+use scd_core::{AddSharer, DirEntry, NodeSet, Replacement, Scheme, SparseDirectory};
+use std::collections::HashSet;
+
+const P: usize = 32;
+
+fn scheme_strategy() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::FullVector),
+        (1usize..=8).prop_map(Scheme::dir_b),
+        (1usize..=8).prop_map(Scheme::dir_nb),
+        (2usize..=8).prop_map(Scheme::dir_x),
+        ((1usize..=8), (1usize..=8)).prop_map(|(i, r)| Scheme::dir_cv(i, r)),
+    ]
+}
+
+fn sharer_seq() -> impl Strategy<Value = Vec<u16>> {
+    prop::collection::vec(0u16..P as u16, 0..64)
+}
+
+/// Replays a sharer-insertion sequence, maintaining the ground-truth set
+/// (honouring NB evictions).
+fn replay(scheme: Scheme, seq: &[u16]) -> (DirEntry, HashSet<u16>) {
+    let mut e = DirEntry::new(scheme, P);
+    let mut truth = HashSet::new();
+    for &n in seq {
+        match e.add_sharer(n) {
+            AddSharer::Recorded => {
+                truth.insert(n);
+            }
+            AddSharer::Evict(v) => {
+                truth.remove(&v);
+                truth.insert(n);
+            }
+        }
+    }
+    (e, truth)
+}
+
+proptest! {
+    #[test]
+    fn superset_invariant(scheme in scheme_strategy(), seq in sharer_seq()) {
+        let (e, truth) = replay(scheme, &seq);
+        let sup = e.sharer_superset();
+        for &n in &truth {
+            prop_assert!(sup.contains(n), "{scheme:?}: true sharer {n} uncovered");
+            prop_assert!(e.covers(n));
+        }
+    }
+
+    #[test]
+    fn nb_is_exact_and_bounded(i in 1usize..=8, seq in sharer_seq()) {
+        let scheme = Scheme::dir_nb(i);
+        let (e, truth) = replay(scheme, &seq);
+        let sup: HashSet<u16> = e.sharer_superset().iter().collect();
+        prop_assert_eq!(&sup, &truth, "NB representation must be exact");
+        prop_assert!(sup.len() <= i, "never more than i sharers under NB");
+    }
+
+    #[test]
+    fn exact_below_pointer_count(scheme in scheme_strategy(), seq in sharer_seq()) {
+        let distinct: HashSet<u16> = seq.iter().copied().collect();
+        let i = scheme.pointer_count().unwrap_or(usize::MAX);
+        prop_assume!(distinct.len() <= i);
+        let (e, truth) = replay(scheme, &seq);
+        let sup: HashSet<u16> = e.sharer_superset().iter().collect();
+        prop_assert_eq!(sup, truth, "{:?} must be exact below overflow", scheme);
+        prop_assert!(e.is_precise());
+    }
+
+    #[test]
+    fn writer_excluded_from_targets(
+        scheme in scheme_strategy(),
+        seq in sharer_seq(),
+        writer in 0u16..P as u16,
+    ) {
+        let (e, _) = replay(scheme, &seq);
+        prop_assert!(!e.invalidation_targets(writer).contains(writer));
+    }
+
+    #[test]
+    fn make_dirty_collapses_to_owner(
+        scheme in scheme_strategy(),
+        seq in sharer_seq(),
+        owner in 0u16..P as u16,
+    ) {
+        let (mut e, _) = replay(scheme, &seq);
+        e.make_dirty(owner);
+        prop_assert!(e.is_dirty());
+        prop_assert_eq!(e.owner(), Some(owner));
+        prop_assert_eq!(e.sharer_superset().len(), 1);
+        prop_assert!(e.is_precise());
+    }
+
+    #[test]
+    fn clear_is_total(scheme in scheme_strategy(), seq in sharer_seq()) {
+        let (mut e, _) = replay(scheme, &seq);
+        e.clear();
+        prop_assert!(e.is_empty());
+        prop_assert!(e.sharer_superset().is_empty());
+    }
+
+    #[test]
+    fn waiter_groups_partition_precise_waiters(
+        scheme in scheme_strategy(),
+        seq in sharer_seq(),
+    ) {
+        // Draining the waiter queue yields every true waiter at least once
+        // and terminates.
+        let (mut e, truth) = replay(scheme, &seq);
+        let mut drained = HashSet::new();
+        for _ in 0..P + 2 {
+            let g = e.take_first_waiter_group();
+            if g.is_empty() {
+                break;
+            }
+            for n in g.iter() {
+                drained.insert(n);
+            }
+        }
+        prop_assert!(e.take_first_waiter_group().is_empty(), "queue must drain");
+        for n in truth {
+            prop_assert!(drained.contains(&n), "waiter {n} lost");
+        }
+    }
+
+    #[test]
+    fn nodeset_behaves_like_hashset(ops in prop::collection::vec((0u16..128, any::<bool>()), 0..200)) {
+        let mut ns = NodeSet::new(128);
+        let mut hs: HashSet<u16> = HashSet::new();
+        for (n, insert) in ops {
+            if insert {
+                prop_assert_eq!(ns.insert(n), hs.insert(n));
+            } else {
+                prop_assert_eq!(ns.remove(n), hs.remove(&n));
+            }
+        }
+        prop_assert_eq!(ns.len(), hs.len());
+        let mut from_ns: Vec<u16> = ns.iter().collect();
+        let mut from_hs: Vec<u16> = hs.into_iter().collect();
+        from_ns.sort_unstable();
+        from_hs.sort_unstable();
+        prop_assert_eq!(from_ns, from_hs);
+    }
+
+    #[test]
+    fn sparse_directory_respects_capacity(
+        keys in prop::collection::vec(0u64..64, 1..300),
+        ways in 1usize..=4,
+        sets in 1usize..=4,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [Replacement::Lru, Replacement::Random, Replacement::Lra][policy_idx];
+        let entries = ways * sets;
+        let mut sd = SparseDirectory::new(Scheme::FullVector, P, entries, ways, policy, 7);
+        let mut resident: HashSet<u64> = HashSet::new();
+        for (t, &k) in keys.iter().enumerate() {
+            match sd.allocate(k, t as u64) {
+                scd_core::sparse::Allocation::Hit(e) | scd_core::sparse::Allocation::Inserted(e) => {
+                    e.add_sharer((k % P as u64) as u16);
+                    resident.insert(k);
+                }
+                scd_core::sparse::Allocation::Replaced { victim_key, entry, .. } => {
+                    prop_assert!(resident.remove(&victim_key), "victim {victim_key} not resident");
+                    entry.add_sharer((k % P as u64) as u16);
+                    resident.insert(k);
+                }
+            }
+            prop_assert!(sd.live_entries() <= entries);
+            // Everything we believe resident is findable.
+            for &r in &resident {
+                prop_assert!(sd.probe(r).is_some(), "lost key {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_is_monotone_in_sparsity(clusters in 1usize..=256, log_s in 0u32..=8) {
+        let spec = scd_core::MachineSpec::paper_defaults(clusters.max(1));
+        let s1 = 1u64 << log_s;
+        let r1 = scd_core::overhead(&spec, &scd_core::DirectoryChoice {
+            scheme: Scheme::FullVector, sparsity: s1,
+        });
+        let r2 = scd_core::overhead(&spec, &scd_core::DirectoryChoice {
+            scheme: Scheme::FullVector, sparsity: s1 * 2,
+        });
+        prop_assert!(r2.total_bits <= r1.total_bits, "more sparsity, less memory");
+    }
+}

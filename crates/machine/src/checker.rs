@@ -1,0 +1,111 @@
+//! Coherence invariant verification on a quiescent machine.
+//!
+//! After a run drains (no processors running, no messages in flight), the
+//! following must hold for every block cached anywhere:
+//!
+//! 1. **Single writer**: at most one cluster holds the block dirty.
+//! 2. **Owner tracking**: if a *non-home* cluster holds the block dirty,
+//!    the home directory entry is dirty and names that cluster as owner.
+//! 3. **Superset tracking**: every non-home cluster holding any copy is
+//!    covered by the home entry's sharer superset (stale coverage of
+//!    silently-evicted copies is allowed; *missing* coverage never is).
+//! 4. No home block is left busy, and the home cluster itself is never
+//!    recorded in its own directory.
+
+use scd_mem::LineState;
+
+use crate::machine::Machine;
+
+/// Verifies the invariants; returns a description of the first violation.
+pub fn verify_quiescent(machine: &Machine) -> Result<(), String> {
+    let (cfg, views) = machine.checker_view();
+
+    // Gather machine-wide residency: block -> (dirty holders, all holders).
+    let mut residency: std::collections::HashMap<u64, (Vec<usize>, Vec<usize>)> =
+        std::collections::HashMap::new();
+    for (cl, (resident, _, _)) in views.iter().enumerate() {
+        for (&block, &state) in resident {
+            let e = residency.entry(block).or_default();
+            if state == LineState::Dirty {
+                e.0.push(cl);
+            }
+            e.1.push(cl);
+        }
+    }
+
+    for (cl, (_, _, ser)) in views.iter().enumerate() {
+        if ser.busy_blocks() != 0 {
+            return Err(format!(
+                "cluster {cl} still has {} busy blocks after quiesce",
+                ser.busy_blocks()
+            ));
+        }
+    }
+
+    for (&block, (dirty, holders)) in &residency {
+        if dirty.len() > 1 {
+            return Err(format!(
+                "block {block}: multiple dirty holders {dirty:?}"
+            ));
+        }
+        let home = cfg.home_of(block);
+        // The directory is keyed by the home-local block index.
+        let entry = views[home].1.probe(block / cfg.clusters as u64);
+
+        if let Some(e) = entry {
+            // Precise representations never record the home cluster; a
+            // coarse region / composite / broadcast superset may *cover* it
+            // incidentally, which is fine (the home strips itself from
+            // invalidation targets).
+            if e.is_precise() && e.covers(home as u16) {
+                return Err(format!(
+                    "block {block}: home cluster {home} recorded in its own directory"
+                ));
+            }
+        }
+
+        if let Some(&owner) = dirty.first() {
+            if owner != home {
+                match entry {
+                    None => {
+                        return Err(format!(
+                            "block {block}: cluster {owner} dirty but home {home} has no entry"
+                        ));
+                    }
+                    Some(e) => {
+                        if !e.is_dirty() || e.owner() != Some(owner as u16) {
+                            return Err(format!(
+                                "block {block}: cluster {owner} dirty but entry says {:?}/{:?}",
+                                e.state(),
+                                e.owner()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        for &h in holders.iter() {
+            if h == home {
+                continue; // home copies are bus-tracked, not directory-tracked
+            }
+            match entry {
+                None => {
+                    return Err(format!(
+                        "block {block}: cluster {h} holds a copy but home {home} has no entry"
+                    ));
+                }
+                Some(e) => {
+                    if !e.covers(h as u16) {
+                        return Err(format!(
+                            "block {block}: cluster {h} holds a copy not covered by the entry \
+                             (superset {:?})",
+                            e.sharer_superset()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}

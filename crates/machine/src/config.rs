@@ -1,0 +1,301 @@
+//! Machine configuration and the paper's standard presets.
+
+use scd_core::{Organization, Replacement, Scheme};
+use scd_noc::LatencyModel;
+
+/// Fixed-cost timing parameters, calibrated so that the three canonical
+/// DASH latencies come out near the paper's §5 numbers: local misses
+/// "on the order of 23 processor cycles", remote two-cluster misses
+/// "about 60 cycles", three-cluster (dirty-remote) misses "about 80".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Timing {
+    /// Primary-cache hit, cycles.
+    pub l1_hit: u64,
+    /// Secondary-cache hit (also the miss-detection cost and the cache
+    /// access charge at a forwarding owner), cycles.
+    pub l2_hit: u64,
+    /// Cluster bus arbitration + main-memory/directory access, cycles.
+    pub bus_memory: u64,
+    /// Directory lookup/occupancy when only state (no data) is touched.
+    pub dir_lookup: u64,
+    /// Local processing of a synchronization operation.
+    pub sync_op: u64,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        // 23-cycle local miss = l2_hit (miss detect) + bus_memory.
+        Timing {
+            l1_hit: 1,
+            l2_hit: 8,
+            bus_memory: 15,
+            dir_lookup: 8,
+            sync_op: 2,
+        }
+    }
+}
+
+/// Full description of a simulated machine.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of clusters (home/directory nodes).
+    pub clusters: usize,
+    /// Processors per cluster (the paper's runs use 1; DASH hardware has 4).
+    pub procs_per_cluster: usize,
+    /// Coherence block size in bytes (paper: 16).
+    pub block_bytes: u64,
+    /// L1 capacity in blocks.
+    pub l1_blocks: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L2 capacity in blocks.
+    pub l2_blocks: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// Directory entry format.
+    pub scheme: Scheme,
+    /// Directory organization (complete or sparse).
+    pub organization: Organization,
+    /// Interconnect latency model.
+    pub latency: LatencyModel,
+    /// Fixed-cost timing parameters.
+    pub timing: Timing,
+    /// Master seed (workloads fork their own streams from it).
+    pub seed: u64,
+    /// Abort the run if simulated time exceeds this many cycles (deadlock /
+    /// runaway guard). 0 disables the limit.
+    pub max_cycles: u64,
+    /// Verify coherence invariants when the machine quiesces (slow; on by
+    /// default in tests via the integration suites).
+    pub check_invariants: bool,
+    /// Debug aid: eprintln every protocol message concerning this block.
+    pub trace_block: Option<u64>,
+    /// Track data versions through the protocol and assert, on every
+    /// observation, that no cluster ever reads an older version of a block
+    /// than it has already seen (the *version oracle* — catches stale-copy
+    /// and lost-invalidation bugs directly). Costs a few hash lookups per
+    /// reference; on in `tiny()`, off in `paper_32()`.
+    pub track_versions: bool,
+    /// Model link contention in the mesh: each message holds every link of
+    /// its route for this many cycles and queues behind earlier traffic.
+    /// `None` = latency-only network (the paper's effective model).
+    pub link_occupancy: Option<u64>,
+    /// Send replacement hints: when a cluster silently drops a clean
+    /// (shared) L2 line, notify the home so precise directory
+    /// representations can un-record the sharer. Trades hint messages for
+    /// fewer extraneous invalidations — an optional mechanism in
+    /// DASH-class designs, off in the paper's evaluation.
+    pub replacement_hints: bool,
+    /// Model §3.3's cache-based linked-list (SCI-style) invalidation
+    /// behaviour: a write's invalidations are sent one at a time, each only
+    /// after the previous acknowledgement returns ("the list is unraveled
+    /// one by one"), instead of being pumped into the network at once.
+    pub serial_invalidations: bool,
+}
+
+impl MachineConfig {
+    /// The paper's evaluation configuration (§6.2): 32 processors in 32
+    /// clusters of 1, 16-byte blocks, 64 KB direct-mapped L1 and 256 KB
+    /// 4-way L2 per processor, complete full-bit-vector directory, mesh
+    /// interconnect.
+    pub fn paper_32() -> Self {
+        MachineConfig {
+            clusters: 32,
+            procs_per_cluster: 1,
+            block_bytes: 16,
+            l1_blocks: (64 << 10) / 16,
+            l1_ways: 1,
+            l2_blocks: (256 << 10) / 16,
+            l2_ways: 4,
+            scheme: Scheme::FullVector,
+            organization: Organization::Complete,
+            latency: LatencyModel::Mesh {
+                fixed: 13,
+                per_hop: 1,
+            },
+            timing: Timing::default(),
+            seed: 0x5CD,
+            max_cycles: 0,
+            check_invariants: false,
+            trace_block: None,
+            track_versions: false,
+            link_occupancy: None,
+            replacement_hints: false,
+            serial_invalidations: false,
+        }
+    }
+
+    /// A small machine for unit/integration tests: everything shrunk so
+    /// interesting cases (evictions, conflicts) occur quickly.
+    pub fn tiny(clusters: usize) -> Self {
+        MachineConfig {
+            clusters,
+            procs_per_cluster: 1,
+            block_bytes: 16,
+            l1_blocks: 4,
+            l1_ways: 1,
+            l2_blocks: 16,
+            l2_ways: 2,
+            scheme: Scheme::FullVector,
+            organization: Organization::Complete,
+            latency: LatencyModel::Uniform { latency: 10 },
+            timing: Timing::default(),
+            seed: 0x5CD,
+            max_cycles: 50_000_000,
+            check_invariants: true,
+            trace_block: None,
+            track_versions: true,
+            link_occupancy: None,
+            replacement_hints: false,
+            serial_invalidations: false,
+        }
+    }
+
+    /// Replaces the directory scheme.
+    pub fn with_scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Switches to a sparse directory with the given total entries,
+    /// associativity and replacement policy (§6.3).
+    pub fn with_sparse(mut self, entries: usize, ways: usize, policy: Replacement) -> Self {
+        self.organization = Organization::Sparse {
+            entries,
+            ways,
+            policy,
+        };
+        self
+    }
+
+    /// Switches to an overflow directory (§7 future work): `i`-pointer
+    /// small entries per block plus `wide_entries` full-vector slots per
+    /// home, `wide_ways`-associative.
+    pub fn with_overflow(
+        mut self,
+        i: usize,
+        wide_entries: usize,
+        wide_ways: usize,
+        policy: Replacement,
+    ) -> Self {
+        self.organization = Organization::Overflow {
+            i,
+            wide_entries,
+            wide_ways,
+            policy,
+        };
+        // Entry-level operations still honour the scheme for make_dirty /
+        // waiter queues; pointers-only NB matches the small entries.
+        self.scheme = Scheme::dir_nb(i);
+        self
+    }
+
+    /// Scales both cache levels so the machine-wide L2 capacity totals
+    /// `total_cache_blocks` (the §6.3 scaled-cache methodology: keep the
+    /// data-set-to-cache ratio of a full-size run).
+    pub fn with_scaled_caches(mut self, total_cache_blocks: usize) -> Self {
+        let procs = self.clusters * self.procs_per_cluster;
+        let per_proc = (total_cache_blocks / procs).max(4);
+        // Keep L1 at 1/4 of L2, at least one set of each associativity.
+        self.l2_ways = self.l2_ways.min(per_proc);
+        self.l2_blocks = per_proc / self.l2_ways * self.l2_ways;
+        let l1 = (per_proc / 4).max(1);
+        self.l1_ways = 1;
+        self.l1_blocks = l1;
+        self
+    }
+
+    /// Total processors.
+    pub fn processors(&self) -> usize {
+        self.clusters * self.procs_per_cluster
+    }
+
+    /// Machine-wide L2 capacity in blocks ("size factor 1" for sparse
+    /// directories).
+    pub fn total_cache_blocks(&self) -> usize {
+        self.l2_blocks * self.processors()
+    }
+
+    /// Byte address to block number.
+    pub fn block_of(&self, addr: u64) -> u64 {
+        addr / self.block_bytes
+    }
+
+    /// Home cluster of a block: round-robin interleaving across clusters,
+    /// as in the paper's simulator ("main memory is evenly distributed
+    /// across all clusters and allocated to the clusters using a
+    /// round-robin scheme").
+    pub fn home_of(&self, block: u64) -> usize {
+        (block % self.clusters as u64) as usize
+    }
+
+    /// Home cluster of lock `l`.
+    pub fn lock_home(&self, l: u32) -> usize {
+        l as usize % self.clusters
+    }
+
+    /// Home cluster of barrier `b`.
+    pub fn barrier_home(&self, b: u32) -> usize {
+        b as usize % self.clusters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_32_matches_evaluation_setup() {
+        let c = MachineConfig::paper_32();
+        assert_eq!(c.processors(), 32);
+        assert_eq!(c.block_bytes, 16);
+        assert_eq!(c.l1_blocks * 16, 64 << 10);
+        assert_eq!(c.l2_blocks * 16, 256 << 10);
+        assert_eq!(c.total_cache_blocks(), 32 * (256 << 10) / 16);
+    }
+
+    #[test]
+    fn canonical_latencies_are_near_paper_values() {
+        let c = MachineConfig::paper_32();
+        let t = c.timing;
+        // Local miss: detect + bus/memory.
+        let local = t.l2_hit + t.bus_memory;
+        assert_eq!(local, 23);
+        // Remote clean miss: detect + net + memory + net (mean net latency
+        // on the 8x4 mesh is fixed + per_hop * mean_distance ~= 17).
+        let mesh = scd_noc::Mesh::near_square(32);
+        let (fixed, per_hop) = match c.latency {
+            LatencyModel::Mesh { fixed, per_hop } => (fixed, per_hop),
+            _ => unreachable!(),
+        };
+        let net = fixed as f64 + per_hop as f64 * mesh.mean_distance();
+        let remote2 = t.l2_hit as f64 + net + t.bus_memory as f64 + net;
+        assert!(
+            (55.0..65.0).contains(&remote2),
+            "2-cluster latency ~60 expected, got {remote2}"
+        );
+        let remote3 =
+            t.l2_hit as f64 + net + t.dir_lookup as f64 + net + t.l2_hit as f64 + net;
+        assert!(
+            (70.0..90.0).contains(&remote3),
+            "3-cluster latency ~80 expected, got {remote3}"
+        );
+    }
+
+    #[test]
+    fn block_and_home_mapping() {
+        let c = MachineConfig::paper_32();
+        assert_eq!(c.block_of(0), 0);
+        assert_eq!(c.block_of(15), 0);
+        assert_eq!(c.block_of(16), 1);
+        assert_eq!(c.home_of(0), 0);
+        assert_eq!(c.home_of(33), 1);
+    }
+
+    #[test]
+    fn scaled_caches_hit_target() {
+        let c = MachineConfig::paper_32().with_scaled_caches(4096);
+        assert_eq!(c.total_cache_blocks(), 4096);
+        assert!(c.l1_blocks <= c.l2_blocks);
+    }
+}

@@ -1,0 +1,1942 @@
+//! The DASH machine: clusters, directories, interconnect, and the
+//! event-driven protocol engine.
+//!
+//! ## Protocol summary (paper §2)
+//!
+//! *Read*: local cluster → home. Clean/shared at home: home replies. Dirty:
+//! home forwards to the owner, which replies to the requester and sends a
+//! sharing writeback to the home.
+//!
+//! *Write*: local cluster → home. Home sends invalidations to (a superset
+//! of) the sharers and an ownership reply carrying the invalidation count;
+//! each invalidated cluster acknowledges directly to the requester; the
+//! write completes when all acknowledgements are in. Dirty at a third
+//! cluster: home forwards; the owner transfers ownership directly.
+//!
+//! ## Modeling conventions
+//!
+//! * Directory state is per *cluster*; the home cluster's own copies are
+//!   never recorded — they are kept coherent by the home bus snoop during
+//!   home processing, exactly as in DASH (this is also why sparse
+//!   directories hold no entries for cluster-local data, §4.2).
+//! * Message channels between a fixed (src, dst) pair are FIFO (latencies
+//!   are deterministic per pair and ties break in scheduling order) and the
+//!   mesh latency model satisfies the triangle inequality strictly, so
+//!   replies can never be overtaken by later invalidations. To keep that
+//!   property across *successively processed* home transactions, every
+//!   home emission (reply, forward, invalidation, flush) leaves at the
+//!   same `bus_memory` offset from its transaction's processing time.
+//! * Conflicting home transactions queue per block instead of NAK/retry
+//!   (see `scd-protocol::serializer`).
+
+use std::collections::HashMap;
+
+use scd_core::{DirState, EntryAccess, NodeId};
+use scd_mem::{CacheHierarchy, ClusterCaches, HitLevel, LineState};
+use scd_noc::Network;
+use scd_protocol::{
+    BarrierManager, BusyReason, EarlyKind, HomeSerializer, LockManager, LockOutcome, Msg,
+    MsgKind, Rac, UnlockOutcome,
+};
+use scd_protocol::rac::{MshrKind, StartOutcome};
+use scd_sim::{Cycle, EventQueue};
+use scd_stats::{Histogram, Traffic};
+use scd_tango::{Op, ThreadProgram};
+
+use crate::config::MachineConfig;
+use crate::stats::{ProtocolCounters, RunStats, StallBreakdown};
+
+/// Simulator events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Ev {
+    /// Processor fetches and executes its next operation.
+    ProcNext(usize),
+    /// Processor re-executes its pending operation (e.g. after a merged
+    /// transaction completed with insufficient rights).
+    ProcRetry(usize),
+    /// A protocol message reaches its destination cluster.
+    Deliver(Msg),
+    /// The home directory replays one parked request for `block` (requests
+    /// that queued behind an in-flight transaction re-occupy the directory
+    /// one at a time, `dir_lookup` apart).
+    Replay {
+        /// The home cluster.
+        home: usize,
+        /// The block whose queue is draining.
+        block: u64,
+    },
+}
+
+/// Per-cluster lock bookkeeping: which local processor holds the lock,
+/// which are queued behind it, and whether the cluster has a request
+/// outstanding at the lock's home.
+#[derive(Debug, Default)]
+struct ClusterLock {
+    holder: Option<usize>,
+    waiters: std::collections::VecDeque<usize>,
+    requested: bool,
+}
+
+/// One processing node.
+struct ClusterNode {
+    caches: ClusterCaches,
+    dir: scd_core::DirectoryStore,
+    rac: Rac,
+    ser: HomeSerializer,
+    locks: LockManager,
+    barriers: BarrierManager,
+    lock_state: HashMap<u32, ClusterLock>,
+    barrier_local: HashMap<u32, Vec<usize>>,
+    /// In-progress serial invalidation chains (SCI-style mode): remaining
+    /// targets, the write requester awaiting the final reply, and the
+    /// version the write creates.
+    serial_chains: HashMap<u64, (std::collections::VecDeque<usize>, usize, u64)>,
+    /// Version oracle: latest version the home has assigned per block.
+    cur_version: HashMap<u64, u64>,
+    /// Version oracle: version of this cluster's resident copy per block
+    /// (meaningful only while a copy is held; refreshed on every fill).
+    line_version: HashMap<u64, u64>,
+    /// The last ownership-epoch version this cluster *completed* (filled
+    /// dirty) per block. A forward stamped with this epoch refers to data
+    /// we have (possibly downgraded since); a forward stamped newer refers
+    /// to our still-pending grant and must wait for it.
+    last_owner_epoch: HashMap<u64, u64>,
+    /// Home-side: blocks with an in-flight `FwdWrite`, whose version bump
+    /// makes `cur_version` one ahead of the *recorded* owner's epoch.
+    pending_write_bump: std::collections::HashSet<u64>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ProcStatus {
+    Running,
+    Blocked,
+    Done,
+}
+
+struct ProcState {
+    program: Box<dyn ThreadProgram>,
+    pending: Option<Op>,
+    status: ProcStatus,
+    /// When the current block began, and whether it is a sync stall.
+    blocked_since: Cycle,
+    blocked_on_sync: bool,
+    mem_stall: u64,
+    sync_stall: u64,
+    finish: Cycle,
+}
+
+/// Result of the home directory's decision for one request (plain data, so
+/// the caller can send messages without fighting the borrow checker).
+enum DirAction {
+    Stalled { blocker: u64 },
+    SelfOwned,
+    Forward { owner: usize },
+    Supply { nb_evict: Option<usize> },
+    Grant { inval_targets: Vec<usize> },
+}
+
+struct ReplacementWork {
+    victim_key: u64,
+    targets: Vec<usize>,
+    /// The victim entry's recorded dirty owner, if any.
+    dirty_owner: Option<usize>,
+}
+
+/// Per-cluster snapshot handed to the invariant checker: resident blocks
+/// with their highest state, the directory store, and the serializer.
+pub(crate) type ClusterView<'a> = (
+    std::collections::HashMap<u64, LineState>,
+    &'a scd_core::DirectoryStore,
+    &'a HomeSerializer,
+);
+
+/// A configured DASH machine ready to run a workload.
+pub struct Machine {
+    cfg: MachineConfig,
+    queue: EventQueue<Ev>,
+    clusters: Vec<ClusterNode>,
+    network: Network,
+    traffic: Traffic,
+    inval_hist: Histogram,
+    procs: Vec<ProcState>,
+    running: usize,
+    finish_time: Cycle,
+    shared_reads: u64,
+    shared_writes: u64,
+    sync_ops: u64,
+    counters: ProtocolCounters,
+    /// Version oracle: highest version each cluster has observed per block.
+    observed: HashMap<(usize, u64), u64>,
+    versions_assigned: u64,
+}
+
+impl Machine {
+    /// Builds a machine and attaches one [`ThreadProgram`] per processor.
+    ///
+    /// # Panics
+    /// If the number of programs does not match `cfg.processors()`.
+    pub fn new(cfg: MachineConfig, programs: Vec<Box<dyn ThreadProgram>>) -> Self {
+        assert_eq!(
+            programs.len(),
+            cfg.processors(),
+            "need one program per processor"
+        );
+        let clusters = (0..cfg.clusters)
+            .map(|c| ClusterNode {
+                caches: ClusterCaches::new(cfg.procs_per_cluster, || {
+                    CacheHierarchy::new(cfg.l1_blocks, cfg.l1_ways, cfg.l2_blocks, cfg.l2_ways)
+                }),
+                dir: scd_core::DirectoryStore::new(
+                    cfg.scheme,
+                    cfg.clusters,
+                    cfg.organization.clone(),
+                    cfg.seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+                rac: Rac::new(),
+                ser: HomeSerializer::new(),
+                locks: LockManager::new(cfg.scheme, cfg.clusters),
+                barriers: BarrierManager::new(),
+                lock_state: HashMap::new(),
+                barrier_local: HashMap::new(),
+                serial_chains: HashMap::new(),
+                cur_version: HashMap::new(),
+                line_version: HashMap::new(),
+                last_owner_epoch: HashMap::new(),
+                pending_write_bump: std::collections::HashSet::new(),
+            })
+            .collect();
+        let mut network = Network::new(cfg.clusters, cfg.latency);
+        if let Some(occ) = cfg.link_occupancy {
+            network = network.with_contention(occ);
+        }
+        let procs = programs
+            .into_iter()
+            .map(|program| ProcState {
+                program,
+                pending: None,
+                status: ProcStatus::Running,
+                blocked_since: 0,
+                blocked_on_sync: false,
+                mem_stall: 0,
+                sync_stall: 0,
+                finish: 0,
+            })
+            .collect::<Vec<_>>();
+        let running = procs.len();
+        Machine {
+            cfg,
+            queue: EventQueue::new(),
+            clusters,
+            network,
+            traffic: Traffic::new(),
+            inval_hist: Histogram::new(),
+            procs,
+            running,
+            finish_time: 0,
+            shared_reads: 0,
+            shared_writes: 0,
+            sync_ops: 0,
+            counters: ProtocolCounters::default(),
+            observed: HashMap::new(),
+            versions_assigned: 0,
+        }
+    }
+
+    /// The configuration this machine was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    fn cluster_of(&self, p: usize) -> usize {
+        p / self.cfg.procs_per_cluster
+    }
+
+    fn local_of(&self, p: usize) -> usize {
+        p % self.cfg.procs_per_cluster
+    }
+
+    fn global_proc(&self, cluster: usize, local: usize) -> usize {
+        cluster * self.cfg.procs_per_cluster + local
+    }
+
+    /// Directory-store key for `block`: the *home-local* block index.
+    ///
+    /// Memory is block-interleaved round-robin across clusters, so a home's
+    /// blocks are all congruent mod `clusters`; indexing the (sparse)
+    /// directory with raw block numbers would alias a home's entire memory
+    /// into a single set.
+    fn dir_key(&self, block: u64) -> u64 {
+        block / self.cfg.clusters as u64
+    }
+
+    /// Version oracle: the home hands out a fresh version for a new
+    /// ownership epoch of `block`.
+    fn bump_version(&mut self, home: usize, block: u64) -> u64 {
+        self.versions_assigned += 1;
+        let v = self.clusters[home].cur_version.entry(block).or_insert(0);
+        *v += 1;
+        *v
+    }
+
+    /// Version oracle: the version memory would supply for `block`.
+    fn memory_version(&self, home: usize, block: u64) -> u64 {
+        self.clusters[home]
+            .cur_version
+            .get(&block)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Version oracle: cluster `cl` installed a copy of `block` at `version`.
+    fn set_line_version(&mut self, cl: usize, block: u64, version: u64) {
+        self.clusters[cl].line_version.insert(block, version);
+    }
+
+    /// Version oracle: cluster `cl` observed `block` (a read or write hit /
+    /// completion). Panics if the observation runs backwards — i.e. the
+    /// cluster sees data older than it has already seen, the signature of a
+    /// stale copy surviving an invalidation it should not have.
+    fn observe(&mut self, cl: usize, block: u64) {
+        if !self.cfg.track_versions {
+            return;
+        }
+        let v = self.clusters[cl]
+            .line_version
+            .get(&block)
+            .copied()
+            .unwrap_or(0);
+        let last = self.observed.entry((cl, block)).or_insert(0);
+        assert!(
+            v >= *last,
+            "version oracle: cluster {cl} observed block {block} at version {v}              after already seeing version {last}"
+        );
+        *last = v;
+    }
+
+    /// Sends `msg`, accounting traffic and network latency. Intra-cluster
+    /// deliveries are free and uncounted (they ride the cluster bus).
+    fn send(&mut self, ready_at: Cycle, msg: Msg) {
+        let lat = self.network.send(ready_at, msg.src, msg.dst);
+        if msg.src != msg.dst {
+            self.traffic.record(msg.kind.class());
+        }
+        self.queue.schedule_at(ready_at + lat, Ev::Deliver(msg));
+    }
+
+    fn unblock(&mut self, at: Cycle, p: usize) {
+        let st = &mut self.procs[p];
+        if st.status == ProcStatus::Blocked {
+            let stalled = at.saturating_sub(st.blocked_since);
+            if st.blocked_on_sync {
+                st.sync_stall += stalled;
+            } else {
+                st.mem_stall += stalled;
+            }
+        }
+        st.status = ProcStatus::Running;
+    }
+
+    fn resume(&mut self, at: Cycle, p: usize) {
+        self.unblock(at, p);
+        self.queue.schedule_at(at, Ev::ProcNext(p));
+    }
+
+    fn retry(&mut self, at: Cycle, p: usize) {
+        self.unblock(at, p);
+        self.queue.schedule_at(at, Ev::ProcRetry(p));
+    }
+
+    fn block(&mut self, at: Cycle, p: usize, on_sync: bool) {
+        let st = &mut self.procs[p];
+        st.status = ProcStatus::Blocked;
+        st.blocked_since = at;
+        st.blocked_on_sync = on_sync;
+    }
+
+    /// Runs the workload to completion and returns the collected metrics.
+    ///
+    /// # Panics
+    /// On deadlock (blocked processors with an empty event queue) or when
+    /// `cfg.max_cycles` is exceeded — both always indicate bugs.
+    pub fn run(&mut self) -> RunStats {
+        for p in 0..self.procs.len() {
+            self.queue.schedule_at(0, Ev::ProcNext(p));
+        }
+        while let Some((t, ev)) = self.queue.pop() {
+            if self.cfg.max_cycles > 0 && t > self.cfg.max_cycles {
+                panic!(
+                    "simulation exceeded max_cycles={} ({} procs still running)",
+                    self.cfg.max_cycles, self.running
+                );
+            }
+            match ev {
+                Ev::ProcNext(p) => {
+                    if self.procs[p].status == ProcStatus::Done {
+                        continue;
+                    }
+                    let op = self.procs[p].program.next_op();
+                    self.procs[p].pending = Some(op);
+                    match op {
+                        Op::Read(_) => self.shared_reads += 1,
+                        Op::Write(_) => self.shared_writes += 1,
+                        Op::Lock(_) | Op::Unlock(_) | Op::Barrier(_) => self.sync_ops += 1,
+                        _ => {}
+                    }
+                    self.execute(t, p, op);
+                }
+                Ev::ProcRetry(p) => {
+                    let op = self.procs[p]
+                        .pending
+                        .expect("retry of a processor with no pending op");
+                    self.execute(t, p, op);
+                }
+                Ev::Deliver(msg) => {
+                    if let Some(tb) = self.cfg.trace_block {
+                        if msg.kind.block() == Some(tb) {
+                            eprintln!("[{t:>8}] {:?}", msg);
+                        }
+                    }
+                    self.deliver(t, msg);
+                }
+                Ev::Replay { home, block } => {
+                    if let Some(req) = self.clusters[home].ser.pop_ready(block) {
+                        self.home_request(t, home, req.requester, req.block, req.is_write);
+                    }
+                    self.drain(t, home, block);
+                }
+            }
+            if self.running == 0 && self.finish_time == 0 {
+                self.finish_time = t;
+                // Keep draining in-flight messages so the machine quiesces
+                // and invariants can be checked.
+            }
+        }
+        if self.running != 0 {
+            let mut diag = String::new();
+            for (p, st) in self.procs.iter().enumerate() {
+                if st.status != ProcStatus::Done {
+                    diag.push_str(&format!(
+                        "\n  proc {p}: status={:?} pending={:?}",
+                        st.status, st.pending
+                    ));
+                }
+            }
+            for (c, node) in self.clusters.iter().enumerate() {
+                if node.rac.outstanding() > 0 || node.ser.busy_blocks() > 0 {
+                    diag.push_str(&format!(
+                        "\n  cluster {c}: {} MSHRs, busy: {:?}",
+                        node.rac.outstanding(),
+                        node.ser.debug_state()
+                    ));
+                }
+            }
+            panic!(
+                "deadlock: {} processors blocked with an empty event queue{diag}\n  counters: {:?}",
+                self.running, self.counters
+            );
+        }
+        if self.cfg.check_invariants {
+            if let Err(e) = crate::checker::verify_quiescent(self) {
+                panic!("coherence invariant violated: {e}");
+            }
+        }
+        self.collect()
+    }
+
+    fn collect(&self) -> RunStats {
+        let mut sparse: Option<scd_core::SparseStats> = None;
+        let mut overflow: Option<scd_core::OverflowStats> = None;
+        let mut live = 0;
+        let mut lock_metrics = (0u64, 0u64);
+        let mut queue_metrics = (0usize, 0u64);
+        for c in &self.clusters {
+            live += c.dir.live_entries();
+            if let Some(s) = c.dir.sparse_stats() {
+                let agg = sparse.get_or_insert_with(Default::default);
+                agg.hits += s.hits;
+                agg.misses += s.misses;
+                agg.fills += s.fills;
+                agg.replacements += s.replacements;
+            }
+            if let Some(o) = c.dir.overflow_stats() {
+                let agg = overflow.get_or_insert_with(Default::default);
+                agg.promotions += o.promotions;
+                agg.demotions += o.demotions;
+                agg.displacements += o.displacements;
+                agg.fallback_evictions += o.fallback_evictions;
+            }
+            let (g, r) = c.locks.metrics();
+            lock_metrics.0 += g;
+            lock_metrics.1 += r;
+            let (d, q) = c.ser.queue_metrics();
+            queue_metrics.0 = queue_metrics.0.max(d);
+            queue_metrics.1 += q;
+        }
+        RunStats {
+            cycles: self.finish_time,
+            traffic: self.traffic,
+            invalidations: self.inval_hist.clone(),
+            shared_reads: self.shared_reads,
+            shared_writes: self.shared_writes,
+            sync_ops: self.sync_ops,
+            network: self.network.stats().clone(),
+            sparse,
+            overflow,
+            l2_misses: self.clusters.iter().map(|c| c.caches.total_l2_misses()).sum(),
+            lock_metrics,
+            queue_metrics,
+            live_dir_entries: live,
+            protocol: self.counters,
+            versions_assigned: self.versions_assigned,
+            stalls: StallBreakdown {
+                mem_stall: self.procs.iter().map(|p| p.mem_stall).collect(),
+                sync_stall: self.procs.iter().map(|p| p.sync_stall).collect(),
+                finish: self.procs.iter().map(|p| p.finish).collect(),
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Processor-side execution
+    // ------------------------------------------------------------------
+
+    fn execute(&mut self, t: Cycle, p: usize, op: Op) {
+        match op {
+            Op::Done => {
+                self.procs[p].status = ProcStatus::Done;
+                self.procs[p].finish = t;
+                self.running -= 1;
+            }
+            Op::Compute(c) => {
+                self.queue.schedule_at(t + c, Ev::ProcNext(p));
+            }
+            Op::Read(addr) => self.mem_access(t, p, addr, MshrKind::Read),
+            Op::Write(addr) => self.mem_access(t, p, addr, MshrKind::Write),
+            Op::Lock(l) => self.do_lock(t, p, l),
+            Op::Unlock(l) => self.do_unlock(t, p, l),
+            Op::Barrier(b) => self.do_barrier(t, p, b),
+        }
+    }
+
+    fn mem_access(&mut self, t: Cycle, p: usize, addr: u64, kind: MshrKind) {
+        let block = self.cfg.block_of(addr);
+        let (cl, lp) = (self.cluster_of(p), self.local_of(p));
+        let tm = self.cfg.timing;
+        let hit = self.clusters[cl].caches.access(lp, block, t);
+        if let Some(state) = hit.state() {
+            let lat = match hit {
+                HitLevel::L1(_) => tm.l1_hit,
+                _ => tm.l2_hit,
+            };
+            if kind == MshrKind::Read {
+                self.observe(cl, block);
+                self.resume(t + lat, p);
+                return;
+            }
+            if state == LineState::Dirty {
+                self.observe(cl, block);
+                self.resume(t + lat, p);
+                return;
+            }
+            // Write hit on a shared line: ownership upgrade required.
+        }
+        self.miss_path(t + tm.l2_hit, p, block, kind);
+    }
+
+    fn miss_path(&mut self, t: Cycle, p: usize, block: u64, kind: MshrKind) {
+        let (cl, lp) = (self.cluster_of(p), self.local_of(p));
+        if self.cfg.trace_block == Some(block) {
+            eprintln!(
+                "[{t:>8}] proc {p} (cl {cl}): miss {kind:?}, dirty_holder={:?} holds={}",
+                self.clusters[cl].caches.dirty_holder(block),
+                self.clusters[cl].caches.holds(block)
+            );
+        }
+        let tm = self.cfg.timing;
+        let home = self.cfg.home_of(block);
+
+        // Intra-cluster snoop: a peer with a copy supplies over the bus.
+        if kind == MshrKind::Read {
+            if let Some(q) = self.clusters[cl].caches.dirty_holder(block) {
+                self.clusters[cl].caches.proc_mut(q).downgrade(block);
+                self.fill(t, cl, lp, block, LineState::Shared);
+                if home != cl {
+                    // Keep the home directory and memory consistent: the
+                    // cluster no longer holds the block dirty. Stamp the
+                    // epoch being downgraded so the home can discard the
+                    // notification if the cluster is re-granted ownership
+                    // before it arrives.
+                    let epoch = self.clusters[cl]
+                        .last_owner_epoch
+                        .get(&block)
+                        .copied()
+                        .unwrap_or(0);
+                    self.send(
+                        t + tm.bus_memory,
+                        Msg {
+                            src: cl,
+                            dst: home,
+                            kind: MsgKind::SharingWriteback {
+                                block,
+                                requester: cl,
+                                epoch,
+                            },
+                        },
+                    );
+                }
+                self.observe(cl, block);
+                self.resume(t + tm.bus_memory, p);
+                return;
+            }
+            if self.clusters[cl].caches.holds(block) {
+                // A clean peer copy satisfies the read bus-locally; the
+                // directory already covers this cluster.
+                self.fill(t, cl, lp, block, LineState::Shared);
+                self.observe(cl, block);
+                self.resume(t + tm.bus_memory, p);
+                return;
+            }
+        }
+        if kind == MshrKind::Write {
+            if let Some(q) = self.clusters[cl].caches.dirty_holder(block) {
+                if q != lp {
+                    // Bus ownership transfer; the cluster remains owner.
+                    self.clusters[cl].caches.proc_mut(q).invalidate(block);
+                    self.fill(t, cl, lp, block, LineState::Dirty);
+                    self.observe(cl, block);
+                    self.resume(t + tm.bus_memory, p);
+                    return;
+                }
+            }
+        }
+
+        // Remote (or local-home) transaction through the RAC.
+        match self.clusters[cl].rac.start(block, kind, lp) {
+            StartOutcome::IssueRequest => {
+                let mk = if kind == MshrKind::Write {
+                    MsgKind::WriteReq { block }
+                } else {
+                    MsgKind::ReadReq { block }
+                };
+                self.send(
+                    t,
+                    Msg {
+                        src: cl,
+                        dst: home,
+                        kind: mk,
+                    },
+                );
+            }
+            StartOutcome::Merged | StartOutcome::WaitAndReissue => {}
+        }
+        self.block(t, p, false);
+    }
+
+    fn fill(&mut self, t: Cycle, cl: usize, lp: usize, block: u64, state: LineState) {
+        if let Some(ev) = self.clusters[cl].caches.fill(lp, block, state, t) {
+            if ev.state == LineState::Dirty {
+                let home = self.cfg.home_of(ev.block);
+                self.clusters[cl].rac.note_writeback(ev.block);
+                self.send(
+                    t,
+                    Msg {
+                        src: cl,
+                        dst: home,
+                        kind: MsgKind::Writeback { block: ev.block },
+                    },
+                );
+            } else if self.cfg.replacement_hints
+                && !self.clusters[cl].caches.holds(ev.block)
+            {
+                // The cluster's last clean copy left silently; tell the
+                // home so a precise entry can forget us.
+                let home = self.cfg.home_of(ev.block);
+                self.send(
+                    t,
+                    Msg {
+                        src: cl,
+                        dst: home,
+                        kind: MsgKind::ReplacementHint { block: ev.block },
+                    },
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization
+    // ------------------------------------------------------------------
+
+    fn do_lock(&mut self, t: Cycle, p: usize, l: u32) {
+        let (cl, lp) = (self.cluster_of(p), self.local_of(p));
+        let tm = self.cfg.timing;
+        let home = self.cfg.lock_home(l);
+        let st = self.clusters[cl].lock_state.entry(l).or_default();
+        st.waiters.push_back(lp);
+        let need_request = st.holder.is_none() && !st.requested;
+        if need_request {
+            st.requested = true;
+            self.send(
+                t + tm.sync_op,
+                Msg {
+                    src: cl,
+                    dst: home,
+                    kind: MsgKind::LockReq { lock: l },
+                },
+            );
+        }
+        self.block(t, p, true);
+    }
+
+    fn do_unlock(&mut self, t: Cycle, p: usize, l: u32) {
+        let (cl, lp) = (self.cluster_of(p), self.local_of(p));
+        let tm = self.cfg.timing;
+        let home = self.cfg.lock_home(l);
+        let st = self
+            .clusters[cl]
+            .lock_state
+            .get_mut(&l)
+            .expect("unlock of never-acquired lock");
+        assert_eq!(
+            st.holder,
+            Some(lp),
+            "processor {p} released lock {l} it does not hold"
+        );
+        st.holder = None;
+        if let Some(next) = st.waiters.pop_front() {
+            // Intra-cluster handoff over the bus; the home still sees this
+            // cluster as the holder.
+            st.holder = Some(next);
+            let g = self.global_proc(cl, next);
+            self.resume(t + tm.sync_op, g);
+        } else {
+            self.send(
+                t + tm.sync_op,
+                Msg {
+                    src: cl,
+                    dst: home,
+                    kind: MsgKind::UnlockReq { lock: l },
+                },
+            );
+        }
+        self.resume(t + tm.sync_op, p);
+    }
+
+    fn do_barrier(&mut self, t: Cycle, p: usize, b: u32) {
+        let (cl, lp) = (self.cluster_of(p), self.local_of(p));
+        let tm = self.cfg.timing;
+        let home = self.cfg.barrier_home(b);
+        let local = self.clusters[cl].barrier_local.entry(b).or_default();
+        local.push(lp);
+        let all_local = local.len() == self.cfg.procs_per_cluster;
+        if all_local {
+            self.send(
+                t + tm.sync_op,
+                Msg {
+                    src: cl,
+                    dst: home,
+                    kind: MsgKind::BarrierArrive { barrier: b },
+                },
+            );
+        }
+        self.block(t, p, true);
+    }
+
+    // ------------------------------------------------------------------
+    // Message delivery
+    // ------------------------------------------------------------------
+
+    fn deliver(&mut self, t: Cycle, msg: Msg) {
+        let Msg { src, dst, kind } = msg;
+        match kind {
+            MsgKind::ReadReq { block } => self.home_request(t, dst, src, block, false),
+            MsgKind::WriteReq { block } => self.home_request(t, dst, src, block, true),
+            MsgKind::Writeback { block } => self.on_writeback(t, dst, src, block),
+            MsgKind::ReplacementHint { block } => {
+                // Advisory: forget the sharer if the entry is precise and
+                // not mid-transaction. A hint that crosses a newer
+                // transaction is simply ignored — at worst the entry keeps
+                // a stale (superset) pointer, which is always safe.
+                if !self.clusters[dst].ser.is_busy(block) {
+                    let key = self.dir_key(block);
+                    if let Some(e) = self.clusters[dst].dir.lookup_mut(key, t) {
+                        if !e.is_dirty() && e.is_precise() {
+                            e.remove_sharer(src as NodeId);
+                        }
+                    }
+                    self.clusters[dst].dir.release_if_empty(key);
+                }
+            }
+            MsgKind::FwdRead {
+                block,
+                requester,
+                epoch,
+            } => self.on_forward(t, dst, src, block, requester, false, 0, epoch),
+            MsgKind::FwdWrite {
+                block,
+                requester,
+                version,
+            } => self.on_forward(t, dst, src, block, requester, true, version, version - 1),
+            MsgKind::SharingWriteback {
+                block,
+                requester,
+                epoch,
+            } => self.on_sharing_writeback(t, dst, src, block, requester, epoch),
+            MsgKind::OwnershipTransfer { block, new_owner } => {
+                self.on_ownership_transfer(t, dst, block, new_owner)
+            }
+            MsgKind::WritebackRace {
+                block,
+                requester,
+                was_write,
+            } => {
+                self.counters.races += 1;
+                if was_write {
+                    self.clusters[dst].pending_write_bump.remove(&block);
+                }
+                let epoch = self.memory_version(dst, block);
+                self.clusters[dst].ser.on_race(
+                    block,
+                    src,
+                    epoch,
+                    scd_protocol::QueuedReq {
+                        requester,
+                        block,
+                        is_write: was_write,
+                    },
+                );
+                let key = self.dir_key(block);
+                if matches!(
+                    self.clusters[dst].ser.reason(block),
+                    Some(BusyReason::AwaitWriteback(_))
+                ) {
+                    // The race normally waits for the ex-owner's in-flight
+                    // writeback. But if the recorded dirty epoch already
+                    // ended by other means — an unsolicited downgrade
+                    // (intra-cluster dirty sharing) landed while the
+                    // forward was in flight, after which the clean line was
+                    // silently evicted — no writeback is coming: the entry
+                    // is no longer dirty and memory is current, so open the
+                    // block immediately.
+                    let still_dirty = self.clusters[dst]
+                        .dir
+                        .probe(key)
+                        .is_some_and(|e| e.is_dirty());
+                    if !still_dirty {
+                        self.clusters[dst].ser.close(block);
+                    }
+                } else {
+                    // Resolved against an *early* writeback. That writeback
+                    // may have arrived before the ownership transfer that
+                    // recorded `src` as owner (contention reorders the two
+                    // channels), in which case its entry update was a no-op
+                    // and the entry still names the evicted owner: clean it
+                    // now, or the drained request would be re-forwarded to
+                    // a cluster that has nothing.
+                    let node = &mut self.clusters[dst];
+                    if let Some(e) = node.dir.lookup_mut(key, t) {
+                        if e.is_dirty() && e.owner() == Some(src as NodeId) {
+                            e.clear();
+                        }
+                    }
+                    node.dir.release_if_empty(key);
+                }
+                self.drain(t, dst, block);
+            }
+            MsgKind::ReadReply { block, version } => {
+                let mshr = self.clusters[dst].rac.read_reply(block);
+                self.set_line_version(dst, block, version);
+                self.complete_read(t, dst, block, mshr);
+            }
+            MsgKind::WriteReply {
+                block,
+                inval_count,
+                version,
+            } => {
+                if let Some(mshr) =
+                    self.clusters[dst].rac.write_reply(block, inval_count, version)
+                {
+                    self.complete_write(t, dst, block, mshr);
+                }
+            }
+            MsgKind::TransferReply { block, version } => {
+                if let Some(mshr) = self.clusters[dst].rac.write_reply(block, 0, version) {
+                    self.complete_write(t, dst, block, mshr);
+                }
+            }
+            MsgKind::Inval { block, requester } => {
+                let was_dirty = self.clusters[dst].caches.invalidate_all(block);
+                debug_assert!(
+                    !was_dirty,
+                    "invalidation hit a dirty owner: block {block} at cluster {dst}                      (requester {requester}, t {t})"
+                );
+                // A reordered network (contention) can deliver this before
+                // the data reply of an in-flight read that was serialized
+                // *before* the invalidating write: the reply may satisfy
+                // the waiting processors, but its line must not persist.
+                self.clusters[dst].rac.poison_read(block);
+                self.send(
+                    t + 1,
+                    Msg {
+                        src: dst,
+                        dst: requester,
+                        kind: MsgKind::InvalAck { block },
+                    },
+                );
+            }
+            MsgKind::InvalAck { block } => {
+                if self.clusters[dst].rac.has_mshr(block) {
+                    if let Some(mshr) = self.clusters[dst].rac.inval_ack(block) {
+                        self.complete_write(t, dst, block, mshr);
+                    }
+                }
+                // else: fire-and-forget ack from a Dir_NB pointer eviction.
+            }
+            MsgKind::DirFlush {
+                block,
+                epoch,
+                owner_flush,
+            } => {
+                let my_epoch = self.clusters[dst]
+                    .last_owner_epoch
+                    .get(&block)
+                    .copied()
+                    .unwrap_or(0);
+                let write_mshr =
+                    self.clusters[dst].rac.mshr_kind(block) == Some(MshrKind::Write);
+                if epoch < my_epoch {
+                    // The flush was decided against an *older* epoch of the
+                    // entry than the ownership we have since completed: it
+                    // is stale. Acknowledge (the home's bookkeeping needs
+                    // it) but keep our current-epoch data.
+                    self.send(
+                        t + 1,
+                        Msg {
+                            src: dst,
+                            dst: src,
+                            kind: MsgKind::DirFlushAck { block },
+                        },
+                    );
+                } else if write_mshr
+                    && (self.clusters[dst].rac.mshr_reply_received(block)
+                        || (owner_flush && epoch > my_epoch))
+                {
+                    // The flush targets an ownership of ours that is still
+                    // filling — either the grant reply arrived and acks are
+                    // pending, or we are the flushed entry's recorded owner
+                    // with the grant/transfer reply still in flight. Honour
+                    // it once the write completes (safe: being the recorded
+                    // owner means our request was already processed, so it
+                    // is not queued behind this replacement).
+                    self.clusters[dst].rac.defer_flush(block);
+                } else {
+                    // Drop any resident copy and poison a pending read, or
+                    // an uncovered copy (or a reordered reply) could
+                    // survive the flush.
+                    self.clusters[dst].caches.invalidate_all(block);
+                    self.clusters[dst].rac.poison_read(block);
+                    self.send(
+                        t + 1,
+                        Msg {
+                            src: dst,
+                            dst: src,
+                            kind: MsgKind::DirFlushAck { block },
+                        },
+                    );
+                }
+            }
+            MsgKind::DirFlushAck { block } => {
+                if let Some((targets, requester, version)) =
+                    self.clusters[dst].serial_chains.get_mut(&block)
+                {
+                    // SCI-style serial chain: acknowledge received, walk on.
+                    if let Some(next) = targets.pop_front() {
+                        let epoch = *version;
+                        self.send(
+                            t + self.cfg.timing.bus_memory,
+                            Msg {
+                                src: dst,
+                                dst: next,
+                                kind: MsgKind::DirFlush { block, epoch, owner_flush: false },
+                            },
+                        );
+                    } else {
+                        let (requester, version) = (*requester, *version);
+                        self.clusters[dst].serial_chains.remove(&block);
+                        self.clusters[dst].ser.close(block);
+                        if requester == dst {
+                            // The home cluster's own write: stay busy until
+                            // its fill, as in the parallel path.
+                            self.clusters[dst]
+                                .ser
+                                .mark_busy(block, BusyReason::AwaitHomeWrite);
+                        }
+                        self.send(
+                            t + self.cfg.timing.bus_memory,
+                            Msg {
+                                src: dst,
+                                dst: requester,
+                                kind: MsgKind::WriteReply {
+                                    block,
+                                    inval_count: 0,
+                                    version,
+                                },
+                            },
+                        );
+                        self.drain(t, dst, block);
+                    }
+                } else if self.clusters[dst].rac.replacement_pending(block)
+                    && self.clusters[dst].rac.flush_ack(block)
+                {
+                    self.clusters[dst].ser.close(block);
+                    self.drain(t, dst, block);
+                }
+                // (Acks from Dir_NB evictions have no pending replacement
+                // and nothing waits on them.)
+            }
+            MsgKind::LockReq { lock } => {
+                match self.clusters[dst].locks.acquire(lock, src) {
+                    LockOutcome::Granted => {
+                        self.send(
+                            t + self.cfg.timing.sync_op,
+                            Msg {
+                                src: dst,
+                                dst: src,
+                                kind: MsgKind::LockGrant { lock },
+                            },
+                        );
+                    }
+                    // Queued: the grant comes on a later release.
+                    // AlreadyHeld: duplicate of an already-granted request
+                    // (a retry crossed the acquire) — drop it.
+                    LockOutcome::Queued | LockOutcome::AlreadyHeld => {}
+                }
+            }
+            MsgKind::LockGrant { lock } => {
+                let decline = {
+                    let st = self.clusters[dst].lock_state.entry(lock).or_default();
+                    st.requested = false;
+                    if st.holder.is_none() {
+                        if let Some(lp) = st.waiters.pop_front() {
+                            st.holder = Some(lp);
+                            Some(lp)
+                        } else {
+                            None
+                        }
+                        .map(Ok)
+                        .unwrap_or(Err(()))
+                    } else {
+                        Err(())
+                    }
+                };
+                match decline {
+                    Ok(lp) => {
+                        let g = self.global_proc(dst, lp);
+                        self.resume(t + self.cfg.timing.sync_op, g);
+                    }
+                    Err(()) => {
+                        // Nobody is waiting locally (or we already hold it):
+                        // hand the lock straight back.
+                        self.send(
+                            t + self.cfg.timing.sync_op,
+                            Msg {
+                                src: dst,
+                                dst: src,
+                                kind: MsgKind::UnlockReq { lock },
+                            },
+                        );
+                    }
+                }
+            }
+            MsgKind::LockRetry { lock } => {
+                // Our queued request (if any) was dropped by the region
+                // release: the `requested` flag is stale, so clear it and
+                // re-request if processors are still waiting.
+                let needs_retry = {
+                    let st = self.clusters[dst].lock_state.entry(lock).or_default();
+                    st.requested = false;
+                    if st.holder.is_none() && !st.waiters.is_empty() {
+                        st.requested = true;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if needs_retry {
+                    let home = self.cfg.lock_home(lock);
+                    self.send(
+                        t + self.cfg.timing.sync_op,
+                        Msg {
+                            src: dst,
+                            dst: home,
+                            kind: MsgKind::LockReq { lock },
+                        },
+                    );
+                }
+            }
+            MsgKind::UnlockReq { lock } => match self.clusters[dst].locks.release(lock, src) {
+                UnlockOutcome::Free => {}
+                UnlockOutcome::GrantTo(c) => {
+                    self.send(
+                        t + self.cfg.timing.sync_op,
+                        Msg {
+                            src: dst,
+                            dst: c,
+                            kind: MsgKind::LockGrant { lock },
+                        },
+                    );
+                }
+                UnlockOutcome::RetryRegion(members) => {
+                    for m in members {
+                        self.send(
+                            t + self.cfg.timing.sync_op,
+                            Msg {
+                                src: dst,
+                                dst: m,
+                                kind: MsgKind::LockRetry { lock },
+                            },
+                        );
+                    }
+                }
+            },
+            MsgKind::BarrierArrive { barrier } => {
+                if let Some(release) =
+                    self.clusters[dst]
+                        .barriers
+                        .arrive(barrier, src, self.cfg.clusters)
+                {
+                    for c in release {
+                        self.send(
+                            t + self.cfg.timing.sync_op,
+                            Msg {
+                                src: dst,
+                                dst: c,
+                                kind: MsgKind::BarrierRelease { barrier },
+                            },
+                        );
+                    }
+                }
+            }
+            MsgKind::BarrierRelease { barrier } => {
+                let local = self.clusters[dst]
+                    .barrier_local
+                    .remove(&barrier)
+                    .expect("release for a barrier nobody reached");
+                for lp in local {
+                    let g = self.global_proc(dst, lp);
+                    self.resume(t + self.cfg.timing.sync_op, g);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Home-side protocol
+    // ------------------------------------------------------------------
+
+    fn home_request(&mut self, t: Cycle, home: usize, requester: usize, block: u64, is_write: bool) {
+        let tm = self.cfg.timing;
+        let tracing = self.cfg.trace_block == Some(block);
+        if self.clusters[home].ser.is_busy(block) {
+            if tracing {
+                eprintln!("[{t:>8}] home {home}: queue req from {requester} (w={is_write})");
+            }
+            self.clusters[home].ser.queue(
+                block,
+                scd_protocol::QueuedReq {
+                    requester,
+                    block,
+                    is_write,
+                },
+            );
+            return;
+        }
+
+        // Home bus snoop: keep/make the home cluster's own copies coherent.
+        if is_write {
+            // Home copies are invalidated over the bus (a dirty home copy
+            // conceptually flushes to memory first).
+            self.clusters[home].caches.invalidate_all(block);
+        } else {
+            // A dirty home copy supplies the data; it is downgraded and
+            // memory is now clean.
+            self.clusters[home].caches.downgrade_all(block);
+        }
+
+        let (action, replacement) = self.dir_decide(t, home, requester, block, is_write);
+        if tracing {
+            let d = match &action {
+                DirAction::Stalled { blocker } => format!("stalled on {blocker}"),
+                DirAction::SelfOwned => "self-owned park".into(),
+                DirAction::Forward { owner } => format!("forward to {owner}"),
+                DirAction::Supply { nb_evict } => format!("supply (nb_evict {nb_evict:?})"),
+                DirAction::Grant { inval_targets } => format!("grant (invals {inval_targets:?})"),
+            };
+            eprintln!(
+                "[{t:>8}] home {home}: req from {requester} (w={is_write}) -> {d}; entry now {:?}",
+                self.clusters[home].dir.probe(self.dir_key(block)).map(|e| e.sharer_superset())
+            );
+        }
+
+        if let Some(rep) = replacement {
+            self.dispatch_replacement(t, home, rep);
+        }
+
+        match action {
+            DirAction::Stalled { blocker } => {
+                self.counters.sparse_stalls += 1;
+                self.clusters[home].ser.queue(
+                    blocker,
+                    scd_protocol::QueuedReq {
+                        requester,
+                        block,
+                        is_write,
+                    },
+                );
+            }
+            DirAction::SelfOwned => {
+                // The requester is the recorded owner: its writeback is in
+                // flight — unless it already arrived *before* the transfer
+                // that recorded the requester as owner (contention can
+                // reorder the two channels). In that case the dirty epoch
+                // is over: clear the record and process the request afresh.
+                let park_epoch = self.memory_version(home, block);
+                if let Some(kind) =
+                    self.clusters[home].ser.take_early(block, requester, park_epoch)
+                {
+                    let key = self.dir_key(block);
+                    if let Some(e) = self.clusters[home].dir.lookup_mut(key, t) {
+                        if e.is_dirty() && e.owner() == Some(requester as NodeId) {
+                            match kind {
+                                EarlyKind::Writeback => e.clear(),
+                                EarlyKind::Downgrade => e.make_shared(&[requester as NodeId]),
+                            }
+                        }
+                    }
+                    self.clusters[home].dir.release_if_empty(key);
+                    return self.home_request(t, home, requester, block, is_write);
+                }
+                self.counters.self_owned_parks += 1;
+                self.clusters[home].ser.park_for_writeback(
+                    block,
+                    requester,
+                    scd_protocol::QueuedReq {
+                        requester,
+                        block,
+                        is_write,
+                    },
+                );
+            }
+            DirAction::Forward { owner } => {
+                self.counters.forwards += 1;
+                if is_write {
+                    // Ownership transfer: zero invalidations.
+                    self.inval_hist.record(0);
+                }
+                self.clusters[home]
+                    .ser
+                    .mark_busy(block, BusyReason::AwaitClose);
+                let kind = if is_write {
+                    // The home assigns the new ownership epoch's version at
+                    // forward time; the owner echoes it in its reply. The
+                    // epoch being *taken over* is version - 1.
+                    let version = self.bump_version(home, block);
+                    self.clusters[home].pending_write_bump.insert(block);
+                    MsgKind::FwdWrite {
+                        block,
+                        requester,
+                        version,
+                    }
+                } else {
+                    MsgKind::FwdRead {
+                        block,
+                        requester,
+                        epoch: self.memory_version(home, block),
+                    }
+                };
+                self.send(
+                    t + tm.bus_memory,
+                    Msg {
+                        src: home,
+                        dst: owner,
+                        kind,
+                    },
+                );
+            }
+            DirAction::Supply { nb_evict } => {
+                if let Some(victim) = nb_evict {
+                    self.counters.nb_evictions += 1;
+                    // Dir_NB pointer overflow: one sharer loses its copy so
+                    // the new reader can be recorded (an invalidation event
+                    // of size 1, §6.1 Figure 4).
+                    self.inval_hist.record(1);
+                    let epoch = self.memory_version(home, block);
+                    self.send(
+                        t + tm.bus_memory,
+                        Msg {
+                            src: home,
+                            dst: victim,
+                            kind: MsgKind::DirFlush { block, epoch, owner_flush: false },
+                        },
+                    );
+                }
+                let version = self.memory_version(home, block);
+                self.send(
+                    t + tm.bus_memory,
+                    Msg {
+                        src: home,
+                        dst: requester,
+                        kind: MsgKind::ReadReply { block, version },
+                    },
+                );
+            }
+            DirAction::Grant { inval_targets } => {
+                self.inval_hist.record(inval_targets.len());
+                let version = self.bump_version(home, block);
+                if self.cfg.serial_invalidations && !inval_targets.is_empty() {
+                    // SCI-style: walk the sharers one at a time. The block
+                    // stays busy; the requester gets its ownership reply
+                    // only after the chain completes.
+                    let mut targets: std::collections::VecDeque<usize> =
+                        inval_targets.into_iter().collect();
+                    let first = targets.pop_front().expect("non-empty");
+                    self.clusters[home]
+                        .serial_chains
+                        .insert(block, (targets, requester, version));
+                    self.clusters[home]
+                        .ser
+                        .mark_busy(block, BusyReason::AwaitFlushAcks);
+                    self.send(
+                        t + tm.bus_memory,
+                        Msg {
+                            src: home,
+                            dst: first,
+                            kind: MsgKind::DirFlush { block, epoch: version, owner_flush: false },
+                        },
+                    );
+                    return;
+                }
+                if requester == home {
+                    // The entry was cleared (home ownership is bus-tracked),
+                    // but the home's own write is still in flight until all
+                    // acknowledgements arrive; conflicting requests must not
+                    // slip in between and see an uncached block.
+                    self.clusters[home]
+                        .ser
+                        .mark_busy(block, BusyReason::AwaitHomeWrite);
+                }
+                let n = inval_targets.len() as u32;
+                for c in inval_targets {
+                    self.send(
+                        t + tm.bus_memory,
+                        Msg {
+                            src: home,
+                            dst: c,
+                            kind: MsgKind::Inval { block, requester },
+                        },
+                    );
+                }
+                self.send(
+                    t + tm.bus_memory,
+                    Msg {
+                        src: home,
+                        dst: requester,
+                        kind: MsgKind::WriteReply {
+                            block,
+                            inval_count: n,
+                            version,
+                        },
+                    },
+                );
+            }
+        }
+    }
+
+    /// Flushes a displaced directory entry's cached copies: DirFlush to
+    /// every covered cluster, acks collected at the home RAC, the victim
+    /// block busy until they all arrive. Used by sparse replacements and
+    /// overflow wide-victim displacements alike.
+    fn dispatch_replacement(&mut self, t: Cycle, home: usize, rep: ReplacementWork) {
+        if rep.targets.is_empty() {
+            return;
+        }
+        let tm = self.cfg.timing;
+        self.counters.replacement_flushes += 1;
+        let epoch = self.memory_version(home, rep.victim_key);
+        let n = rep.targets.len() as u32;
+        for c in rep.targets {
+            self.send(
+                t + tm.bus_memory,
+                Msg {
+                    src: home,
+                    dst: c,
+                    kind: MsgKind::DirFlush {
+                        block: rep.victim_key,
+                        epoch,
+                        owner_flush: rep.dirty_owner == Some(c),
+                    },
+                },
+            );
+        }
+        self.clusters[home].rac.start_replacement(rep.victim_key, n);
+        self.clusters[home]
+            .ser
+            .mark_busy(rep.victim_key, BusyReason::AwaitFlushAcks);
+    }
+
+    /// Converts a displaced entry into replacement work (targets exclude
+    /// the home cluster, whose copies are bus-tracked).
+    fn replacement_work(&self, home: usize, victim_block: u64, victim: &scd_core::DirEntry) -> ReplacementWork {
+        let mut targets: Vec<usize> = victim
+            .sharer_superset()
+            .iter()
+            .map(|n| n as usize)
+            .collect();
+        targets.retain(|&c| c != home);
+        ReplacementWork {
+            victim_key: victim_block,
+            targets,
+            dirty_owner: victim.is_dirty().then(|| victim.owner()).flatten().map(|n| n as usize),
+        }
+    }
+
+    /// Registers `node` as a sharer at the home, translating the store's
+    /// organization-specific outcome (NB eviction, overflow displacement)
+    /// into protocol actions. Returns the NB-eviction target, if any.
+    fn register_sharer(
+        &mut self,
+        t: Cycle,
+        home: usize,
+        block: u64,
+        node: usize,
+    ) -> Option<usize> {
+        let key = self.dir_key(block);
+        let clusters = self.cfg.clusters as u64;
+        let outcome = {
+            let node_ref = &mut self.clusters[home];
+            let ser = &node_ref.ser;
+            node_ref
+                .dir
+                .record_sharer(key, node as NodeId, t, |k| {
+                    ser.is_busy(k * clusters + home as u64)
+                })
+        };
+        match outcome {
+            scd_core::RecordSharer::Recorded => None,
+            scd_core::RecordSharer::Evict(v) => Some(v as usize),
+            scd_core::RecordSharer::Displaced { victim_key, victim } => {
+                let victim_block = victim_key * clusters + home as u64;
+                let rep = self.replacement_work(home, victim_block, &victim);
+                self.dispatch_replacement(t, home, rep);
+                None
+            }
+        }
+    }
+
+    /// All directory-entry mutation for one request, returning plain data.
+    fn dir_decide(
+        &mut self,
+        t: Cycle,
+        home: usize,
+        requester: usize,
+        block: u64,
+        is_write: bool,
+    ) -> (DirAction, Option<ReplacementWork>) {
+        let key = self.dir_key(block);
+        let clusters = self.cfg.clusters as u64;
+        let node = &mut self.clusters[home];
+        let ser = &node.ser;
+        let mut replacement = None;
+        // The pin check and the victim/blocker results translate between
+        // home-local directory keys and global block numbers.
+        let access = node
+            .dir
+            .entry_mut(key, t, |k| ser.is_busy(k * clusters + home as u64));
+        let entry = match access {
+            EntryAccess::Stalled { blocker } => {
+                return (
+                    DirAction::Stalled {
+                        blocker: blocker * clusters + home as u64,
+                    },
+                    None,
+                );
+            }
+            EntryAccess::Ready(e) => e,
+            EntryAccess::Displaced {
+                victim_key,
+                victim,
+                entry,
+            } => {
+                let mut targets: Vec<usize> = victim
+                    .sharer_superset()
+                    .iter()
+                    .map(|n| n as usize)
+                    .collect();
+                targets.retain(|&c| c != home);
+                replacement = Some(ReplacementWork {
+                    victim_key: victim_key * clusters + home as u64,
+                    targets,
+                    dirty_owner: victim
+                        .is_dirty()
+                        .then(|| victim.owner())
+                        .flatten()
+                        .map(|n| n as usize),
+                });
+                entry
+            }
+        };
+
+        let action = match entry.state() {
+            DirState::Dirty => {
+                let owner = entry.owner().expect("dirty entry has an owner") as usize;
+                if owner == requester {
+                    DirAction::SelfOwned
+                } else {
+                    DirAction::Forward { owner }
+                }
+            }
+            _ => {
+                if is_write {
+                    let mut targets: Vec<usize> = entry
+                        .invalidation_targets(requester as NodeId)
+                        .iter()
+                        .map(|n| n as usize)
+                        .collect();
+                    targets.retain(|&c| c != home);
+                    if requester == home {
+                        // The home cluster's ownership is tracked by its bus
+                        // snoop, not the directory.
+                        entry.clear();
+                    } else {
+                        entry.make_dirty(requester as NodeId);
+                    }
+                    DirAction::Grant {
+                        inval_targets: targets,
+                    }
+                } else {
+                    // The sharer is recorded below, once the entry borrow
+                    // ends (the organization may promote/displace).
+                    DirAction::Supply { nb_evict: None }
+                }
+            }
+        };
+        let action = if let DirAction::Supply { .. } = action {
+            let nb_evict = if requester != home {
+                self.register_sharer(t, home, block, requester)
+            } else {
+                None
+            };
+            DirAction::Supply { nb_evict }
+        } else {
+            action
+        };
+        // Release only after any sharer registration (the entry may have
+        // been empty until the new sharer was recorded).
+        self.clusters[home].dir.release_if_empty(key);
+        (action, replacement)
+    }
+
+    /// Schedules the next replay of a parked request, if any. Replays run
+    /// as real events `dir_lookup` apart, so the directory's state
+    /// mutations and message emissions stay in timestamp order (a burst of
+    /// parked readers, e.g. LU's pivot column, also cannot complete in
+    /// zero home time).
+    fn drain(&mut self, t: Cycle, home: usize, block: u64) {
+        if !self.clusters[home].ser.is_busy(block)
+            && self.clusters[home].ser.pending_len(block) > 0
+        {
+            self.queue
+                .schedule_at(t + self.cfg.timing.dir_lookup, Ev::Replay { home, block });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Owner-side protocol
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_forward(
+        &mut self,
+        t: Cycle,
+        owner: usize,
+        home: usize,
+        block: u64,
+        requester: usize,
+        is_write: bool,
+        version: u64,
+        addressed_epoch: u64,
+    ) {
+        let tm = self.cfg.timing;
+        let write_mshr =
+            self.clusters[owner].rac.mshr_kind(block) == Some(MshrKind::Write);
+        let my_epoch = self.clusters[owner]
+            .last_owner_epoch
+            .get(&block)
+            .copied()
+            .unwrap_or(0);
+        if self.cfg.trace_block == Some(block) {
+            eprintln!(
+                "[{t:>8}] owner {owner}: forward(w={is_write}) req={requester} holds={} write_mshr={write_mshr} addressed_epoch={addressed_epoch} my_epoch={my_epoch}",
+                self.clusters[owner].caches.holds(block)
+            );
+        }
+        debug_assert!(
+            addressed_epoch >= my_epoch,
+            "forward addressed to a stale epoch ({addressed_epoch} < {my_epoch})"
+        );
+        if addressed_epoch > my_epoch {
+            // The forward addresses an ownership epoch we have not
+            // completed yet: it is our pending grant, whose reply (or
+            // transfer) is still in flight — possibly reordered behind the
+            // forward by a contended network. Any resident copy predates
+            // the grant and must not answer; service after the write
+            // completes.
+            debug_assert!(
+                write_mshr,
+                "forward for a future epoch without a pending write"
+            );
+            self.clusters[owner]
+                .rac
+                .defer_forward(block, requester, is_write, version);
+        } else if self.clusters[owner].caches.holds(block) {
+            // The forward addresses the epoch we completed and we still
+            // hold the data (possibly downgraded): supply it directly —
+            // even if a *new* request of ours is queued at the home behind
+            // this very forward (servicing is what unblocks that queue).
+            self.service_forward(t, owner, home, block, requester, is_write, version);
+        } else {
+            // No copy, no pending grant: the record is a previous ownership
+            // epoch whose eviction writeback is in flight.
+            debug_assert!(
+                self.clusters[owner].rac.writeback_in_flight(block) || !write_mshr,
+                "race branch without a writeback in flight"
+            );
+            // The block was evicted; its writeback is in flight to the home.
+            self.send(
+                t + tm.l2_hit,
+                Msg {
+                    src: owner,
+                    dst: home,
+                    kind: MsgKind::WritebackRace {
+                        block,
+                        requester,
+                        was_write: is_write,
+                    },
+                },
+            );
+        }
+    }
+
+    /// The owner-side service of a forwarded request, used both when the
+    /// forward finds the copy resident and when it was deferred behind the
+    /// owner's own completing write.
+    #[allow(clippy::too_many_arguments)]
+    fn service_forward(
+        &mut self,
+        t: Cycle,
+        owner: usize,
+        home: usize,
+        block: u64,
+        requester: usize,
+        is_write: bool,
+        version: u64,
+    ) {
+        let tm = self.cfg.timing;
+        if is_write {
+            self.clusters[owner].caches.invalidate_all(block);
+            self.send(
+                t + tm.l2_hit,
+                Msg {
+                    src: owner,
+                    dst: requester,
+                    kind: MsgKind::TransferReply { block, version },
+                },
+            );
+            self.send(
+                t + tm.l2_hit,
+                Msg {
+                    src: owner,
+                    dst: home,
+                    kind: MsgKind::OwnershipTransfer {
+                        block,
+                        new_owner: requester,
+                    },
+                },
+            );
+        } else {
+            self.clusters[owner].caches.downgrade_all(block);
+            let v = if self.cfg.track_versions {
+                self.clusters[owner]
+                    .line_version
+                    .get(&block)
+                    .copied()
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            self.send(
+                t + tm.l2_hit,
+                Msg {
+                    src: owner,
+                    dst: requester,
+                    kind: MsgKind::ReadReply { block, version: v },
+                },
+            );
+            let epoch = self.clusters[owner]
+                .last_owner_epoch
+                .get(&block)
+                .copied()
+                .unwrap_or(0);
+            self.send(
+                t + tm.l2_hit,
+                Msg {
+                    src: owner,
+                    dst: home,
+                    kind: MsgKind::SharingWriteback {
+                        block,
+                        requester,
+                        epoch,
+                    },
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction-closing messages at the home
+    // ------------------------------------------------------------------
+
+    fn on_sharing_writeback(
+        &mut self,
+        t: Cycle,
+        home: usize,
+        owner: usize,
+        block: u64,
+        requester: usize,
+        epoch: u64,
+    ) {
+        // A forwarded-read close carries the *requester* the owner replied
+        // to; an unsolicited downgrade (intra-cluster dirty sharing) names
+        // the owner itself. The distinction matters: an unsolicited SWB can
+        // arrive while a forward to the same owner is still in flight, and
+        // must not steal that transaction's close.
+        let closing = self.clusters[home].ser.reason(block) == Some(BusyReason::AwaitClose)
+            && requester != owner;
+        let key = self.dir_key(block);
+        let node = &mut self.clusters[home];
+        if closing {
+            node.pending_write_bump.remove(&block);
+            let mut sharers: Vec<NodeId> = Vec::with_capacity(2);
+            if owner != home {
+                sharers.push(owner as NodeId);
+            }
+            if requester != home && requester != owner {
+                sharers.push(requester as NodeId);
+            }
+            // Register the downgraded owner and the requester one by one
+            // through the store, so each organization applies its overflow
+            // policy (Dir_i NB with i == 1 evicts the first registration;
+            // an overflow directory may promote and displace a wide
+            // victim). NB evictions are flushed like any other
+            // pointer-overflow eviction.
+            node.dir
+                .lookup_mut(key, t)
+                .expect("busy entries are pinned")
+                .clear();
+            let mut evicted: Vec<usize> = Vec::new();
+            for &sh in &sharers {
+                if let Some(v) = self.register_sharer(t, home, block, sh as usize) {
+                    evicted.push(v);
+                }
+            }
+            if self.cfg.trace_block == Some(block) {
+                eprintln!(
+                    "[{t:>8}] home {home}: SWB close owner={owner} req={requester}; entry {:?}; evicted {evicted:?}",
+                    self.clusters[home].dir.probe(self.dir_key(block)).map(|e| e.sharer_superset())
+                );
+            }
+            self.clusters[home].dir.release_if_empty(key);
+            self.clusters[home].ser.close(block);
+            let epoch = self.memory_version(home, block);
+            for v in evicted {
+                self.counters.nb_evictions += 1;
+                self.inval_hist.record(1);
+                self.send(
+                    t + self.cfg.timing.bus_memory,
+                    Msg {
+                        src: home,
+                        dst: v,
+                        kind: MsgKind::DirFlush { block, epoch, owner_flush: false },
+                    },
+                );
+            }
+            self.drain(t, home, block);
+        } else {
+            // Unsolicited downgrade (intra-cluster dirty sharing): apply it
+            // only if the directory still records the *same epoch* of the
+            // sender's ownership — the sender may have been re-granted
+            // ownership (a newer epoch) while this notification was in
+            // flight, in which case it is stale. The recorded owner's
+            // epoch is `cur_version`, minus one while a FwdWrite's bump is
+            // pending.
+            let cur = node.cur_version.get(&block).copied().unwrap_or(0);
+            let recorded_epoch =
+                cur - u64::from(node.pending_write_bump.contains(&block));
+            let mut applied = false;
+            if epoch == recorded_epoch {
+                if let Some(entry) = node.dir.lookup_mut(key, t) {
+                    if entry.is_dirty() && entry.owner() == Some(owner as NodeId) {
+                        entry.make_shared(&[owner as NodeId]);
+                        applied = true;
+                    }
+                }
+            }
+            if applied {
+                // If requests were parked waiting for this owner's dirty
+                // epoch to end (a self-owned park expecting a writeback),
+                // the downgrade notification is exactly that evidence.
+                if node.ser.reason(block) == Some(BusyReason::AwaitWriteback(owner)) {
+                    node.ser.close(block);
+                    self.drain(t, home, block);
+                }
+            } else if node.ser.is_busy(block) && epoch == cur {
+                // The notification outran the transfer that will record
+                // `owner` as the owner: remember the downgrade so the
+                // transfer (or a self-owned park) can account for it.
+                node.ser.record_early(block, owner, epoch, EarlyKind::Downgrade);
+            }
+        }
+    }
+
+    fn on_ownership_transfer(&mut self, t: Cycle, home: usize, block: u64, new_owner: usize) {
+        assert_eq!(
+            self.clusters[home].ser.reason(block),
+            Some(BusyReason::AwaitClose),
+            "ownership transfer must close a forwarded write"
+        );
+        let key = self.dir_key(block);
+        let node = &mut self.clusters[home];
+        node.pending_write_bump.remove(&block);
+        // If the new owner's eviction writeback (or downgrade notification)
+        // outran this transfer, its dirty epoch is already over.
+        let epoch = node.cur_version.get(&block).copied().unwrap_or(0);
+        let early = node.ser.take_early(block, new_owner, epoch);
+        let entry = node
+            .dir
+            .lookup_mut(key, t)
+            .expect("busy entries are pinned");
+        match (new_owner == home, early) {
+            (true, _) | (false, Some(EarlyKind::Writeback)) => entry.clear(),
+            (false, Some(EarlyKind::Downgrade)) => {
+                entry.make_shared(&[new_owner as NodeId])
+            }
+            (false, None) => entry.make_dirty(new_owner as NodeId),
+        }
+        node.dir.release_if_empty(key);
+        node.ser.close(block);
+        self.drain(t, home, block);
+    }
+
+    fn on_writeback(&mut self, t: Cycle, home: usize, owner: usize, block: u64) {
+        let key = self.dir_key(block);
+        let node = &mut self.clusters[home];
+        if let Some(entry) = node.dir.lookup_mut(key, t) {
+            if entry.is_dirty() && entry.owner() == Some(owner as NodeId) {
+                entry.clear();
+            }
+        }
+        let epoch = node.cur_version.get(&block).copied().unwrap_or(0);
+        node.dir.release_if_empty(key);
+        if node.ser.on_writeback(block, owner, epoch) {
+            self.drain(t, home, block);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Requester-side completion
+    // ------------------------------------------------------------------
+
+    fn complete_read(&mut self, t: Cycle, cl: usize, block: u64, mshr: scd_protocol::Mshr) {
+        let tm = self.cfg.timing;
+        for &(lp, kind) in &mshr.waiters {
+            if kind == MshrKind::Read {
+                if !mshr.poisoned {
+                    self.fill(t, cl, lp, block, LineState::Shared);
+                }
+                self.observe(cl, block);
+                let g = self.global_proc(cl, lp);
+                self.resume(t + tm.l1_hit, g);
+            } else {
+                // Write waiter merged behind a read: reissue for ownership.
+                let g = self.global_proc(cl, lp);
+                self.retry(t + tm.l1_hit, g);
+            }
+        }
+        self.finish_flush_if_deferred(t, cl, block, mshr.flush_pending);
+    }
+
+    fn complete_write(&mut self, t: Cycle, cl: usize, block: u64, mshr: scd_protocol::Mshr) {
+        let tm = self.cfg.timing;
+        let (writer, _) = *mshr
+            .waiters
+            .first()
+            .expect("write MSHR has its initiating processor");
+        // Stale local shared copies vanish over the bus.
+        self.clusters[cl].caches.invalidate_others(writer, block);
+        self.fill(t, cl, writer, block, LineState::Dirty);
+        self.clusters[cl]
+            .last_owner_epoch
+            .insert(block, mshr.version);
+        self.set_line_version(cl, block, mshr.version);
+        self.observe(cl, block);
+        let g = self.global_proc(cl, writer);
+        self.resume(t + tm.l1_hit, g);
+        for &(lp, _) in &mshr.waiters[1..] {
+            // Peers re-execute; they will hit the fresh copy over the bus.
+            let g = self.global_proc(cl, lp);
+            self.retry(t + tm.bus_memory, g);
+        }
+        if let Some((requester, is_write, version)) = mshr.deferred_forward {
+            let home = self.cfg.home_of(block);
+            self.service_forward(t, cl, home, block, requester, is_write, version);
+        }
+        self.finish_flush_if_deferred(t, cl, block, mshr.flush_pending);
+        // A home-cluster write holds its block busy from grant to fill.
+        let home = self.cfg.home_of(block);
+        if home == cl
+            && self.clusters[home].ser.reason(block) == Some(BusyReason::AwaitHomeWrite)
+        {
+            self.clusters[home].ser.close(block);
+            self.drain(t, home, block);
+        }
+    }
+
+    fn finish_flush_if_deferred(&mut self, t: Cycle, cl: usize, block: u64, pending: bool) {
+        if pending {
+            // A DirFlush crossed our transaction: honour it now.
+            self.clusters[cl].caches.invalidate_all(block);
+            let home = self.cfg.home_of(block);
+            self.send(
+                t + 1,
+                Msg {
+                    src: cl,
+                    dst: home,
+                    kind: MsgKind::DirFlushAck { block },
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection for the invariant checker
+    // ------------------------------------------------------------------
+
+    pub(crate) fn checker_view(&self) -> (&MachineConfig, Vec<ClusterView<'_>>) {
+        let views = self
+            .clusters
+            .iter()
+            .map(|c| (c.caches.cluster_resident(), &c.dir, &c.ser))
+            .collect();
+        (&self.cfg, views)
+    }
+}

@@ -1,0 +1,108 @@
+//! Aggregated results of one simulation run.
+
+use scd_core::{OverflowStats, SparseStats};
+use scd_noc::NetworkStats;
+use scd_stats::{Histogram, Traffic};
+
+/// Counts of rare protocol paths, for observability in stress tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProtocolCounters {
+    /// Requests forwarded to a dirty owner (3-cluster transactions).
+    pub forwards: u64,
+    /// Writeback races (forward bounced off an ex-owner).
+    pub races: u64,
+    /// Requests parked because the requester was the recorded owner.
+    pub self_owned_parks: u64,
+    /// `Dir_i NB` pointer-overflow evictions.
+    pub nb_evictions: u64,
+    /// Sparse-directory replacements that required flushes.
+    pub replacement_flushes: u64,
+    /// Requests stalled on a fully pinned sparse set.
+    pub sparse_stalls: u64,
+}
+
+/// Where simulated time went, per processor and in aggregate.
+#[derive(Clone, Debug, Default)]
+pub struct StallBreakdown {
+    /// Cycles spent blocked on memory transactions, per processor.
+    pub mem_stall: Vec<u64>,
+    /// Cycles spent blocked on locks/barriers, per processor.
+    pub sync_stall: Vec<u64>,
+    /// Cycles from start to each processor's completion.
+    pub finish: Vec<u64>,
+}
+
+impl StallBreakdown {
+    /// Aggregate (busy, memory-stall, sync-stall) fractions of total
+    /// processor-time.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let total: u64 = self.finish.iter().sum();
+        if total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let mem: u64 = self.mem_stall.iter().sum();
+        let sync: u64 = self.sync_stall.iter().sum();
+        let busy = total.saturating_sub(mem + sync);
+        (
+            busy as f64 / total as f64,
+            mem as f64 / total as f64,
+            sync as f64 / total as f64,
+        )
+    }
+}
+
+/// Everything the experiment harness reads off a finished run.
+#[derive(Clone, Debug)]
+pub struct RunStats {
+    /// Simulated execution time in cycles (when the last processor
+    /// finished).
+    pub cycles: u64,
+    /// Network message counts by class.
+    pub traffic: Traffic,
+    /// Invalidation distribution: one event per directory write transaction
+    /// (and per `Dir_i NB` read-caused eviction), weighted by the number of
+    /// invalidation messages sent (Figures 3–6).
+    pub invalidations: Histogram,
+    /// Shared reads issued by the application.
+    pub shared_reads: u64,
+    /// Shared writes issued by the application.
+    pub shared_writes: u64,
+    /// Synchronization operations issued (lock/unlock/barrier).
+    pub sync_ops: u64,
+    /// Interconnect statistics (hop distribution).
+    pub network: NetworkStats,
+    /// Sum of sparse-directory statistics across all homes (None when the
+    /// directory is complete).
+    pub sparse: Option<SparseStats>,
+    /// Sum of overflow-directory statistics across all homes (None unless
+    /// the organization is `Organization::Overflow`).
+    pub overflow: Option<OverflowStats>,
+    /// Machine-wide L2 misses.
+    pub l2_misses: u64,
+    /// (lock grants, lock retry messages) across all homes.
+    pub lock_metrics: (u64, u64),
+    /// (max home queue depth, total queued requests) across all homes.
+    pub queue_metrics: (usize, u64),
+    /// Live directory entries at the end of the run (occupancy check).
+    pub live_dir_entries: usize,
+    /// Rare-path counters.
+    pub protocol: ProtocolCounters,
+    /// Ownership-epoch versions assigned by the version oracle (0 when
+    /// `track_versions` is off). Every write transaction that reaches a
+    /// home directory creates one.
+    pub versions_assigned: u64,
+    /// Per-processor time anatomy.
+    pub stalls: StallBreakdown,
+}
+
+impl RunStats {
+    /// Total shared references (Table 2's "shared refs").
+    pub fn shared_refs(&self) -> u64 {
+        self.shared_reads + self.shared_writes
+    }
+
+    /// Execution time normalized to a baseline run.
+    pub fn normalized_time(&self, baseline: &RunStats) -> f64 {
+        self.cycles as f64 / baseline.cycles as f64
+    }
+}

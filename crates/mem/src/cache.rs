@@ -1,0 +1,306 @@
+//! A single set-associative cache with LRU replacement.
+
+use crate::Block;
+
+/// Coherence state of a cached line.
+///
+/// DASH's inter-cluster protocol distinguishes clean-shared copies from a
+/// single dirty (exclusive, modified) copy, so the cache model uses the same
+/// three states (an MSI view of MESI; exclusive-clean is folded into
+/// `Shared`, which only costs an ownership request on the first write — the
+/// protocol crate accounts for it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LineState {
+    /// Present, clean; other caches may also hold copies.
+    Shared,
+    /// Present, modified; this is the only valid copy in the machine.
+    Dirty,
+}
+
+/// A line displaced by [`Cache::insert`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// The displaced block.
+    pub block: Block,
+    /// Its state at eviction: `Dirty` means the caller must write it back.
+    pub state: LineState,
+}
+
+/// Hit/miss/eviction counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the block.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Lines displaced to make room (any state).
+    pub evictions: u64,
+    /// Dirty lines displaced (require writeback).
+    pub dirty_evictions: u64,
+    /// Lines removed by external invalidation.
+    pub invalidations: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    block: Block,
+    state: LineState,
+    valid: bool,
+    last_use: u64,
+}
+
+/// A set-associative, LRU-replaced cache keyed by block number.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    lines: Vec<Line>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache holding `blocks` lines with the given associativity.
+    ///
+    /// # Panics
+    /// If `blocks` is not a positive multiple of `ways`.
+    pub fn new(blocks: usize, ways: usize) -> Self {
+        assert!(ways >= 1);
+        assert!(
+            blocks >= ways && blocks.is_multiple_of(ways),
+            "capacity {blocks} must be a positive multiple of associativity {ways}"
+        );
+        Cache {
+            sets: blocks / ways,
+            ways,
+            lines: vec![
+                Line {
+                    block: 0,
+                    state: LineState::Shared,
+                    valid: false,
+                    last_use: 0,
+                };
+                blocks
+            ],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_range(&self, block: Block) -> std::ops::Range<usize> {
+        let set = (block % self.sets as u64) as usize;
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Looks `block` up, updating LRU and hit/miss counters.
+    pub fn access(&mut self, block: Block, now: u64) -> Option<LineState> {
+        for idx in self.set_range(block) {
+            let line = &mut self.lines[idx];
+            if line.valid && line.block == block {
+                line.last_use = now;
+                self.stats.hits += 1;
+                return Some(line.state);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// State of `block` without touching LRU or statistics.
+    pub fn probe(&self, block: Block) -> Option<LineState> {
+        self.set_range(block)
+            .map(|i| &self.lines[i])
+            .find(|l| l.valid && l.block == block)
+            .map(|l| l.state)
+    }
+
+    /// Inserts (or updates) `block` with `state`; returns the displaced line
+    /// if an eviction was needed.
+    pub fn insert(&mut self, block: Block, state: LineState, now: u64) -> Option<Evicted> {
+        let range = self.set_range(block);
+        // Update in place if present.
+        if let Some(idx) = range
+            .clone()
+            .find(|&i| self.lines[i].valid && self.lines[i].block == block)
+        {
+            self.lines[idx].state = state;
+            self.lines[idx].last_use = now;
+            return None;
+        }
+        // Empty way?
+        if let Some(idx) = range.clone().find(|&i| !self.lines[i].valid) {
+            self.lines[idx] = Line {
+                block,
+                state,
+                valid: true,
+                last_use: now,
+            };
+            return None;
+        }
+        // Evict LRU.
+        let victim = range
+            .min_by_key(|&i| self.lines[i].last_use)
+            .expect("non-zero associativity");
+        let evicted = Evicted {
+            block: self.lines[victim].block,
+            state: self.lines[victim].state,
+        };
+        self.stats.evictions += 1;
+        if evicted.state == LineState::Dirty {
+            self.stats.dirty_evictions += 1;
+        }
+        self.lines[victim] = Line {
+            block,
+            state,
+            valid: true,
+            last_use: now,
+        };
+        Some(evicted)
+    }
+
+    /// Changes the state of a resident block; returns `false` if absent.
+    pub fn set_state(&mut self, block: Block, state: LineState) -> bool {
+        for idx in self.set_range(block) {
+            let line = &mut self.lines[idx];
+            if line.valid && line.block == block {
+                line.state = state;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes `block`; returns its state if it was present.
+    pub fn invalidate(&mut self, block: Block) -> Option<LineState> {
+        for idx in self.set_range(block) {
+            let line = &mut self.lines[idx];
+            if line.valid && line.block == block {
+                line.valid = false;
+                self.stats.invalidations += 1;
+                return Some(line.state);
+            }
+        }
+        None
+    }
+
+    /// Number of valid lines (for occupancy assertions in tests).
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Iterates over all resident blocks and their states.
+    pub fn resident(&self) -> impl Iterator<Item = (Block, LineState)> + '_ {
+        self.lines
+            .iter()
+            .filter(|l| l.valid)
+            .map(|l| (l.block, l.state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = Cache::new(8, 2);
+        assert_eq!(c.access(5, 0), None);
+        assert_eq!(c.insert(5, LineState::Shared, 1), None);
+        assert_eq!(c.access(5, 2), Some(LineState::Shared));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_way() {
+        // 1 set x 2 ways: blocks 0 and 4... use sets=1: capacity 2 ways 2.
+        let mut c = Cache::new(2, 2);
+        assert!(c.insert(10, LineState::Shared, 0).is_none());
+        assert!(c.insert(20, LineState::Shared, 1).is_none());
+        c.access(10, 5); // 20 is now LRU
+        let ev = c.insert(30, LineState::Shared, 6).expect("full set evicts");
+        assert_eq!(ev.block, 20);
+        assert_eq!(c.probe(10), Some(LineState::Shared));
+        assert_eq!(c.probe(20), None);
+    }
+
+    #[test]
+    fn dirty_eviction_is_flagged() {
+        let mut c = Cache::new(1, 1);
+        c.insert(1, LineState::Dirty, 0);
+        let ev = c.insert(2, LineState::Shared, 1).unwrap();
+        assert_eq!(
+            ev,
+            Evicted {
+                block: 1,
+                state: LineState::Dirty
+            }
+        );
+        assert_eq!(c.stats().dirty_evictions, 1);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn insert_existing_updates_state_without_eviction() {
+        let mut c = Cache::new(2, 2);
+        c.insert(7, LineState::Shared, 0);
+        assert!(c.insert(7, LineState::Dirty, 1).is_none());
+        assert_eq!(c.probe(7), Some(LineState::Dirty));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn set_state_and_invalidate() {
+        let mut c = Cache::new(4, 2);
+        c.insert(9, LineState::Dirty, 0);
+        assert!(c.set_state(9, LineState::Shared));
+        assert_eq!(c.probe(9), Some(LineState::Shared));
+        assert_eq!(c.invalidate(9), Some(LineState::Shared));
+        assert_eq!(c.invalidate(9), None);
+        assert!(!c.set_state(9, LineState::Dirty));
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn conflict_misses_respect_set_mapping() {
+        // 4 sets x 1 way: blocks 0,4,8 conflict; 1 does not.
+        let mut c = Cache::new(4, 1);
+        c.insert(0, LineState::Shared, 0);
+        c.insert(1, LineState::Shared, 1);
+        let ev = c.insert(4, LineState::Shared, 2).unwrap();
+        assert_eq!(ev.block, 0);
+        assert_eq!(c.probe(1), Some(LineState::Shared), "other set untouched");
+    }
+
+    #[test]
+    fn resident_enumeration() {
+        let mut c = Cache::new(4, 4);
+        c.insert(1, LineState::Shared, 0);
+        c.insert(2, LineState::Dirty, 1);
+        let mut got: Vec<_> = c.resident().collect();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![(1, LineState::Shared), (2, LineState::Dirty)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of associativity")]
+    fn bad_geometry_panics() {
+        Cache::new(6, 4);
+    }
+}

@@ -1,0 +1,24 @@
+//! # scd-mem — processor cache substrate
+//!
+//! Set-associative caches, a two-level (L1/L2) inclusive hierarchy matching
+//! the DASH prototype's 64 KB primary / 256 KB secondary configuration, and
+//! per-cluster cache groups with the snoop queries the intra-cluster
+//! bus-based protocol needs.
+//!
+//! The caches track *coherence state*, not data values: the paper's metrics
+//! (traffic, invalidation distributions, execution time) depend only on hit/
+//! miss/ownership behaviour. A separate value-checker in the integration
+//! tests validates protocol-level coherence invariants instead.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cluster;
+pub mod hierarchy;
+
+pub use cache::{Cache, CacheStats, Evicted, LineState};
+pub use cluster::ClusterCaches;
+pub use hierarchy::{CacheHierarchy, HitLevel};
+
+/// A memory block number (byte address divided by the block size).
+pub type Block = u64;

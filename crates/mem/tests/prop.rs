@@ -1,0 +1,117 @@
+//! Property-based tests for the cache substrate: set mapping, LRU
+//! behaviour, and the L1/L2 inclusion invariant under arbitrary operation
+//! sequences.
+
+use proptest::prelude::*;
+use scd_mem::{Cache, CacheHierarchy, LineState};
+use std::collections::HashSet;
+
+#[derive(Clone, Debug)]
+enum CacheOp {
+    Access(u64),
+    Insert(u64, bool), // dirty?
+    Invalidate(u64),
+    Upgrade(u64),
+    Downgrade(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (0u64..64).prop_map(CacheOp::Access),
+        ((0u64..64), any::<bool>()).prop_map(|(b, d)| CacheOp::Insert(b, d)),
+        (0u64..64).prop_map(CacheOp::Invalidate),
+        (0u64..64).prop_map(CacheOp::Upgrade),
+        (0u64..64).prop_map(CacheOp::Downgrade),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn cache_never_exceeds_capacity_or_duplicates(
+        ops in prop::collection::vec(op_strategy(), 1..300),
+        ways in 1usize..=4,
+        sets_log in 0u32..=3,
+    ) {
+        let blocks = ways << sets_log;
+        let mut c = Cache::new(blocks, ways);
+        let mut now = 0;
+        for op in ops {
+            now += 1;
+            match op {
+                CacheOp::Access(b) => { c.access(b, now); }
+                CacheOp::Insert(b, d) => {
+                    let st = if d { LineState::Dirty } else { LineState::Shared };
+                    c.insert(b, st, now);
+                }
+                CacheOp::Invalidate(b) => { c.invalidate(b); }
+                CacheOp::Upgrade(b) => { c.set_state(b, LineState::Dirty); }
+                CacheOp::Downgrade(b) => { c.set_state(b, LineState::Shared); }
+            }
+            prop_assert!(c.occupancy() <= blocks);
+            let resident: Vec<u64> = c.resident().map(|(b, _)| b).collect();
+            let unique: HashSet<u64> = resident.iter().copied().collect();
+            prop_assert_eq!(unique.len(), resident.len(), "duplicate lines");
+        }
+    }
+
+    #[test]
+    fn hierarchy_inclusion_holds_under_arbitrary_ops(
+        ops in prop::collection::vec(op_strategy(), 1..300),
+    ) {
+        let mut h = CacheHierarchy::new(4, 1, 16, 2);
+        let mut now = 0;
+        for op in ops {
+            now += 1;
+            match op {
+                CacheOp::Access(b) => {
+                    let hit = h.access(b, now);
+                    // An access that hits must agree with the probe.
+                    if let Some(s) = hit.state() {
+                        prop_assert_eq!(h.probe(b), Some(s));
+                    }
+                }
+                CacheOp::Insert(b, d) => {
+                    let st = if d { LineState::Dirty } else { LineState::Shared };
+                    h.fill(b, st, now);
+                }
+                CacheOp::Invalidate(b) => { h.invalidate(b); }
+                CacheOp::Upgrade(b) => { h.upgrade(b); }
+                CacheOp::Downgrade(b) => { h.downgrade(b); }
+            }
+        }
+        // Inclusion: anything in the L1 is in the L2 in the same state —
+        // exercised implicitly; verify via access on every block.
+        for b in 0..64 {
+            if let Some(s) = h.probe(b) {
+                // L2 has it; L1 may or may not, but an access must return
+                // the same state either way.
+                prop_assert_eq!(h.access(b, now + 1 + b).state(), Some(s));
+            }
+        }
+    }
+
+    #[test]
+    fn lru_victim_is_least_recent(accesses in prop::collection::vec(0u64..8, 8..60)) {
+        // Single-set cache of 4 ways over 8 possible blocks.
+        let mut c = Cache::new(4, 4);
+        let mut now = 0;
+        let mut last_use: std::collections::HashMap<u64, u64> = Default::default();
+        for b in accesses {
+            now += 1;
+            if c.access(b, now).is_none() {
+                let before: Vec<u64> = c.resident().map(|(x, _)| x).collect();
+                if let Some(ev) = c.insert(b, LineState::Shared, now) {
+                    // The evicted line must have the minimal last-use among
+                    // residents before insertion.
+                    let min = before
+                        .iter()
+                        .map(|x| last_use.get(x).copied().unwrap_or(0))
+                        .min()
+                        .unwrap();
+                    prop_assert_eq!(last_use.get(&ev.block).copied().unwrap_or(0), min);
+                }
+            }
+            last_use.insert(b, now);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! 2D mesh topology with dimension-ordered routing.
+
+/// A rectangular mesh of `width x height` nodes.
+///
+/// Node `n` sits at `(n % width, n / width)`. Routing is X-first then Y
+/// (dimension-ordered, deadlock-free in wormhole-routed meshes — the
+/// mechanism DASH's prototype fabric uses).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mesh {
+    width: usize,
+    height: usize,
+}
+
+impl Mesh {
+    /// An explicit `width x height` mesh.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 1 && height >= 1, "degenerate mesh");
+        Mesh { width, height }
+    }
+
+    /// The most nearly square mesh holding at least `nodes` nodes
+    /// (e.g. 16 -> 4x4, 32 -> 8x4, 64 -> 8x8).
+    pub fn near_square(nodes: usize) -> Self {
+        assert!(nodes >= 1);
+        let mut h = (nodes as f64).sqrt().floor() as usize;
+        while h > 1 && !nodes.is_multiple_of(h) {
+            h -= 1;
+        }
+        Mesh::new(nodes / h, h)
+    }
+
+    /// Mesh width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mesh height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Coordinates of node `n`.
+    pub fn coords(&self, n: usize) -> (usize, usize) {
+        assert!(n < self.nodes(), "node {n} outside mesh");
+        (n % self.width, n / self.width)
+    }
+
+    /// Node at `(x, y)`.
+    pub fn node_at(&self, x: usize, y: usize) -> usize {
+        assert!(x < self.width && y < self.height);
+        y * self.width + x
+    }
+
+    /// Manhattan distance between two nodes (number of mesh hops).
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// The dimension-ordered route from `a` to `b`, as the sequence of
+    /// intermediate+final nodes traversed (empty when `a == b`).
+    pub fn route(&self, a: usize, b: usize) -> Vec<usize> {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        let mut out = Vec::with_capacity(self.distance(a, b));
+        let mut x = ax;
+        while x != bx {
+            x = if bx > x { x + 1 } else { x - 1 };
+            out.push(self.node_at(x, ay));
+        }
+        let mut y = ay;
+        while y != by {
+            y = if by > y { y + 1 } else { y - 1 };
+            out.push(self.node_at(x, y));
+        }
+        out
+    }
+
+    /// Network diameter (longest shortest path).
+    pub fn diameter(&self) -> usize {
+        self.width - 1 + self.height - 1
+    }
+
+    /// Mean hop distance over all ordered pairs of distinct nodes.
+    pub fn mean_distance(&self) -> f64 {
+        let n = self.nodes();
+        if n == 1 {
+            return 0.0;
+        }
+        let mut total = 0usize;
+        for a in 0..n {
+            for b in 0..n {
+                total += self.distance(a, b);
+            }
+        }
+        total as f64 / (n * (n - 1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_square_shapes() {
+        assert_eq!(Mesh::near_square(16), Mesh::new(4, 4));
+        assert_eq!(Mesh::near_square(32), Mesh::new(8, 4)); // DASH-scale 32 clusters
+        assert_eq!(Mesh::near_square(64), Mesh::new(8, 8));
+        assert_eq!(Mesh::near_square(1), Mesh::new(1, 1));
+        // Primes degrade to a line but still hold everyone.
+        assert_eq!(Mesh::near_square(7).nodes(), 7);
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let m = Mesh::new(8, 4);
+        for n in 0..m.nodes() {
+            let (x, y) = m.coords(n);
+            assert_eq!(m.node_at(x, y), n);
+        }
+    }
+
+    #[test]
+    fn distance_is_manhattan() {
+        let m = Mesh::new(4, 4);
+        assert_eq!(m.distance(0, 0), 0);
+        assert_eq!(m.distance(0, 3), 3);
+        assert_eq!(m.distance(0, 15), 6);
+        assert_eq!(m.distance(5, 10), 2);
+        // Symmetry.
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(m.distance(a, b), m.distance(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn route_length_equals_distance_and_ends_at_target() {
+        let m = Mesh::new(8, 4);
+        for a in 0..m.nodes() {
+            for b in 0..m.nodes() {
+                let r = m.route(a, b);
+                assert_eq!(r.len(), m.distance(a, b), "{a}->{b}");
+                if a != b {
+                    assert_eq!(*r.last().unwrap(), b);
+                }
+                // Each step moves exactly one hop.
+                let mut prev = a;
+                for &next in &r {
+                    assert_eq!(m.distance(prev, next), 1, "{a}->{b} via {r:?}");
+                    prev = next;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_x_first() {
+        let m = Mesh::new(4, 4);
+        // 0 (0,0) -> 10 (2,2): expect x-moves 1,2 then y-moves 6,10.
+        assert_eq!(m.route(0, 10), vec![1, 2, 6, 10]);
+    }
+
+    #[test]
+    fn diameter_and_mean() {
+        let m = Mesh::new(4, 4);
+        assert_eq!(m.diameter(), 6);
+        let mean = m.mean_distance();
+        assert!(mean > 2.0 && mean < 3.0, "4x4 mean distance ~2.67, got {mean}");
+    }
+}

@@ -1,0 +1,231 @@
+//! Latency model and per-network accounting.
+
+use std::collections::HashMap;
+
+use crate::mesh::Mesh;
+
+/// How message latency is computed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// Every remote message takes the same time (useful for calibration and
+    /// for isolating topology effects in ablation benches).
+    Uniform {
+        /// Cycles per message.
+        latency: u64,
+    },
+    /// Fixed overhead (send/receive, network interface) plus a per-hop cost
+    /// — the first-order model of a wormhole-routed mesh without contention.
+    Mesh {
+        /// Cycles of fixed overhead per message.
+        fixed: u64,
+        /// Cycles per mesh hop.
+        per_hop: u64,
+    },
+}
+
+impl LatencyModel {
+    /// Latency of one message from `src` to `dst` on `mesh`.
+    pub fn latency(&self, mesh: &Mesh, src: usize, dst: usize) -> u64 {
+        match *self {
+            LatencyModel::Uniform { latency } => {
+                if src == dst {
+                    0
+                } else {
+                    latency
+                }
+            }
+            LatencyModel::Mesh { fixed, per_hop } => {
+                if src == dst {
+                    0
+                } else {
+                    fixed + per_hop * mesh.distance(src, dst) as u64
+                }
+            }
+        }
+    }
+}
+
+/// Message and hop accounting.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Messages sent (excluding src == dst local deliveries).
+    pub messages: u64,
+    /// Total hops traversed.
+    pub hops: u64,
+    /// Histogram of hop counts (index = hops).
+    pub hop_histogram: Vec<u64>,
+    /// Cycles spent queued behind busy links (contention model only).
+    pub contention_cycles: u64,
+}
+
+impl NetworkStats {
+    /// Mean hops per message.
+    pub fn mean_hops(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.hops as f64 / self.messages as f64
+        }
+    }
+}
+
+/// The interconnect of one machine: topology + latency model + statistics.
+#[derive(Clone, Debug)]
+pub struct Network {
+    mesh: Mesh,
+    model: LatencyModel,
+    stats: NetworkStats,
+    /// Cycles each message holds a link, when contention is modeled.
+    link_occupancy: Option<u64>,
+    /// Next-free time per directed link `(from, to)`.
+    link_free: HashMap<(usize, usize), u64>,
+}
+
+impl Network {
+    /// Creates a network over `clusters` nodes arranged as a near-square
+    /// mesh.
+    pub fn new(clusters: usize, model: LatencyModel) -> Self {
+        Network {
+            mesh: Mesh::near_square(clusters),
+            model,
+            stats: NetworkStats::default(),
+            link_occupancy: None,
+            link_free: HashMap::new(),
+        }
+    }
+
+    /// Creates a network over an explicit mesh.
+    pub fn with_mesh(mesh: Mesh, model: LatencyModel) -> Self {
+        Network {
+            mesh,
+            model,
+            stats: NetworkStats::default(),
+            link_occupancy: None,
+            link_free: HashMap::new(),
+        }
+    }
+
+    /// Enables link contention: each message holds every link along its
+    /// dimension-ordered route for `occupancy` cycles, and queues behind
+    /// earlier traffic (store-and-forward approximation; only meaningful
+    /// with the [`LatencyModel::Mesh`] model).
+    pub fn with_contention(mut self, occupancy: u64) -> Self {
+        self.link_occupancy = Some(occupancy);
+        self
+    }
+
+    /// The topology.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Records a message send at time `now` and returns its delivery
+    /// latency in cycles.
+    ///
+    /// `src == dst` is a local delivery: zero latency, not counted as
+    /// network traffic (intra-cluster transfers ride the cluster bus).
+    /// With contention enabled, the message additionally queues behind
+    /// earlier traffic on each link of its route.
+    pub fn send(&mut self, now: u64, src: usize, dst: usize) -> u64 {
+        if src == dst {
+            return 0;
+        }
+        let hops = self.mesh.distance(src, dst);
+        self.stats.messages += 1;
+        self.stats.hops += hops as u64;
+        if self.stats.hop_histogram.len() <= hops {
+            self.stats.hop_histogram.resize(hops + 1, 0);
+        }
+        self.stats.hop_histogram[hops] += 1;
+        let base = self.model.latency(&self.mesh, src, dst);
+        let Some(occ) = self.link_occupancy else {
+            return base;
+        };
+        // Walk the route, queueing behind each link's previous occupant.
+        let per_hop = match self.model {
+            LatencyModel::Mesh { per_hop, .. } => per_hop,
+            LatencyModel::Uniform { .. } => 1,
+        };
+        let mut t = now;
+        let mut prev = src;
+        let mut waited = 0;
+        for next in self.mesh.route(src, dst) {
+            let free = self.link_free.entry((prev, next)).or_insert(0);
+            if *free > t {
+                waited += *free - t;
+                t = *free;
+            }
+            *free = t + occ;
+            t += per_hop.max(1);
+            prev = next;
+        }
+        self.stats.contention_cycles += waited;
+        base + waited
+    }
+
+    /// Latency a message would have, without recording it.
+    pub fn peek_latency(&self, src: usize, dst: usize) -> u64 {
+        self.model.latency(&self.mesh, src, dst)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_model_ignores_distance() {
+        let m = LatencyModel::Uniform { latency: 20 };
+        let mesh = Mesh::new(4, 4);
+        assert_eq!(m.latency(&mesh, 0, 1), 20);
+        assert_eq!(m.latency(&mesh, 0, 15), 20);
+        assert_eq!(m.latency(&mesh, 3, 3), 0);
+    }
+
+    #[test]
+    fn mesh_model_scales_with_hops() {
+        let m = LatencyModel::Mesh {
+            fixed: 10,
+            per_hop: 2,
+        };
+        let mesh = Mesh::new(4, 4);
+        assert_eq!(m.latency(&mesh, 0, 1), 12);
+        assert_eq!(m.latency(&mesh, 0, 15), 10 + 2 * 6);
+        assert_eq!(m.latency(&mesh, 5, 5), 0);
+    }
+
+    #[test]
+    fn network_accounts_messages_and_hops() {
+        let mut n = Network::new(
+            16,
+            LatencyModel::Mesh {
+                fixed: 10,
+                per_hop: 2,
+            },
+        );
+        assert_eq!(n.send(0, 0, 0), 0, "local delivery is free");
+        assert_eq!(n.stats().messages, 0);
+        let lat = n.send(0, 0, 15);
+        assert_eq!(lat, 22);
+        n.send(100, 0, 1);
+        assert_eq!(n.stats().messages, 2);
+        assert_eq!(n.stats().hops, 7);
+        assert_eq!(n.stats().hop_histogram[6], 1);
+        assert_eq!(n.stats().hop_histogram[1], 1);
+        assert!((n.stats().mean_hops() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peek_does_not_record() {
+        let mut n = Network::new(16, LatencyModel::Uniform { latency: 5 });
+        assert_eq!(n.peek_latency(0, 3), 5);
+        assert_eq!(n.stats().messages, 0);
+        n.send(0, 0, 3);
+        assert_eq!(n.stats().messages, 1);
+    }
+}

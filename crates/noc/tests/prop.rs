@@ -1,0 +1,68 @@
+//! Property-based tests for the mesh: routing validity, metric properties,
+//! and the triangle inequality the coherence protocol's ordering argument
+//! relies on (see `scd-machine` module docs).
+
+use proptest::prelude::*;
+use scd_noc::{LatencyModel, Mesh};
+
+proptest! {
+    #[test]
+    fn routes_are_minimal_and_valid(w in 1usize..=8, h in 1usize..=8, a_s in any::<u16>(), b_s in any::<u16>()) {
+        let m = Mesh::new(w, h);
+        let a = a_s as usize % m.nodes();
+        let b = b_s as usize % m.nodes();
+        let route = m.route(a, b);
+        prop_assert_eq!(route.len(), m.distance(a, b));
+        let mut prev = a;
+        for &n in &route {
+            prop_assert_eq!(m.distance(prev, n), 1, "route must step one hop");
+            prev = n;
+        }
+        prop_assert_eq!(prev, b);
+    }
+
+    #[test]
+    fn distance_is_a_metric(n in 1usize..=64, xs in any::<u32>()) {
+        let m = Mesh::near_square(n);
+        let total = m.nodes();
+        let a = xs as usize % total;
+        let b = (xs as usize / 64) % total;
+        let c = (xs as usize / 4096) % total;
+        prop_assert_eq!(m.distance(a, a), 0);
+        prop_assert_eq!(m.distance(a, b), m.distance(b, a));
+        prop_assert!(m.distance(a, c) <= m.distance(a, b) + m.distance(b, c));
+    }
+
+    #[test]
+    fn latency_triangle_inequality_is_strict_for_distinct_relays(
+        n in 2usize..=64,
+        xs in any::<u32>(),
+        fixed in 1u64..=20,
+        per_hop in 0u64..=4,
+    ) {
+        // The protocol's no-overtaking argument needs:
+        // lat(a,c) < lat(a,b) + lat(b,c) whenever a != b and b != c.
+        let mesh = Mesh::near_square(n);
+        let model = LatencyModel::Mesh { fixed, per_hop };
+        let total = mesh.nodes();
+        let a = xs as usize % total;
+        let b = (xs as usize / 64) % total;
+        let c = (xs as usize / 4096) % total;
+        prop_assume!(a != b && b != c && a != c);
+        prop_assert!(
+            model.latency(&mesh, a, c) < model.latency(&mesh, a, b) + model.latency(&mesh, b, c)
+        );
+        let uni = LatencyModel::Uniform { latency: fixed };
+        prop_assert!(
+            uni.latency(&mesh, a, c) < uni.latency(&mesh, a, b) + uni.latency(&mesh, b, c)
+        );
+    }
+
+    #[test]
+    fn near_square_holds_everyone(n in 1usize..=300) {
+        let m = Mesh::near_square(n);
+        prop_assert!(m.nodes() >= n);
+        // Never degenerates to worse than a line.
+        prop_assert!(m.width() >= m.height());
+    }
+}

@@ -1,0 +1,314 @@
+//! Protocol messages and their traffic classification.
+
+use scd_stats::MessageClass;
+
+/// A block number (byte address / block size).
+pub type Block = u64;
+/// A cluster index.
+pub type Cluster = usize;
+
+/// The protocol message vocabulary.
+///
+/// Field conventions: `requester` is the cluster whose processor started the
+/// transaction (acknowledgements are sent to it, per §2: "invalidation
+/// acknowledgement messages are sent to the local cluster").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgKind {
+    // ----- cache -> home requests -----
+    /// Read miss: local cluster asks the home for a shared copy.
+    ReadReq {
+        /// The missing block.
+        block: Block,
+    },
+    /// Write miss or upgrade: local cluster asks the home for ownership.
+    WriteReq {
+        /// The block to own.
+        block: Block,
+    },
+    /// Dirty eviction: the owning cluster returns the block to memory.
+    Writeback {
+        /// The evicted block.
+        block: Block,
+    },
+    /// Optional replacement hint: a cluster silently dropped a *clean*
+    /// copy; the directory may un-record it (precise representations
+    /// only). Purely advisory — losing or ignoring it costs nothing but
+    /// precision.
+    ReplacementHint {
+        /// The evicted block.
+        block: Block,
+    },
+
+    // ----- home -> owner forwards -----
+    /// Home forwards a read to the dirty owner.
+    FwdRead {
+        /// The requested block.
+        block: Block,
+        /// Cluster to send the data reply to.
+        requester: Cluster,
+        /// Ownership-epoch version the directory believes the owner holds
+        /// (lets the owner distinguish a forward for its *completed* epoch
+        /// from one for a still-pending grant whose reply is in flight).
+        epoch: u64,
+    },
+    /// Home forwards a write to the dirty owner (ownership transfer).
+    FwdWrite {
+        /// The requested block.
+        block: Block,
+        /// Cluster that becomes the new owner.
+        requester: Cluster,
+        /// Home-assigned version of the new ownership epoch (oracle).
+        version: u64,
+    },
+
+    // ----- owner -> home transaction closers -----
+    /// Owner downgraded to shared and returns the dirty data to memory;
+    /// the home directory becomes Shared{owner, requester}.
+    SharingWriteback {
+        /// The block.
+        block: Block,
+        /// The read requester the owner also replied to (equals the owner
+        /// itself for an unsolicited intra-cluster downgrade).
+        requester: Cluster,
+        /// The ownership epoch being downgraded — an unsolicited
+        /// notification for an older epoch than the directory's current one
+        /// is stale and must be ignored.
+        epoch: u64,
+    },
+    /// Owner invalidated its copy and passed ownership to `new_owner`.
+    OwnershipTransfer {
+        /// The block.
+        block: Block,
+        /// The cluster that now owns the block dirty.
+        new_owner: Cluster,
+    },
+    /// Owner no longer had the block when a forward arrived (its writeback
+    /// is in flight): home must requeue the forwarded transaction until the
+    /// writeback lands. `was_write` reconstructs the original request.
+    WritebackRace {
+        /// The block.
+        block: Block,
+        /// Original requester to requeue.
+        requester: Cluster,
+        /// Whether the requeued transaction is a write.
+        was_write: bool,
+    },
+
+    // ----- replies -----
+    /// Data reply for a read (from home memory or the previous owner).
+    ReadReply {
+        /// The block.
+        block: Block,
+        /// Version of the data carried (see `scd-machine`'s version
+        /// oracle); 0 when version tracking is off.
+        version: u64,
+    },
+    /// Ownership (and data) reply for a write, carrying the number of
+    /// invalidation acknowledgements the requester must collect.
+    WriteReply {
+        /// The block.
+        block: Block,
+        /// Invalidations sent on the requester's behalf.
+        inval_count: u32,
+        /// Version the write will create (version oracle; 0 when off).
+        version: u64,
+    },
+    /// Ownership+data reply sent by a previous owner after [`MsgKind::FwdWrite`].
+    TransferReply {
+        /// The block.
+        block: Block,
+        /// Version the write will create (version oracle; 0 when off).
+        version: u64,
+    },
+
+    // ----- invalidations -----
+    /// Home tells a cluster to drop its copy; the ack goes to `requester`.
+    Inval {
+        /// The block.
+        block: Block,
+        /// Cluster collecting the acknowledgements.
+        requester: Cluster,
+    },
+    /// A cluster dropped its copy.
+    InvalAck {
+        /// The block.
+        block: Block,
+    },
+    /// Sparse-directory replacement: home tells a cluster to drop its copy
+    /// of a block whose directory entry is being reclaimed; the ack returns
+    /// to the home itself (§7: the RAC tracks these). Also used for
+    /// `Dir_i NB` pointer evictions and serial invalidation chains.
+    DirFlush {
+        /// The block losing its entry.
+        block: Block,
+        /// Ownership epoch as of the flush decision: a cluster that has
+        /// since completed a *newer* epoch ignores the (stale) flush.
+        epoch: u64,
+        /// True when the flushed entry recorded the *destination* as its
+        /// dirty owner. If that ownership is still being filled (grant or
+        /// transfer in flight), the destination defers the flush until the
+        /// write completes — its own request cannot be queued behind this
+        /// replacement, because being the recorded owner means the grant
+        /// was already processed.
+        owner_flush: bool,
+    },
+    /// Acknowledgement of a [`MsgKind::DirFlush`] (carries data if the copy
+    /// was dirty).
+    DirFlushAck {
+        /// The block.
+        block: Block,
+    },
+
+    // ----- synchronization -----
+    /// Acquire request for a queue lock.
+    LockReq {
+        /// Lock identifier.
+        lock: u32,
+    },
+    /// The lock is granted to the destination cluster.
+    LockGrant {
+        /// Lock identifier.
+        lock: u32,
+    },
+    /// Coarse-vector grant-to-region: the destination should retry its
+    /// acquire (one region member will win).
+    LockRetry {
+        /// Lock identifier.
+        lock: u32,
+    },
+    /// Release a held lock.
+    UnlockReq {
+        /// Lock identifier.
+        lock: u32,
+    },
+    /// A cluster's processor arrived at a barrier.
+    BarrierArrive {
+        /// Barrier identifier.
+        barrier: u32,
+    },
+    /// All participants arrived; the destination may proceed.
+    BarrierRelease {
+        /// Barrier identifier.
+        barrier: u32,
+    },
+}
+
+impl MsgKind {
+    /// The paper's traffic class of this message.
+    pub fn class(&self) -> MessageClass {
+        use MessageClass::*;
+        match self {
+            MsgKind::ReadReq { .. }
+            | MsgKind::WriteReq { .. }
+            | MsgKind::Writeback { .. }
+            | MsgKind::ReplacementHint { .. }
+            | MsgKind::FwdRead { .. }
+            | MsgKind::FwdWrite { .. }
+            | MsgKind::SharingWriteback { .. }
+            | MsgKind::OwnershipTransfer { .. }
+            | MsgKind::WritebackRace { .. }
+            | MsgKind::LockReq { .. }
+            | MsgKind::UnlockReq { .. }
+            | MsgKind::BarrierArrive { .. } => Request,
+            MsgKind::ReadReply { .. }
+            | MsgKind::WriteReply { .. }
+            | MsgKind::TransferReply { .. }
+            | MsgKind::LockGrant { .. }
+            | MsgKind::LockRetry { .. }
+            | MsgKind::BarrierRelease { .. } => Reply,
+            MsgKind::Inval { .. } | MsgKind::DirFlush { .. } => Invalidation,
+            MsgKind::InvalAck { .. } | MsgKind::DirFlushAck { .. } => Acknowledgement,
+        }
+    }
+
+    /// The block this message concerns, if any.
+    pub fn block(&self) -> Option<Block> {
+        match *self {
+            MsgKind::ReadReq { block }
+            | MsgKind::WriteReq { block }
+            | MsgKind::Writeback { block }
+            | MsgKind::FwdRead { block, .. }
+            | MsgKind::FwdWrite { block, .. }
+            | MsgKind::SharingWriteback { block, .. }
+            | MsgKind::OwnershipTransfer { block, .. }
+            | MsgKind::WritebackRace { block, .. }
+            | MsgKind::ReplacementHint { block }
+            | MsgKind::ReadReply { block, .. }
+            | MsgKind::WriteReply { block, .. }
+            | MsgKind::TransferReply { block, .. }
+            | MsgKind::Inval { block, .. }
+            | MsgKind::InvalAck { block }
+            | MsgKind::DirFlush { block, .. }
+            | MsgKind::DirFlushAck { block } => Some(block),
+            _ => None,
+        }
+    }
+}
+
+/// A message in flight between two clusters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Msg {
+    /// Sending cluster.
+    pub src: Cluster,
+    /// Destination cluster.
+    pub dst: Cluster,
+    /// Payload.
+    pub kind: MsgKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scd_stats::MessageClass::*;
+
+    #[test]
+    fn classes_match_paper_taxonomy() {
+        assert_eq!(MsgKind::ReadReq { block: 1 }.class(), Request);
+        assert_eq!(MsgKind::Writeback { block: 1 }.class(), Request);
+        assert_eq!(
+            MsgKind::WriteReply {
+                block: 1,
+                inval_count: 3,
+                version: 0
+            }
+            .class(),
+            Reply
+        );
+        assert_eq!(
+            MsgKind::Inval {
+                block: 1,
+                requester: 0
+            }
+            .class(),
+            Invalidation
+        );
+        assert_eq!(MsgKind::InvalAck { block: 1 }.class(), Acknowledgement);
+        assert_eq!(
+            MsgKind::DirFlush {
+                block: 1,
+                epoch: 0,
+                owner_flush: false
+            }
+            .class(),
+            Invalidation
+        );
+        assert_eq!(MsgKind::DirFlushAck { block: 1 }.class(), Acknowledgement);
+        assert_eq!(MsgKind::LockReq { lock: 0 }.class(), Request);
+        assert_eq!(MsgKind::BarrierRelease { barrier: 0 }.class(), Reply);
+    }
+
+    #[test]
+    fn block_extraction() {
+        assert_eq!(MsgKind::ReadReq { block: 9 }.block(), Some(9));
+        assert_eq!(MsgKind::LockReq { lock: 2 }.block(), None);
+        assert_eq!(
+            MsgKind::FwdWrite {
+                block: 7,
+                requester: 3,
+                version: 0
+            }
+            .block(),
+            Some(7)
+        );
+    }
+}

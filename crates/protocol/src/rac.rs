@@ -1,0 +1,392 @@
+//! The Remote Access Cache (RAC).
+//!
+//! Each DASH cluster has a RAC that tracks its outstanding remote accesses:
+//! which blocks have a request in flight (MSHRs), how many invalidation
+//! acknowledgements a pending write still needs, and — on the home side —
+//! how many flush acknowledgements a sparse-directory replacement is still
+//! owed (§7: "Such an entity must already exist in systems that implement
+//! weak consistency ... In DASH, we have the Remote Access Cache").
+
+use std::collections::HashMap;
+
+use crate::msg::Block;
+
+/// What kind of access an MSHR represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MshrKind {
+    /// Waiting for a shared copy.
+    Read,
+    /// Waiting for ownership (and possibly invalidation acks).
+    Write,
+}
+
+/// One outstanding transaction of a cluster.
+#[derive(Clone, Debug)]
+pub struct Mshr {
+    /// Read or write.
+    pub kind: MshrKind,
+    /// Local processors blocked on this transaction, with the kind of
+    /// access each wanted (a processor whose want is stronger than the
+    /// MSHR's kind must reissue when the MSHR completes).
+    pub waiters: Vec<(usize, MshrKind)>,
+    /// `Some(n)` once the ownership reply told us how many acks to expect.
+    pub acks_expected: Option<u32>,
+    /// Acks received so far (acks may overtake the ownership reply).
+    pub acks_received: u32,
+    /// The data/ownership reply has arrived.
+    pub reply_received: bool,
+    /// A sparse-directory flush arrived while this transaction was in
+    /// flight: when the transaction completes, the cluster must drop the
+    /// line and send the deferred `DirFlushAck`.
+    pub flush_pending: bool,
+    /// Version the pending write will create (version oracle; set by the
+    /// ownership reply).
+    pub version: u64,
+    /// An invalidation arrived while this *read* was in flight (possible
+    /// when the network reorders cross-channel messages, e.g. under
+    /// contention): the reply's data may be consumed by the waiting
+    /// processors — the read was serialized before the invalidating write —
+    /// but the line must not stay cached.
+    pub poisoned: bool,
+    /// A forwarded request arrived while this cluster's own *write* for the
+    /// block was still collecting acknowledgements (the directory records
+    /// the new owner at grant time, before the owner's fill). The owner
+    /// services it — `(requester, is_write, version)` — right after
+    /// completing (`version` is the home-assigned version of the forwarded
+    /// write, 0 for reads).
+    pub deferred_forward: Option<(usize, bool, u64)>,
+}
+
+impl Mshr {
+    fn complete(&self) -> bool {
+        match self.kind {
+            MshrKind::Read => self.reply_received,
+            MshrKind::Write => {
+                self.reply_received && self.acks_expected == Some(self.acks_received)
+            }
+        }
+    }
+}
+
+/// Outcome of [`Rac::start`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StartOutcome {
+    /// No transaction was outstanding: the caller must send the request.
+    IssueRequest,
+    /// Merged into an existing transaction that will satisfy this access.
+    Merged,
+    /// An existing *read* transaction is in flight but the processor wants
+    /// to write: it must wait for completion and then reissue.
+    WaitAndReissue,
+}
+
+/// Per-cluster transaction bookkeeping.
+#[derive(Debug, Default)]
+pub struct Rac {
+    outstanding: HashMap<Block, Mshr>,
+    /// Home-side: flush acks still owed per replaced block.
+    replacements: HashMap<Block, u32>,
+    /// Blocks whose dirty eviction writeback has been sent but whose home
+    /// has not yet (observably) processed it. Used to disambiguate a
+    /// forward that bounces: flag set => the directory's dirty record is
+    /// our *previous* ownership epoch (answer `WritebackRace`); flag clear
+    /// but write MSHR present => the record is our in-flight grant (defer
+    /// the forward until the write completes).
+    writeback_in_flight: std::collections::HashSet<Block>,
+}
+
+impl Rac {
+    /// An empty RAC.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of outstanding request MSHRs.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Whether `block` has a transaction in flight.
+    pub fn has_mshr(&self, block: Block) -> bool {
+        self.outstanding.contains_key(&block)
+    }
+
+    /// Registers processor `proc`'s `kind` access to `block`.
+    pub fn start(&mut self, block: Block, kind: MshrKind, proc: usize) -> StartOutcome {
+        match self.outstanding.get_mut(&block) {
+            None => {
+                self.outstanding.insert(
+                    block,
+                    Mshr {
+                        kind,
+                        waiters: vec![(proc, kind)],
+                        acks_expected: None,
+                        acks_received: 0,
+                        reply_received: false,
+                        flush_pending: false,
+                        version: 0,
+                        poisoned: false,
+                        deferred_forward: None,
+                    },
+                );
+                StartOutcome::IssueRequest
+            }
+            Some(m) => {
+                if kind == MshrKind::Write && m.kind == MshrKind::Read {
+                    // A shared copy will not satisfy a write; reissue later.
+                    m.waiters.push((proc, kind));
+                    StartOutcome::WaitAndReissue
+                } else {
+                    // Read-into-read, read-into-write, write-into-write all
+                    // merge: ownership satisfies reads too.
+                    m.waiters.push((proc, kind));
+                    StartOutcome::Merged
+                }
+            }
+        }
+    }
+
+    /// Records a data reply for a read MSHR. Returns the completed MSHR.
+    ///
+    /// # Panics
+    /// If no read MSHR is outstanding for `block` (a stray reply is always a
+    /// protocol bug).
+    pub fn read_reply(&mut self, block: Block) -> Mshr {
+        // Any reply implies the home processed our request, which followed
+        // our writeback on the same channel: the writeback has landed.
+        self.writeback_in_flight.remove(&block);
+        let m = self
+            .outstanding
+            .remove(&block)
+            .expect("read reply without MSHR");
+        assert_eq!(m.kind, MshrKind::Read, "read reply for a write MSHR");
+        m
+    }
+
+    /// Records the ownership reply (with its ack count) for a write MSHR.
+    /// Returns the MSHR if the transaction is now complete.
+    pub fn write_reply(&mut self, block: Block, acks: u32, version: u64) -> Option<Mshr> {
+        self.writeback_in_flight.remove(&block);
+        let m = self
+            .outstanding
+            .get_mut(&block)
+            .expect("write reply without MSHR");
+        assert_eq!(m.kind, MshrKind::Write, "write reply for a read MSHR");
+        assert!(m.acks_expected.is_none(), "duplicate write reply");
+        m.acks_expected = Some(acks);
+        m.reply_received = true;
+        m.version = version;
+        self.take_if_complete(block)
+    }
+
+    /// Records one invalidation ack. Returns the MSHR if now complete.
+    pub fn inval_ack(&mut self, block: Block) -> Option<Mshr> {
+        let m = self
+            .outstanding
+            .get_mut(&block)
+            .expect("inval ack without MSHR");
+        m.acks_received += 1;
+        self.take_if_complete(block)
+    }
+
+    fn take_if_complete(&mut self, block: Block) -> Option<Mshr> {
+        if self.outstanding.get(&block).is_some_and(Mshr::complete) {
+            self.outstanding.remove(&block)
+        } else {
+            None
+        }
+    }
+
+    // ----- home-side sparse replacement tracking -----
+
+    /// Begins tracking a replacement that expects `acks` flush acks.
+    ///
+    /// # Panics
+    /// If a replacement for `block` is already outstanding (the serializer
+    /// keeps the block busy, so this cannot legally happen) or `acks == 0`
+    /// (an empty victim needs no flushes).
+    pub fn start_replacement(&mut self, block: Block, acks: u32) {
+        assert!(acks > 0, "replacement with no sharers needs no tracking");
+        let prev = self.replacements.insert(block, acks);
+        assert!(prev.is_none(), "duplicate replacement for block {block}");
+    }
+
+    /// Records one flush ack; returns `true` when the replacement completed.
+    pub fn flush_ack(&mut self, block: Block) -> bool {
+        let remaining = self
+            .replacements
+            .get_mut(&block)
+            .expect("flush ack without replacement");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.replacements.remove(&block);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether a replacement is in flight for `block`.
+    pub fn replacement_pending(&self, block: Block) -> bool {
+        self.replacements.contains_key(&block)
+    }
+
+    /// Notes that this cluster sent a dirty-eviction writeback for `block`.
+    pub fn note_writeback(&mut self, block: Block) {
+        self.writeback_in_flight.insert(block);
+    }
+
+    /// Whether a dirty-eviction writeback for `block` may still be in
+    /// flight to the home.
+    pub fn writeback_in_flight(&self, block: Block) -> bool {
+        self.writeback_in_flight.contains(&block)
+    }
+
+    /// The kind of the outstanding transaction for `block`, if any.
+    pub fn mshr_kind(&self, block: Block) -> Option<MshrKind> {
+        self.outstanding.get(&block).map(|m| m.kind)
+    }
+
+    /// Whether `block`'s outstanding transaction has already received its
+    /// data/ownership reply (a write still collecting acknowledgements).
+    pub fn mshr_reply_received(&self, block: Block) -> bool {
+        self.outstanding
+            .get(&block)
+            .is_some_and(|m| m.reply_received)
+    }
+
+    /// Records a forward that must wait for this cluster's own write to
+    /// complete (see [`Mshr::deferred_forward`]).
+    ///
+    /// # Panics
+    /// If no write MSHR is outstanding, or a forward is already deferred —
+    /// the home serializes transactions per block, so at most one forward
+    /// can be in flight.
+    pub fn defer_forward(&mut self, block: Block, requester: usize, is_write: bool, version: u64) {
+        let m = self
+            .outstanding
+            .get_mut(&block)
+            .unwrap_or_else(|| panic!("defer_forward without MSHR (block {block})"));
+        assert_eq!(m.kind, MshrKind::Write, "forwards defer only behind writes");
+        assert!(
+            m.deferred_forward.is_none(),
+            "two forwards deferred behind one write"
+        );
+        m.deferred_forward = Some((requester, is_write, version));
+    }
+
+    /// Poisons an outstanding *read* for `block` (an invalidation crossed
+    /// it): returns true if a read MSHR was present and marked.
+    pub fn poison_read(&mut self, block: Block) -> bool {
+        match self.outstanding.get_mut(&block) {
+            Some(m) if m.kind == MshrKind::Read => {
+                m.poisoned = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Marks `block`'s outstanding transaction as owing a deferred flush
+    /// acknowledgement (a `DirFlush` crossed this cluster's own request).
+    ///
+    /// # Panics
+    /// If no transaction is outstanding for `block`.
+    pub fn defer_flush(&mut self, block: Block) {
+        self.outstanding
+            .get_mut(&block)
+            .expect("defer_flush without MSHR")
+            .flush_pending = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_lifecycle() {
+        let mut rac = Rac::new();
+        assert_eq!(rac.start(5, MshrKind::Read, 0), StartOutcome::IssueRequest);
+        assert_eq!(rac.start(5, MshrKind::Read, 1), StartOutcome::Merged);
+        assert!(rac.has_mshr(5));
+        let m = rac.read_reply(5);
+        assert_eq!(m.waiters, vec![(0, MshrKind::Read), (1, MshrKind::Read)]);
+        assert!(!rac.has_mshr(5));
+    }
+
+    #[test]
+    fn write_waits_for_reply_and_all_acks() {
+        let mut rac = Rac::new();
+        rac.start(9, MshrKind::Write, 0);
+        assert!(rac.write_reply(9, 2, 0).is_none(), "2 acks still owed");
+        assert!(rac.inval_ack(9).is_none());
+        let m = rac.inval_ack(9).expect("complete after final ack");
+        assert_eq!(m.acks_received, 2);
+    }
+
+    #[test]
+    fn acks_may_overtake_the_reply() {
+        let mut rac = Rac::new();
+        rac.start(9, MshrKind::Write, 0);
+        assert!(rac.inval_ack(9).is_none());
+        assert!(rac.inval_ack(9).is_none());
+        let m = rac.write_reply(9, 2, 0).expect("acks already in");
+        assert!(m.reply_received);
+    }
+
+    #[test]
+    fn zero_ack_write_completes_on_reply() {
+        let mut rac = Rac::new();
+        rac.start(1, MshrKind::Write, 3);
+        assert!(rac.write_reply(1, 0, 0).is_some());
+    }
+
+    #[test]
+    fn write_into_read_must_reissue() {
+        let mut rac = Rac::new();
+        rac.start(4, MshrKind::Read, 0);
+        assert_eq!(
+            rac.start(4, MshrKind::Write, 1),
+            StartOutcome::WaitAndReissue
+        );
+        let m = rac.read_reply(4);
+        assert_eq!(m.waiters.len(), 2);
+        assert_eq!(m.waiters[1], (1, MshrKind::Write));
+    }
+
+    #[test]
+    fn read_merges_into_write() {
+        let mut rac = Rac::new();
+        rac.start(4, MshrKind::Write, 0);
+        assert_eq!(rac.start(4, MshrKind::Read, 1), StartOutcome::Merged);
+        let m = rac.write_reply(4, 0, 0).unwrap();
+        assert_eq!(m.waiters.len(), 2);
+    }
+
+    #[test]
+    fn replacement_tracking() {
+        let mut rac = Rac::new();
+        rac.start_replacement(7, 3);
+        assert!(rac.replacement_pending(7));
+        assert!(!rac.flush_ack(7));
+        assert!(!rac.flush_ack(7));
+        assert!(rac.flush_ack(7));
+        assert!(!rac.replacement_pending(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate replacement")]
+    fn duplicate_replacement_panics() {
+        let mut rac = Rac::new();
+        rac.start_replacement(7, 1);
+        rac.start_replacement(7, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without MSHR")]
+    fn stray_reply_panics() {
+        let mut rac = Rac::new();
+        rac.read_reply(42);
+    }
+}

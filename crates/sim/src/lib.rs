@@ -1,0 +1,14 @@
+//! # scd-sim — discrete-event simulation engine
+//!
+//! A minimal, deterministic event-driven core in the style of the simulator
+//! the paper built for the DASH architecture. Components schedule events at
+//! future cycle times; the engine delivers them in time order, breaking ties
+//! by scheduling order (FIFO), which keeps every run bit-reproducible.
+
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+
+pub use queue::{Cycle, EventQueue};
+pub use rng::SimRng;

@@ -1,0 +1,194 @@
+//! Time-ordered event queue with FIFO tie-breaking.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation time, in processor cycles.
+pub type Cycle = u64;
+
+#[derive(PartialEq, Eq)]
+struct Scheduled<E> {
+    time: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// Events scheduled for the same cycle are delivered in the order they were
+/// scheduled, so simulations are reproducible regardless of heap internals.
+///
+/// ```
+/// use scd_sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(10, "late");
+/// q.schedule(5, "early");
+/// q.schedule(5, "early-second");
+/// assert_eq!(q.pop(), Some((5, "early")));
+/// assert_eq!(q.pop(), Some((5, "early-second")));
+/// assert_eq!(q.now(), 5);
+/// assert_eq!(q.pop(), Some((10, "late")));
+/// ```
+pub struct EventQueue<E: Eq> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    now: Cycle,
+    seq: u64,
+    delivered: u64,
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Creates an empty queue at cycle 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Current simulation time: the delivery time of the last popped event.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` to fire `delay` cycles from now.
+    pub fn schedule(&mut self, delay: Cycle, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedules `event` at absolute cycle `time`.
+    ///
+    /// # Panics
+    /// If `time` is in the past — causality violations are always bugs.
+    pub fn schedule_at(&mut self, time: Cycle, event: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past ({time} < {})",
+            self.now
+        );
+        self.heap.push(Reverse(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        }));
+        self.seq += 1;
+    }
+
+    /// Delivers the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let Reverse(s) = self.heap.pop()?;
+        debug_assert!(s.time >= self.now);
+        self.now = s.time;
+        self.delivered += 1;
+        Some((s.time, s.event))
+    }
+
+    /// Delivery time of the next event without consuming it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(s)| s.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, 'c');
+        q.schedule_at(10, 'a');
+        q.schedule_at(20, 'b');
+        assert_eq!(q.pop(), Some((10, 'a')));
+        assert_eq!(q.pop(), Some((20, 'b')));
+        assert_eq!(q.pop(), Some((30, 'c')));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.delivered(), 3);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 1);
+        q.pop();
+        assert_eq!(q.now(), 5);
+        q.schedule(0, 2); // same-cycle scheduling is allowed
+        assert_eq!(q.pop(), Some((5, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10, 1);
+        q.pop();
+        q.schedule_at(3, 2);
+    }
+
+    #[test]
+    fn relative_scheduling_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, 'x');
+        q.pop();
+        q.schedule(50, 'y');
+        assert_eq!(q.pop(), Some((150, 'y')));
+    }
+
+    #[test]
+    fn pending_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1, 0);
+        q.schedule(2, 1);
+        assert_eq!(q.pending(), 2);
+        assert_eq!(q.peek_time(), Some(1));
+        q.pop();
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the event queue and RNG.
+
+use proptest::prelude::*;
+use scd_sim::{EventQueue, SimRng};
+
+proptest! {
+    #[test]
+    fn pops_are_time_sorted_and_fifo_within_ties(
+        times in prop::collection::vec(0u64..1000, 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(t, i);
+        }
+        let mut last: Option<(u64, usize)> = None;
+        let mut count = 0;
+        while let Some((t, id)) = q.pop() {
+            count += 1;
+            prop_assert_eq!(t, times[id], "event delivered at its scheduled time");
+            if let Some((lt, lid)) = last {
+                prop_assert!(t >= lt, "time order violated");
+                if t == lt {
+                    prop_assert!(id > lid, "FIFO tie-break violated");
+                }
+            }
+            last = Some((t, id));
+        }
+        prop_assert_eq!(count, times.len());
+        prop_assert_eq!(q.delivered(), times.len() as u64);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_never_time_travels(
+        script in prop::collection::vec((0u64..50, any::<bool>()), 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        let mut popped_at = Vec::new();
+        for (delay, do_pop) in script {
+            q.schedule(delay, ());
+            if do_pop {
+                if let Some((t, ())) = q.pop() {
+                    popped_at.push(t);
+                }
+            }
+        }
+        while let Some((t, ())) = q.pop() {
+            popped_at.push(t);
+        }
+        for w in popped_at.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn rng_below_is_always_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut r = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(r.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn rng_streams_reproduce(seed in any::<u64>()) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(seed in any::<u64>(), mut v in prop::collection::vec(0u32..100, 0..50)) {
+        let mut r = SimRng::new(seed);
+        let mut orig = v.clone();
+        r.shuffle(&mut v);
+        orig.sort_unstable();
+        v.sort_unstable();
+        prop_assert_eq!(orig, v);
+    }
+}

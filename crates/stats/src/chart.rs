@@ -1,0 +1,111 @@
+//! Plain-text line charts (for Figure-2 style series).
+
+/// Renders multiple `(label, series)` pairs as an ASCII line chart.
+///
+/// All series share the x-axis `0..len` and the y-range `[0, max]`. Each
+/// series is drawn with its own glyph; collisions show the later series.
+///
+/// ```
+/// use scd_stats::chart::render_chart;
+/// let ideal: Vec<f64> = (0..=10).map(|x| x as f64).collect();
+/// let flat: Vec<f64> = (0..=10).map(|_| 10.0).collect();
+/// let out = render_chart(
+///     "test",
+///     &[("ideal", &ideal), ("flat", &flat)],
+///     40,
+///     12,
+/// );
+/// assert!(out.contains("ideal"));
+/// assert!(out.lines().count() > 12);
+/// ```
+pub fn render_chart(title: &str, series: &[(&str, &[f64])], width: usize, height: usize) -> String {
+    use std::fmt::Write as _;
+    assert!(!series.is_empty(), "chart needs at least one series");
+    assert!(width >= 2 && height >= 2, "chart too small");
+    let glyphs = ['*', '+', 'o', 'x', '#', '@'];
+    let len = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    assert!(len >= 2, "series need at least two points");
+    let max = series
+        .iter()
+        .flat_map(|(_, s)| s.iter().copied())
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for (i, &v) in s.iter().enumerate() {
+            let x = i * (width - 1) / (len - 1).max(1);
+            let y = ((v / max) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - y.min(height - 1);
+            grid[row][x] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}  (y: 0..{max:.1}, x: 0..{})", len - 1);
+    for (row_idx, row) in grid.iter().enumerate() {
+        let y_label = if row_idx == 0 {
+            format!("{max:>7.1}")
+        } else if row_idx == height - 1 {
+            format!("{:>7.1}", 0.0)
+        } else {
+            " ".repeat(7)
+        };
+        let _ = writeln!(out, "{y_label} |{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{}+{}", " ".repeat(7), "-".repeat(width));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", glyphs[i % glyphs.len()], name))
+        .collect();
+    let _ = writeln!(out, "{}{}", " ".repeat(8), legend.join("   "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_expected_shape() {
+        let a: Vec<f64> = (0..20).map(|x| x as f64).collect();
+        let b: Vec<f64> = (0..20).map(|_| 19.0).collect();
+        let out = render_chart("t", &[("a", &a), ("b", &b)], 40, 10);
+        let lines: Vec<&str> = out.lines().collect();
+        // title + 10 rows + axis + legend
+        assert_eq!(lines.len(), 13);
+        assert!(lines[0].starts_with('t'));
+        // The flat series occupies the top row.
+        assert!(lines[1].contains('+'));
+        // The rising series hits the bottom-left and top-right.
+        assert!(lines[10].contains('*'));
+        assert!(out.contains("* a"));
+        assert!(out.contains("+ b"));
+    }
+
+    #[test]
+    fn y_axis_labels_show_range() {
+        let a: Vec<f64> = vec![0.0, 50.0, 100.0];
+        let out = render_chart("t", &[("a", &a)], 20, 5);
+        assert!(out.contains("100.0"));
+        assert!(out.contains("0.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn empty_series_panics() {
+        render_chart("t", &[], 10, 10);
+    }
+
+    #[test]
+    fn single_peak_lands_where_expected() {
+        let a = vec![0.0, 0.0, 10.0, 0.0, 0.0];
+        let out = render_chart("t", &[("a", &a)], 5, 5);
+        let lines: Vec<&str> = out.lines().collect();
+        // Peak at the middle column of the top row: 7 label chars, a
+        // space, the '|' — the grid starts at column 9, so x=2 is col 11.
+        assert_eq!(lines[1].chars().nth(11), Some('*'));
+    }
+}

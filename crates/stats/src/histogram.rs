@@ -1,0 +1,183 @@
+//! Invalidation-distribution histograms (Figures 3–6).
+
+/// A dense histogram over small non-negative integers (e.g. invalidations
+/// per write event, 0..=P).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total_events: u64,
+    total_weight: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event with the given value.
+    pub fn record(&mut self, value: usize) {
+        if self.counts.len() <= value {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += 1;
+        self.total_events += 1;
+        self.total_weight += value as u64;
+    }
+
+    /// Number of events recorded.
+    pub fn events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// Sum of all recorded values (e.g. total invalidations).
+    pub fn weight(&self) -> u64 {
+        self.total_weight
+    }
+
+    /// Mean value per event (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total_events == 0 {
+            0.0
+        } else {
+            self.total_weight as f64 / self.total_events as f64
+        }
+    }
+
+    /// Count of events with exactly `value`.
+    pub fn count(&self, value: usize) -> u64 {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Fraction of events with exactly `value`.
+    pub fn fraction(&self, value: usize) -> f64 {
+        if self.total_events == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total_events as f64
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max_value(&self) -> usize {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(0)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.total_events += other.total_events;
+        self.total_weight += other.total_weight;
+    }
+
+    /// Renders the distribution as the paper's style of bar chart:
+    /// percentage of events per value, one row per value, `width` columns
+    /// for 100%.
+    pub fn render(&self, title: &str, width: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{title}");
+        let _ = writeln!(
+            out,
+            "  events: {}   average per event: {:.2}   total weight: {}",
+            self.total_events,
+            self.mean(),
+            self.total_weight
+        );
+        let max = self.max_value();
+        for v in 0..=max {
+            let frac = self.fraction(v);
+            let bar = "#".repeat((frac * width as f64).round() as usize);
+            let _ = writeln!(out, "  {v:>4} | {:>6.2}% {bar}", frac * 100.0);
+        }
+        out
+    }
+
+    /// CSV rows `value,count,fraction` for external plotting.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("value,count,fraction\n");
+        for v in 0..=self.max_value() {
+            let _ = writeln!(out, "{v},{},{:.6}", self.count(v), self.fraction(v));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.events(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max_value(), 0);
+        assert_eq!(h.fraction(3), 0.0);
+    }
+
+    #[test]
+    fn record_and_mean() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(1);
+        h.record(30);
+        assert_eq!(h.events(), 4);
+        assert_eq!(h.weight(), 32);
+        assert_eq!(h.mean(), 8.0);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.max_value(), 30);
+        assert!((h.fraction(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        a.record(2);
+        let mut b = Histogram::new();
+        b.record(2);
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.events(), 3);
+        assert_eq!(a.count(2), 2);
+        assert_eq!(a.count(5), 1);
+        assert_eq!(a.weight(), 9);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let mut h = Histogram::new();
+        for _ in 0..3 {
+            h.record(1);
+        }
+        h.record(4);
+        let s = h.render("dist", 40);
+        assert!(s.contains("dist"));
+        assert!(s.contains("events: 4"));
+        assert!(s.contains("75.00%"));
+        assert!(s.lines().count() >= 7, "rows 0..=4 plus header: {s}");
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(2);
+        let csv = h.to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "value,count,fraction");
+        assert_eq!(lines.len(), 4); // header + values 0,1,2
+        assert!(lines[1].starts_with("0,1,"));
+        assert!(lines[2].starts_with("1,0,"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Plain-text table rendering for experiment output.
+
+/// Column alignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Align {
+    /// Left-justified (labels).
+    Left,
+    /// Right-justified (numbers).
+    Right,
+}
+
+/// Renders `rows` under `headers` with per-column width fitting.
+///
+/// `aligns` may be shorter than the column count; missing columns default to
+/// right alignment (numeric).
+pub fn render_table(headers: &[&str], aligns: &[Align], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let align = |i: usize| aligns.get(i).copied().unwrap_or(Align::Right);
+    let fmt_cell = |i: usize, s: &str| match align(i) {
+        Align::Left => format!("{:<width$}", s, width = widths[i]),
+        Align::Right => format!("{:>width$}", s, width = widths[i]),
+    };
+    let mut out = String::new();
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| fmt_cell(i, h))
+        .collect();
+    out.push_str(&header_line.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| fmt_cell(i, c))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a horizontal stacked-bar "figure" in the style of Figures 7–10:
+/// one row per configuration, bar length proportional to `value`, annotated
+/// with the numeric value.
+pub fn render_bars(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let max = rows.iter().map(|r| r.1).fold(0.0_f64, f64::max).max(1e-12);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    for (label, value) in rows {
+        let bar = "#".repeat((value / max * width as f64).round() as usize);
+        let _ = writeln!(out, "  {label:<label_w$} | {value:>10.3} {bar}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let s = render_table(
+            &["name", "value"],
+            &[Align::Left, Align::Right],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a     "));
+        assert!(lines[3].ends_with("12345"));
+        // All lines same width.
+        assert_eq!(lines[2].trim_end().len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_panic() {
+        render_table(&["a", "b"], &[], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let s = render_bars(
+            "fig",
+            &[("base".into(), 1.0), ("double".into(), 2.0)],
+            20,
+        );
+        let lines: Vec<_> = s.lines().collect();
+        let hashes =
+            |l: &str| l.chars().filter(|&c| c == '#').count();
+        assert_eq!(hashes(lines[2]), 20, "max bar fills the width");
+        assert_eq!(hashes(lines[1]), 10);
+    }
+}

@@ -1,0 +1,27 @@
+//! # scd-tango — multiprocessor reference generation
+//!
+//! The paper drove its simulator with Tango (Davis, Goldschmidt & Hennessy),
+//! which executes a parallel application and feeds its shared references to
+//! a memory-system simulator, *coupled* so that simulated timing feeds back
+//! into the interleaving of references.
+//!
+//! This crate reproduces that role. Each logical process is a
+//! [`ThreadProgram`] — a resumable generator of [`Op`]s. The machine asks a
+//! processor for its next operation only when the previous one has completed
+//! in simulated time, which preserves exactly the timing-valid interleaving
+//! Tango's coupled mode provides.
+//!
+//! Tango's *trace mode* is also reproduced: [`trace`] captures a run's
+//! per-process operation streams into a compact binary format that can be
+//! replayed later (or on a differently configured machine — with the usual
+//! caveat that a trace fixes one interleaving).
+
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod op;
+pub mod trace;
+
+pub use address::{AddressSpace, Region};
+pub use op::{Op, ScriptProgram, ThreadProgram};
+pub use trace::{ReplayProgram, Trace, TraceRecorder};

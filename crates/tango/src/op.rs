@@ -1,0 +1,92 @@
+//! Global events: the operations a logical process can issue.
+
+/// One operation of a logical process.
+///
+/// Tango instruments "global events — references to shared data and
+/// synchronization events such as lock and unlock"; everything between two
+/// global events is private computation, summarized here as [`Op::Compute`]
+/// cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Read the shared word at this byte address.
+    Read(u64),
+    /// Write the shared word at this byte address.
+    Write(u64),
+    /// Execute this many cycles of private work.
+    Compute(u64),
+    /// Acquire the given lock (blocks until granted).
+    Lock(u32),
+    /// Release the given lock.
+    Unlock(u32),
+    /// Wait at the given barrier until all participants arrive.
+    Barrier(u32),
+    /// The process has finished.
+    Done,
+}
+
+impl Op {
+    /// True for shared-memory references (reads and writes).
+    pub fn is_reference(&self) -> bool {
+        matches!(self, Op::Read(_) | Op::Write(_))
+    }
+
+    /// True for synchronization operations.
+    pub fn is_sync(&self) -> bool {
+        matches!(self, Op::Lock(_) | Op::Unlock(_) | Op::Barrier(_))
+    }
+}
+
+/// A resumable generator of operations for one logical process.
+///
+/// `next_op` is called exactly once per completed operation; returning
+/// [`Op::Done`] retires the process (after which `next_op` is not called
+/// again).
+pub trait ThreadProgram {
+    /// Produce the next operation. Must eventually return [`Op::Done`].
+    fn next_op(&mut self) -> Op;
+}
+
+/// A canned operation sequence (useful in tests and microbenchmarks).
+#[derive(Clone, Debug)]
+pub struct ScriptProgram {
+    ops: std::vec::IntoIter<Op>,
+}
+
+impl ScriptProgram {
+    /// Wraps an explicit op list; `Done` is appended implicitly.
+    pub fn new(ops: Vec<Op>) -> Self {
+        ScriptProgram {
+            ops: ops.into_iter(),
+        }
+    }
+}
+
+impl ThreadProgram for ScriptProgram {
+    fn next_op(&mut self) -> Op {
+        self.ops.next().unwrap_or(Op::Done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Op::Read(0).is_reference());
+        assert!(Op::Write(8).is_reference());
+        assert!(!Op::Compute(5).is_reference());
+        assert!(Op::Lock(1).is_sync());
+        assert!(Op::Barrier(0).is_sync());
+        assert!(!Op::Done.is_sync());
+    }
+
+    #[test]
+    fn script_yields_then_done_forever() {
+        let mut p = ScriptProgram::new(vec![Op::Read(16), Op::Compute(3)]);
+        assert_eq!(p.next_op(), Op::Read(16));
+        assert_eq!(p.next_op(), Op::Compute(3));
+        assert_eq!(p.next_op(), Op::Done);
+        assert_eq!(p.next_op(), Op::Done);
+    }
+}

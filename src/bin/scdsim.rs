@@ -1,0 +1,229 @@
+//! scdsim — command-line front end to the DASH simulator.
+//!
+//! ```text
+//! scdsim [options]
+//!   --app <lu|dwf|mp3d|locusroute>   workload            (default lu)
+//!   --scheme <SPEC>                  directory scheme    (default full)
+//!       full | b:<i> | nb:<i> | x:<i> | cv:<i>:<r>
+//!   --clusters <n>                   cluster count       (default 32)
+//!   --procs-per-cluster <n>          processors/cluster  (default 1)
+//!   --scale <f>                      problem scale       (default 1.0)
+//!   --seed <n>                       workload seed       (default 0xD45B)
+//!   --sparse <entries>:<ways>:<lru|rand|lra>   sparse directory per home
+//!   --overflow <i>:<wide>:<ways>:<lru|rand|lra>  overflow directory
+//!   --serial-invalidations           SCI-style serial invalidation walk
+//!   --histogram                      print the invalidation distribution
+//!   --check                          verify coherence invariants at exit
+//! ```
+
+use scd::apps::{dwf, locusroute, lu, mp3d, AppRun, DwfParams, LocusRouteParams, LuParams,
+    Mp3dParams};
+use scd::core::{Replacement, Scheme};
+use scd::machine::{Machine, MachineConfig};
+
+fn usage() -> ! {
+    eprintln!("{}", HELP.trim());
+    std::process::exit(2)
+}
+
+const HELP: &str = r#"
+scdsim — event-driven DASH multiprocessor simulator
+(Gupta/Weber/Mowry ICPP'90 reproduction)
+
+usage: scdsim [options]
+  --app <lu|dwf|mp3d|locusroute>              workload (default lu)
+  --scheme <full|b:I|nb:I|x:I|cv:I:R>         directory scheme (default full)
+  --clusters <n>                              cluster count (default 32)
+  --procs-per-cluster <n>                     processors per cluster (default 1)
+  --scale <f>                                 problem scale (default 1.0)
+  --seed <n>                                  workload seed
+  --sparse <entries>:<ways>:<lru|rand|lra>    sparse directory (per home)
+  --overflow <i>:<wide>:<ways>:<lru|rand|lra> overflow directory
+  --serial-invalidations                      SCI-style serial invalidations
+  --contention <cycles>                       mesh link occupancy (queueing)
+  --hints                                     send replacement hints
+  --anatomy                                   print busy/stall breakdown
+  --histogram                                 print invalidation distribution
+  --check                                     verify coherence invariants
+                                              (also enables the version oracle)
+  --help
+"#;
+
+fn parse_policy(s: &str) -> Replacement {
+    match s {
+        "lru" => Replacement::Lru,
+        "rand" | "random" => Replacement::Random,
+        "lra" => Replacement::Lra,
+        _ => usage(),
+    }
+}
+
+fn parse_scheme(s: &str) -> Scheme {
+    let parts: Vec<&str> = s.split(':').collect();
+    match parts.as_slice() {
+        ["full"] => Scheme::FullVector,
+        ["b", i] => Scheme::dir_b(i.parse().unwrap_or_else(|_| usage())),
+        ["nb", i] => Scheme::dir_nb(i.parse().unwrap_or_else(|_| usage())),
+        ["x", i] => Scheme::dir_x(i.parse().unwrap_or_else(|_| usage())),
+        ["cv", i, r] => Scheme::dir_cv(
+            i.parse().unwrap_or_else(|_| usage()),
+            r.parse().unwrap_or_else(|_| usage()),
+        ),
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let mut app_name = "lu".to_string();
+    let mut scheme = Scheme::FullVector;
+    let mut clusters = 32usize;
+    let mut ppc = 1usize;
+    let mut scale = 1.0f64;
+    let mut seed = 0xD45Bu64;
+    let mut sparse: Option<(usize, usize, Replacement)> = None;
+    let mut overflow: Option<(usize, usize, usize, Replacement)> = None;
+    let mut serial = false;
+    let mut contention: Option<u64> = None;
+    let mut hints = false;
+    let mut anatomy = false;
+    let mut histogram = false;
+    let mut check = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--app" => app_name = val(),
+            "--scheme" => scheme = parse_scheme(&val()),
+            "--clusters" => clusters = val().parse().unwrap_or_else(|_| usage()),
+            "--procs-per-cluster" => ppc = val().parse().unwrap_or_else(|_| usage()),
+            "--scale" => scale = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
+            "--sparse" => {
+                let v = val();
+                let p: Vec<&str> = v.split(':').collect();
+                if p.len() != 3 {
+                    usage()
+                }
+                sparse = Some((
+                    p[0].parse().unwrap_or_else(|_| usage()),
+                    p[1].parse().unwrap_or_else(|_| usage()),
+                    parse_policy(p[2]),
+                ));
+            }
+            "--overflow" => {
+                let v = val();
+                let p: Vec<&str> = v.split(':').collect();
+                if p.len() != 4 {
+                    usage()
+                }
+                overflow = Some((
+                    p[0].parse().unwrap_or_else(|_| usage()),
+                    p[1].parse().unwrap_or_else(|_| usage()),
+                    p[2].parse().unwrap_or_else(|_| usage()),
+                    parse_policy(p[3]),
+                ));
+            }
+            "--serial-invalidations" => serial = true,
+            "--contention" => contention = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--hints" => hints = true,
+            "--anatomy" => anatomy = true,
+            "--histogram" => histogram = true,
+            "--check" => check = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let mut cfg = MachineConfig::paper_32().with_scheme(scheme);
+    cfg.clusters = clusters;
+    cfg.procs_per_cluster = ppc;
+    cfg.serial_invalidations = serial;
+    cfg.link_occupancy = contention;
+    cfg.replacement_hints = hints;
+    cfg.check_invariants = check;
+    cfg.track_versions = check;
+    if let Some((entries, ways, policy)) = sparse {
+        cfg = cfg.with_sparse(entries, ways, policy);
+    }
+    if let Some((i, wide, ways, policy)) = overflow {
+        cfg = cfg.with_overflow(i, wide, ways, policy);
+    }
+
+    let procs = cfg.processors();
+    let app: AppRun = match app_name.as_str() {
+        "lu" => lu(&LuParams::scaled(scale), procs, seed),
+        "dwf" => dwf(&DwfParams::scaled(scale), procs, seed),
+        "mp3d" => mp3d(&Mp3dParams::scaled(scale), procs, seed),
+        "locusroute" => locusroute(&LocusRouteParams::scaled(scale), procs, seed),
+        _ => usage(),
+    };
+
+    println!(
+        "{}: {} procs ({} clusters x {}), scheme {}, {} shared refs",
+        app.name,
+        procs,
+        cfg.clusters,
+        cfg.procs_per_cluster,
+        cfg.scheme.name(cfg.clusters),
+        app.shared_refs(),
+    );
+    let wall = std::time::Instant::now();
+    let stats = Machine::new(cfg, app.boxed_programs()).run();
+    println!(
+        "simulated {} cycles in {:.2}s wall ({:.0} events-ish/s)",
+        stats.cycles,
+        wall.elapsed().as_secs_f64(),
+        stats.shared_refs() as f64 / wall.elapsed().as_secs_f64(),
+    );
+    println!("traffic: {}", stats.traffic);
+    println!(
+        "invalidation events: {} (avg {:.2}/event), L2 misses: {}, mean hops: {:.2}",
+        stats.invalidations.events(),
+        stats.invalidations.mean(),
+        stats.l2_misses,
+        stats.network.mean_hops(),
+    );
+    if let Some(sp) = stats.sparse {
+        println!(
+            "sparse directory: {} hits, {} misses, {} fills, {} replacements",
+            sp.hits, sp.misses, sp.fills, sp.replacements
+        );
+    }
+    if let Some(o) = stats.overflow {
+        println!(
+            "overflow directory: {} promotions, {} demotions, {} displacements, {} fallbacks",
+            o.promotions, o.demotions, o.displacements, o.fallback_evictions
+        );
+    }
+    if stats.sync_ops > 0 {
+        println!(
+            "sync: {} ops, {} lock grants, {} lock retries",
+            stats.sync_ops, stats.lock_metrics.0, stats.lock_metrics.1
+        );
+    }
+    if anatomy {
+        let (busy, mem, sync) = stats.stalls.fractions();
+        println!(
+            "anatomy: {:.1}% busy, {:.1}% memory stall, {:.1}% sync stall",
+            busy * 100.0,
+            mem * 100.0,
+            sync * 100.0
+        );
+        if stats.network.contention_cycles > 0 {
+            println!(
+                "network queueing: {} link-wait cycles",
+                stats.network.contention_cycles
+            );
+        }
+    }
+    if histogram {
+        println!();
+        print!(
+            "{}",
+            stats
+                .invalidations
+                .render("invalidation distribution", 60)
+        );
+    }
+}

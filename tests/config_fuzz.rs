@@ -1,0 +1,181 @@
+//! Configuration fuzzing: random machines (size, cluster shape, caches,
+//! scheme, directory organization, network model, contention, hints,
+//! serial invalidations) running random workloads, with the version oracle
+//! and the quiescent coherence checker always on.
+//!
+//! Any parameter combination that deadlocks, drops a request, resurrects a
+//! stale copy, or leaves the directory inconsistent fails loudly here.
+
+use proptest::prelude::*;
+use scd::core::{Replacement, Scheme};
+use scd::machine::{Machine, MachineConfig};
+use scd::noc::LatencyModel;
+use scd::sim::SimRng;
+use scd::tango::{Op, ScriptProgram, ThreadProgram};
+
+#[derive(Debug, Clone)]
+struct FuzzConfig {
+    clusters: usize,
+    ppc: usize,
+    l2_blocks: usize,
+    l2_ways: usize,
+    scheme: Scheme,
+    org: u8,
+    mesh: bool,
+    contention: Option<u64>,
+    hints: bool,
+    serial: bool,
+    blocks: u64,
+    write_ratio: f64,
+    locks: bool,
+    seed: u64,
+}
+
+fn scheme_strategy() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::FullVector),
+        (1usize..=4).prop_map(Scheme::dir_b),
+        (1usize..=4).prop_map(Scheme::dir_nb),
+        (2usize..=4).prop_map(Scheme::dir_x),
+        ((1usize..=4), (1usize..=4)).prop_map(|(i, r)| Scheme::dir_cv(i, r)),
+    ]
+}
+
+fn config_strategy() -> impl Strategy<Value = FuzzConfig> {
+    let machine = (
+        (2usize..=8),           // clusters
+        (1usize..=3),           // procs per cluster
+        (1usize..=4),           // l2 sets (blocks = sets * ways)
+        (1usize..=2),           // l2 ways
+        scheme_strategy(),
+        (0u8..3),               // organization: complete / sparse / overflow
+        any::<bool>(),          // mesh vs uniform latency
+    );
+    let features = (
+        prop::option::of(1u64..16), // contention occupancy
+        any::<bool>(),          // replacement hints
+        any::<bool>(),          // serial invalidations
+        (4u64..48),             // hot block count
+        (0.05f64..0.6),         // write ratio
+        any::<bool>(),          // sprinkle locks
+        any::<u64>(),           // workload seed
+    );
+    (machine, features).prop_map(
+        |(
+            (clusters, ppc, sets, ways, scheme, org, mesh),
+            (contention, hints, serial, blocks, write_ratio, locks, seed),
+        )| {
+            FuzzConfig {
+                clusters,
+                ppc,
+                l2_blocks: sets * ways * 4,
+                l2_ways: ways,
+                scheme,
+                org,
+                mesh,
+                contention,
+                hints,
+                serial,
+                blocks,
+                write_ratio,
+                locks,
+                seed,
+            }
+        },
+    )
+}
+
+fn build_and_run(fz: &FuzzConfig) -> scd::machine::RunStats {
+    let mut cfg = MachineConfig::tiny(fz.clusters);
+    cfg.procs_per_cluster = fz.ppc;
+    cfg.l2_blocks = fz.l2_blocks;
+    cfg.l2_ways = fz.l2_ways;
+    cfg.l1_blocks = (fz.l2_blocks / 4).max(1);
+    cfg.l1_ways = 1;
+    cfg.scheme = fz.scheme;
+    cfg = match fz.org {
+        1 => cfg.with_sparse(4, 2, Replacement::Lru),
+        2 => {
+            let i = fz.scheme.pointer_count().unwrap_or(2).min(4);
+            cfg.with_overflow(i, 4, 2, Replacement::Random)
+        }
+        _ => cfg,
+    };
+    if fz.mesh {
+        cfg.latency = LatencyModel::Mesh {
+            fixed: 13,
+            per_hop: 1,
+        };
+    }
+    cfg.link_occupancy = fz.contention;
+    cfg.replacement_hints = fz.hints;
+    cfg.serial_invalidations = fz.serial;
+    // tiny() already enables check_invariants and track_versions.
+
+    let procs = cfg.processors();
+    let mut root = SimRng::new(fz.seed);
+    let programs: Vec<Box<dyn ThreadProgram>> = (0..procs)
+        .map(|p| {
+            let mut rng = root.fork(p as u64);
+            let mut ops = Vec::new();
+            let mut held: Option<u32> = None;
+            for _ in 0..150 {
+                if fz.locks && held.is_none() && rng.chance(0.05) {
+                    let l = rng.below(3) as u32;
+                    ops.push(Op::Lock(l));
+                    held = Some(l);
+                }
+                let a = rng.below(fz.blocks) * 16;
+                if rng.chance(fz.write_ratio) {
+                    ops.push(Op::Write(a));
+                } else {
+                    ops.push(Op::Read(a));
+                }
+                if let Some(l) = held {
+                    if rng.chance(0.5) {
+                        ops.push(Op::Unlock(l));
+                        held = None;
+                    }
+                }
+                if rng.chance(0.1) {
+                    ops.push(Op::Compute(rng.below(15)));
+                }
+            }
+            if let Some(l) = held {
+                ops.push(Op::Unlock(l));
+            }
+            Box::new(ScriptProgram::new(ops)) as Box<dyn ThreadProgram>
+        })
+        .collect();
+    Machine::new(cfg, programs).run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn any_configuration_runs_coherently(fz in config_strategy()) {
+        let stats = build_and_run(&fz);
+        // The run() call already enforced: no deadlock, version-oracle
+        // monotonicity, quiescent single-writer + coverage invariants.
+        prop_assert!(stats.cycles > 0);
+        prop_assert_eq!(
+            stats.shared_refs(),
+            stats.shared_reads + stats.shared_writes
+        );
+    }
+
+    #[test]
+    fn identical_configurations_are_bit_deterministic(fz in config_strategy()) {
+        let a = build_and_run(&fz);
+        let b = build_and_run(&fz);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.traffic, b.traffic);
+        prop_assert_eq!(a.invalidations, b.invalidations);
+        prop_assert_eq!(a.versions_assigned, b.versions_assigned);
+    }
+}
