@@ -1,7 +1,7 @@
 //! Machine configuration and the paper's standard presets.
 
 use scd_core::{Organization, Replacement, Scheme};
-use scd_noc::LatencyModel;
+use scd_noc::{FaultPlan, LatencyModel};
 
 /// Fixed-cost timing parameters, calibrated so that the three canonical
 /// DASH latencies come out near the paper's §5 numbers: local misses
@@ -91,6 +91,17 @@ pub struct MachineConfig {
     /// after the previous acknowledgement returns ("the list is unraveled
     /// one by one"), instead of being pumped into the network at once.
     pub serial_invalidations: bool,
+    /// Deterministic fault injection (NACKs, duplicates, latency spikes,
+    /// reorders), driven by a stream forked from `seed`. `None` leaves the
+    /// run bit-identical to a machine without fault hooks.
+    pub fault_plan: Option<FaultPlan>,
+    /// Forward-progress watchdog: fail the run with
+    /// `SimError::LivelockWatchdog` if no processor retires an operation
+    /// for this many cycles while any is unfinished. 0 disables it.
+    pub watchdog_cycles: u64,
+    /// Capacity of the in-memory ring of recent events reported in a
+    /// failure post-mortem. 0 disables event logging.
+    pub event_log: usize,
 }
 
 impl MachineConfig {
@@ -122,6 +133,9 @@ impl MachineConfig {
             link_occupancy: None,
             replacement_hints: false,
             serial_invalidations: false,
+            fault_plan: None,
+            watchdog_cycles: 0,
+            event_log: 64,
         }
     }
 
@@ -148,6 +162,9 @@ impl MachineConfig {
             link_occupancy: None,
             replacement_hints: false,
             serial_invalidations: false,
+            fault_plan: None,
+            watchdog_cycles: 0,
+            event_log: 64,
         }
     }
 
@@ -202,6 +219,18 @@ impl MachineConfig {
         let l1 = (per_proc / 4).max(1);
         self.l1_ways = 1;
         self.l1_blocks = l1;
+        self
+    }
+
+    /// Enables fault injection with the given plan.
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enables the forward-progress watchdog (0 disables it).
+    pub fn with_watchdog(mut self, cycles: u64) -> Self {
+        self.watchdog_cycles = cycles;
         self
     }
 

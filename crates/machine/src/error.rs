@@ -1,0 +1,211 @@
+//! Graceful failure reporting: [`SimError`] and its [`PostMortem`].
+//!
+//! A run that cannot complete — deadlock, cycle-budget exhaustion, a
+//! coherence invariant violation, or the forward-progress watchdog firing —
+//! used to abort with a bare `panic!`. [`crate::Machine::try_run`] instead
+//! returns a [`SimError`] carrying a structured snapshot of the machine at
+//! the moment of failure: which processors were blocked and on what,
+//! per-cluster MSHR and home-serializer state, the tail of the event log,
+//! and the protocol/fault counters. [`crate::Machine::run`] remains a thin
+//! wrapper that panics with the formatted post-mortem, so infallible
+//! callers keep their one-liner.
+
+use crate::stats::{FaultCounters, ProtocolCounters};
+
+/// One blocked (or otherwise unfinished) processor at failure time.
+#[derive(Clone, Debug)]
+pub struct BlockedProc {
+    /// Global processor index.
+    pub proc: usize,
+    /// `Running`/`Blocked` status text.
+    pub status: String,
+    /// Debug rendering of the operation it was executing, if any.
+    pub pending: Option<String>,
+    /// Cycle at which it blocked (meaningful when status is `Blocked`).
+    pub blocked_since: u64,
+}
+
+/// One cluster with protocol state still in flight at failure time.
+#[derive(Clone, Debug)]
+pub struct ClusterDiag {
+    /// Cluster index.
+    pub cluster: usize,
+    /// Outstanding MSHRs in its Remote Access Cache.
+    pub mshrs: usize,
+    /// Busy home-serializer blocks: `(block, reason, queued requests)`.
+    pub busy: Vec<(u64, String, usize)>,
+}
+
+/// Snapshot of the machine at the moment a run failed.
+#[derive(Clone, Debug)]
+pub struct PostMortem {
+    /// Simulated cycle of the failure.
+    pub cycle: u64,
+    /// Processors not yet finished.
+    pub running: usize,
+    /// Every unfinished processor, with what it was stuck on.
+    pub blocked_procs: Vec<BlockedProc>,
+    /// Every cluster with outstanding MSHRs or busy home blocks.
+    pub clusters: Vec<ClusterDiag>,
+    /// The last events the engine processed, oldest first (capacity set by
+    /// `MachineConfig::event_log`; empty when disabled).
+    pub recent_events: Vec<String>,
+    /// Rare-path protocol counters at failure time.
+    pub counters: ProtocolCounters,
+    /// Fault-injection counters at failure time.
+    pub faults: FaultCounters,
+    /// Failure-specific detail (e.g. the violated invariant).
+    pub detail: String,
+}
+
+impl std::fmt::Display for PostMortem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "at cycle {}: {}", self.cycle, self.detail)?;
+        writeln!(f, "  processors unfinished: {}", self.running)?;
+        for p in &self.blocked_procs {
+            write!(f, "  proc {}: {}", p.proc, p.status)?;
+            if let Some(op) = &p.pending {
+                write!(f, " on {op}")?;
+            }
+            if p.status == "Blocked" {
+                write!(f, " since cycle {}", p.blocked_since)?;
+            }
+            writeln!(f)?;
+        }
+        for c in &self.clusters {
+            writeln!(f, "  cluster {}: {} MSHRs, busy: {:?}", c.cluster, c.mshrs, c.busy)?;
+        }
+        writeln!(f, "  counters: {:?}", self.counters)?;
+        if self.faults != FaultCounters::default() {
+            writeln!(f, "  faults: {:?}", self.faults)?;
+        }
+        if !self.recent_events.is_empty() {
+            writeln!(f, "  last {} events:", self.recent_events.len())?;
+            for ev in &self.recent_events {
+                writeln!(f, "    {ev}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a simulation run could not complete.
+///
+/// The snapshot is boxed so the `Result` a run returns stays pointer-sized
+/// on the (hot, always-`Ok`) success path.
+#[derive(Clone, Debug)]
+pub enum SimError {
+    /// Processors were still blocked when the event queue drained.
+    Deadlock(Box<PostMortem>),
+    /// Simulated time exceeded `MachineConfig::max_cycles`.
+    MaxCycles(Box<PostMortem>),
+    /// The quiescent coherence check failed, or the engine hit an
+    /// internally inconsistent state (e.g. a retry with no pending op).
+    InvariantViolation(Box<PostMortem>),
+    /// No operation retired for `MachineConfig::watchdog_cycles` cycles
+    /// while processors were still unfinished (livelock — e.g. an
+    /// unbounded NACK/retry storm).
+    LivelockWatchdog(Box<PostMortem>),
+}
+
+impl SimError {
+    /// The post-mortem snapshot, whatever the failure kind.
+    pub fn post_mortem(&self) -> &PostMortem {
+        match self {
+            SimError::Deadlock(pm)
+            | SimError::MaxCycles(pm)
+            | SimError::InvariantViolation(pm)
+            | SimError::LivelockWatchdog(pm) => pm,
+        }
+    }
+
+    /// Short machine-readable failure kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::Deadlock(_) => "deadlock",
+            SimError::MaxCycles(_) => "max-cycles",
+            SimError::InvariantViolation(_) => "invariant-violation",
+            SimError::LivelockWatchdog(_) => "livelock-watchdog",
+        }
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let headline = match self {
+            SimError::Deadlock(_) => "deadlock: processors blocked with an empty event queue",
+            SimError::MaxCycles(_) => "simulation exceeded max_cycles",
+            SimError::InvariantViolation(_) => "coherence invariant violated",
+            SimError::LivelockWatchdog(_) => {
+                "livelock watchdog: no operation retired within the watchdog window"
+            }
+        };
+        write!(f, "{headline}\n{}", self.post_mortem())
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pm() -> Box<PostMortem> {
+        Box::new(PostMortem {
+            cycle: 123,
+            running: 1,
+            blocked_procs: vec![BlockedProc {
+                proc: 3,
+                status: "Blocked".into(),
+                pending: Some("Read(64)".into()),
+                blocked_since: 100,
+            }],
+            clusters: vec![ClusterDiag {
+                cluster: 0,
+                mshrs: 1,
+                busy: vec![(4, "AwaitClose".into(), 2)],
+            }],
+            recent_events: vec!["[120] Deliver(..)".into()],
+            counters: ProtocolCounters::default(),
+            faults: FaultCounters::default(),
+            detail: "1 processors blocked".into(),
+        })
+    }
+
+    #[test]
+    fn display_names_the_blocked_processor() {
+        let err = SimError::Deadlock(pm());
+        let text = err.to_string();
+        assert!(text.contains("deadlock"), "{text}");
+        assert!(text.contains("proc 3"), "{text}");
+        assert!(text.contains("Read(64)"), "{text}");
+        assert!(text.contains("cluster 0"), "{text}");
+        assert!(text.contains("[120]"), "{text}");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        assert_eq!(SimError::Deadlock(pm()).kind(), "deadlock");
+        assert_eq!(SimError::MaxCycles(pm()).kind(), "max-cycles");
+        assert_eq!(
+            SimError::InvariantViolation(pm()).kind(),
+            "invariant-violation"
+        );
+        assert_eq!(
+            SimError::LivelockWatchdog(pm()).kind(),
+            "livelock-watchdog"
+        );
+    }
+
+    #[test]
+    fn post_mortem_accessor_reaches_every_variant() {
+        for err in [
+            SimError::Deadlock(pm()),
+            SimError::MaxCycles(pm()),
+            SimError::InvariantViolation(pm()),
+            SimError::LivelockWatchdog(pm()),
+        ] {
+            assert_eq!(err.post_mortem().cycle, 123);
+        }
+    }
+}

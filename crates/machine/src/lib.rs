@@ -25,9 +25,11 @@
 
 pub mod checker;
 pub mod config;
+pub mod error;
 pub mod machine;
 pub mod stats;
 
 pub use config::{MachineConfig, Timing};
+pub use error::{PostMortem, SimError};
 pub use machine::Machine;
-pub use stats::RunStats;
+pub use stats::{FaultCounters, RunStats};

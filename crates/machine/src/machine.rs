@@ -33,18 +33,19 @@ use std::collections::HashMap;
 
 use scd_core::{DirState, EntryAccess, NodeId};
 use scd_mem::{CacheHierarchy, ClusterCaches, HitLevel, LineState};
-use scd_noc::Network;
+use scd_noc::{FaultPlan, Network};
 use scd_protocol::{
     BarrierManager, BusyReason, EarlyKind, HomeSerializer, LockManager, LockOutcome, Msg,
     MsgKind, Rac, UnlockOutcome,
 };
 use scd_protocol::rac::{MshrKind, StartOutcome};
-use scd_sim::{Cycle, EventQueue};
-use scd_stats::{Histogram, Traffic};
+use scd_sim::{Cycle, EventQueue, RingLog, SimRng};
+use scd_stats::{Histogram, MessageClass, Traffic};
 use scd_tango::{Op, ThreadProgram};
 
 use crate::config::MachineConfig;
-use crate::stats::{ProtocolCounters, RunStats, StallBreakdown};
+use crate::error::{BlockedProc, ClusterDiag, PostMortem, SimError};
+use crate::stats::{FaultCounters, ProtocolCounters, RunStats, StallBreakdown};
 
 /// Simulator events.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -168,6 +169,22 @@ pub struct Machine {
     /// Version oracle: highest version each cluster has observed per block.
     observed: HashMap<(usize, u64), u64>,
     versions_assigned: u64,
+    /// Resolved fault plan (inert when `cfg.fault_plan` is `None`).
+    fault_plan: FaultPlan,
+    /// Pre-computed `fault_plan.is_active()`: an inert plan must cost
+    /// nothing and never consume randomness, so every hook gates on this.
+    fault_active: bool,
+    /// Dedicated stream for fault placement, forked from the master seed so
+    /// enabling faults never perturbs any other consumer's stream.
+    fault_rng: SimRng,
+    faults: FaultCounters,
+    /// Latest scheduled request-class delivery per (src, dst), so injected
+    /// latency spikes keep each channel FIFO.
+    chan_clamp: HashMap<(usize, usize), Cycle>,
+    /// Cycle of the last retired operation (forward-progress watchdog).
+    last_progress: Cycle,
+    /// Recently processed events, kept for failure post-mortems.
+    event_log: RingLog<(Cycle, Ev)>,
 }
 
 impl Machine {
@@ -223,8 +240,10 @@ impl Machine {
             })
             .collect::<Vec<_>>();
         let running = procs.len();
+        let fault_plan = cfg.fault_plan.unwrap_or_default();
+        let fault_rng = SimRng::new(cfg.seed).fork(0xFA17);
+        let event_log = RingLog::new(cfg.event_log);
         Machine {
-            cfg,
             queue: EventQueue::new(),
             clusters,
             network,
@@ -239,6 +258,14 @@ impl Machine {
             counters: ProtocolCounters::default(),
             observed: HashMap::new(),
             versions_assigned: 0,
+            fault_active: fault_plan.is_active(),
+            fault_plan,
+            fault_rng,
+            faults: FaultCounters::default(),
+            chan_clamp: HashMap::new(),
+            last_progress: 0,
+            event_log,
+            cfg,
         }
     }
 
@@ -314,13 +341,74 @@ impl Machine {
     }
 
     /// Sends `msg`, accounting traffic and network latency. Intra-cluster
-    /// deliveries are free and uncounted (they ride the cluster bus).
+    /// deliveries are free and uncounted (they ride the cluster bus), and
+    /// are also exempt from fault injection.
     fn send(&mut self, ready_at: Cycle, msg: Msg) {
         let lat = self.network.send(ready_at, msg.src, msg.dst);
         if msg.src != msg.dst {
             self.traffic.record(msg.kind.class());
+            if self.fault_active {
+                return self.faulty_schedule(ready_at + lat, msg);
+            }
         }
         self.queue.schedule_at(ready_at + lat, Ev::Deliver(msg));
+    }
+
+    /// Applies the fault plan to one inter-cluster delivery: latency spikes
+    /// and out-of-order jitter move the delivery time, duplication
+    /// schedules the message twice. Which kinds each mode may touch is
+    /// dictated by the protocol's ordering assumptions (DESIGN.md, failure
+    /// model): replies, invalidations and acknowledgements are never
+    /// perturbed — delaying one past a newer ownership epoch would corrupt
+    /// state the protocol has no recovery path for, whereas requests are
+    /// absorbed by the home's serializer, SelfOwned handling, and NAKs.
+    fn faulty_schedule(&mut self, nominal: Cycle, msg: Msg) {
+        let plan = self.fault_plan;
+        let request_class = msg.kind.class() == MessageClass::Request;
+        let coherence_req =
+            matches!(msg.kind, MsgKind::ReadReq { .. } | MsgKind::WriteReq { .. });
+        let mut deliver_at = nominal;
+        let mut clamp_exempt = false;
+        if coherence_req
+            && plan.reorder_window > 0
+            && plan.reorder_prob > 0.0
+            && self.fault_rng.chance(plan.reorder_prob)
+        {
+            // Jitter *outside* the channel clamp: the request may land
+            // behind traffic sent after it, or — when a spike holds the
+            // clamp high — ahead of traffic sent before it, such as its own
+            // cluster's writeback.
+            deliver_at += self.fault_rng.range(1, plan.reorder_window + 1);
+            self.faults.reorders += 1;
+            clamp_exempt = true;
+        } else if request_class
+            && plan.delay_cycles > 0
+            && plan.delay_prob > 0.0
+            && self.fault_rng.chance(plan.delay_prob)
+        {
+            deliver_at += self.fault_rng.range(1, plan.delay_cycles + 1);
+            self.faults.delay_spikes += 1;
+        }
+        if request_class && !clamp_exempt {
+            // A spiked request must not be overtaken by later traffic on
+            // its own (FIFO) channel.
+            let clamp = self.chan_clamp.entry((msg.src, msg.dst)).or_insert(0);
+            deliver_at = deliver_at.max(*clamp);
+            *clamp = deliver_at;
+        }
+        self.queue.schedule_at(deliver_at, Ev::Deliver(msg));
+        if matches!(msg.kind, MsgKind::ReadReq { .. })
+            && plan.dup_prob > 0.0
+            && self.fault_rng.chance(plan.dup_prob)
+        {
+            // At-least-once delivery, reads only: re-servicing a read is
+            // idempotent (sharer registration is superset-safe and the
+            // stray reply is dropped at the RAC), while re-servicing a
+            // write would record a second ownership grant.
+            let gap = self.fault_rng.range(1, self.cfg.timing.bus_memory.max(1) + 1);
+            self.queue.schedule_at(deliver_at + gap, Ev::Deliver(msg));
+            self.faults.duplicates += 1;
+        }
     }
 
     fn unblock(&mut self, at: Cycle, p: usize) {
@@ -356,24 +444,51 @@ impl Machine {
     /// Runs the workload to completion and returns the collected metrics.
     ///
     /// # Panics
-    /// On deadlock (blocked processors with an empty event queue) or when
-    /// `cfg.max_cycles` is exceeded — both always indicate bugs.
+    /// On any [`SimError`] — deadlock, `max_cycles` exceeded, an invariant
+    /// violation, or the livelock watchdog — with the formatted post-mortem
+    /// as the panic message. Use [`Machine::try_run`] to handle failures
+    /// gracefully instead.
     pub fn run(&mut self) -> RunStats {
+        match self.try_run() {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the workload to completion, returning a structured
+    /// [`SimError`] — carrying a [`PostMortem`] of the stuck machine —
+    /// instead of panicking when the run cannot complete.
+    pub fn try_run(&mut self) -> Result<RunStats, SimError> {
         for p in 0..self.procs.len() {
             self.queue.schedule_at(0, Ev::ProcNext(p));
         }
         while let Some((t, ev)) = self.queue.pop() {
             if self.cfg.max_cycles > 0 && t > self.cfg.max_cycles {
-                panic!(
-                    "simulation exceeded max_cycles={} ({} procs still running)",
+                let detail = format!(
+                    "exceeded max_cycles={} ({} procs still running)",
                     self.cfg.max_cycles, self.running
                 );
+                return Err(SimError::MaxCycles(self.post_mortem(t, detail)));
             }
+            if self.cfg.watchdog_cycles > 0
+                && self.running > 0
+                && t.saturating_sub(self.last_progress) > self.cfg.watchdog_cycles
+            {
+                let detail = format!(
+                    "no operation retired since cycle {} (watchdog window {})",
+                    self.last_progress, self.cfg.watchdog_cycles
+                );
+                return Err(SimError::LivelockWatchdog(self.post_mortem(t, detail)));
+            }
+            self.event_log.push((t, ev));
             match ev {
                 Ev::ProcNext(p) => {
                     if self.procs[p].status == ProcStatus::Done {
                         continue;
                     }
+                    // Fetching the next operation means the previous one
+                    // retired: forward progress for the watchdog.
+                    self.last_progress = t;
                     let op = self.procs[p].program.next_op();
                     self.procs[p].pending = Some(op);
                     match op {
@@ -385,9 +500,12 @@ impl Machine {
                     self.execute(t, p, op);
                 }
                 Ev::ProcRetry(p) => {
-                    let op = self.procs[p]
-                        .pending
-                        .expect("retry of a processor with no pending op");
+                    let Some(op) = self.procs[p].pending else {
+                        let detail = format!("retry of processor {p} with no pending op");
+                        return Err(SimError::InvariantViolation(
+                            self.post_mortem(t, detail),
+                        ));
+                    };
                     self.execute(t, p, op);
                 }
                 Ev::Deliver(msg) => {
@@ -412,35 +530,69 @@ impl Machine {
             }
         }
         if self.running != 0 {
-            let mut diag = String::new();
-            for (p, st) in self.procs.iter().enumerate() {
-                if st.status != ProcStatus::Done {
-                    diag.push_str(&format!(
-                        "\n  proc {p}: status={:?} pending={:?}",
-                        st.status, st.pending
-                    ));
-                }
-            }
-            for (c, node) in self.clusters.iter().enumerate() {
-                if node.rac.outstanding() > 0 || node.ser.busy_blocks() > 0 {
-                    diag.push_str(&format!(
-                        "\n  cluster {c}: {} MSHRs, busy: {:?}",
-                        node.rac.outstanding(),
-                        node.ser.debug_state()
-                    ));
-                }
-            }
-            panic!(
-                "deadlock: {} processors blocked with an empty event queue{diag}\n  counters: {:?}",
-                self.running, self.counters
+            let detail = format!(
+                "{} processors blocked with an empty event queue",
+                self.running
             );
+            return Err(SimError::Deadlock(
+                self.post_mortem(self.queue.now(), detail),
+            ));
         }
         if self.cfg.check_invariants {
             if let Err(e) = crate::checker::verify_quiescent(self) {
-                panic!("coherence invariant violated: {e}");
+                return Err(SimError::InvariantViolation(
+                    self.post_mortem(self.queue.now(), e),
+                ));
             }
         }
-        self.collect()
+        Ok(self.collect())
+    }
+
+    /// Snapshot of the machine for a [`SimError`]. Boxed because the
+    /// snapshot is large and `try_run`'s `Ok` path should stay lean.
+    fn post_mortem(&self, cycle: Cycle, detail: String) -> Box<PostMortem> {
+        let blocked_procs = self
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| st.status != ProcStatus::Done)
+            .map(|(p, st)| BlockedProc {
+                proc: p,
+                status: format!("{:?}", st.status),
+                pending: st.pending.map(|op| format!("{op:?}")),
+                blocked_since: st.blocked_since,
+            })
+            .collect();
+        let clusters = self
+            .clusters
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.rac.outstanding() > 0 || n.ser.busy_blocks() > 0)
+            .map(|(c, n)| ClusterDiag {
+                cluster: c,
+                mshrs: n.rac.outstanding(),
+                busy: n
+                    .ser
+                    .debug_state()
+                    .into_iter()
+                    .map(|(b, reason, queued)| (b, format!("{reason:?}"), queued))
+                    .collect(),
+            })
+            .collect();
+        Box::new(PostMortem {
+            cycle,
+            running: self.running,
+            blocked_procs,
+            clusters,
+            recent_events: self
+                .event_log
+                .iter()
+                .map(|(at, ev)| format!("[{at:>8}] {ev:?}"))
+                .collect(),
+            counters: self.counters,
+            faults: self.faults,
+            detail,
+        })
     }
 
     fn collect(&self) -> RunStats {
@@ -487,6 +639,7 @@ impl Machine {
             queue_metrics,
             live_dir_entries: live,
             protocol: self.counters,
+            faults: self.faults,
             versions_assigned: self.versions_assigned,
             stalls: StallBreakdown {
                 mem_stall: self.procs.iter().map(|p| p.mem_stall).collect(),
@@ -748,6 +901,28 @@ impl Machine {
 
     fn deliver(&mut self, t: Cycle, msg: Msg) {
         let Msg { src, dst, kind } = msg;
+        if self.fault_active && src != dst && self.fault_plan.nack_prob > 0.0 {
+            if let MsgKind::ReadReq { block } | MsgKind::WriteReq { block } = kind {
+                if self.fault_rng.chance(self.fault_plan.nack_prob) {
+                    // The home refuses the request without touching any
+                    // state; the requester backs off and retries. Decided
+                    // at delivery rather than in `home_request` so replayed
+                    // parked requests are never refused — they already hold
+                    // a queue slot.
+                    self.faults.nacks += 1;
+                    let was_write = matches!(kind, MsgKind::WriteReq { .. });
+                    self.send(
+                        t + self.cfg.timing.dir_lookup,
+                        Msg {
+                            src: dst,
+                            dst: src,
+                            kind: MsgKind::Nack { block, was_write },
+                        },
+                    );
+                    return;
+                }
+            }
+        }
         match kind {
             MsgKind::ReadReq { block } => self.home_request(t, dst, src, block, false),
             MsgKind::WriteReq { block } => self.home_request(t, dst, src, block, true),
@@ -844,9 +1019,21 @@ impl Machine {
                 self.drain(t, dst, block);
             }
             MsgKind::ReadReply { block, version } => {
-                let mshr = self.clusters[dst].rac.read_reply(block);
-                self.set_line_version(dst, block, version);
-                self.complete_read(t, dst, block, mshr);
+                if self.fault_active {
+                    // Duplicated requests produce one reply per service;
+                    // only the first finds the MSHR, the stray is dropped.
+                    match self.clusters[dst].rac.try_read_reply(block) {
+                        Some(mshr) => {
+                            self.set_line_version(dst, block, version);
+                            self.complete_read(t, dst, block, mshr);
+                        }
+                        None => self.faults.strays_dropped += 1,
+                    }
+                } else {
+                    let mshr = self.clusters[dst].rac.read_reply(block);
+                    self.set_line_version(dst, block, version);
+                    self.complete_read(t, dst, block, mshr);
+                }
             }
             MsgKind::WriteReply {
                 block,
@@ -862,6 +1049,27 @@ impl Machine {
             MsgKind::TransferReply { block, version } => {
                 if let Some(mshr) = self.clusters[dst].rac.write_reply(block, 0, version) {
                     self.complete_write(t, dst, block, mshr);
+                }
+            }
+            MsgKind::Nack { block, was_write } => {
+                match self.clusters[dst].rac.on_nack(block, was_write) {
+                    Some(attempt) => {
+                        // Reissue with exponential backoff so a refusing
+                        // home is not hammered at network rate.
+                        self.faults.retries += 1;
+                        let base = self.cfg.timing.bus_memory.max(1);
+                        let backoff = base << (attempt - 1).min(10);
+                        let home = self.cfg.home_of(block);
+                        let kind = if was_write {
+                            MsgKind::WriteReq { block }
+                        } else {
+                            MsgKind::ReadReq { block }
+                        };
+                        self.send(t + backoff, Msg { src: dst, dst: home, kind });
+                    }
+                    // Stale: the transaction was already serviced (a
+                    // duplicate's NACK crossed the real reply). Drop it.
+                    None => self.faults.strays_dropped += 1,
                 }
             }
             MsgKind::Inval { block, requester } => {
@@ -1215,6 +1423,28 @@ impl Machine {
                     }
                     self.clusters[home].dir.release_if_empty(key);
                     return self.home_request(t, home, requester, block, is_write);
+                }
+                if self.fault_active {
+                    // Under fault injection a request from the recorded
+                    // owner may be a duplicate or a reordered retry, not
+                    // evidence of an in-flight writeback; parking for a
+                    // writeback that never comes would deadlock. NAK it
+                    // instead (as the real DASH directory does): a genuine
+                    // requester retries until its writeback lands, while a
+                    // stale duplicate's NACK is dropped at the RAC.
+                    self.faults.nacks += 1;
+                    self.send(
+                        t + tm.dir_lookup,
+                        Msg {
+                            src: home,
+                            dst: requester,
+                            kind: MsgKind::Nack {
+                                block,
+                                was_write: is_write,
+                            },
+                        },
+                    );
+                    return;
                 }
                 self.counters.self_owned_parks += 1;
                 self.clusters[home].ser.park_for_writeback(
@@ -1938,5 +2168,54 @@ impl Machine {
             .map(|c| (c.caches.cluster_resident(), &c.dir, &c.ser))
             .collect();
         (&self.cfg, views)
+    }
+}
+
+/// Test-only hooks for hand-corrupting machine state, so the invariant
+/// checker's error branches can be exercised without finding a protocol bug
+/// that produces each corruption naturally. Not part of the public API.
+#[doc(hidden)]
+pub mod testing {
+    use super::*;
+
+    fn entry_of(m: &mut Machine, home: usize, block: u64) -> &mut scd_core::DirEntry {
+        let key = m.dir_key(block);
+        match m.clusters[home].dir.entry_mut(key, 0, |_| false) {
+            EntryAccess::Ready(e) | EntryAccess::Displaced { entry: e, .. } => e,
+            EntryAccess::Stalled { .. } => unreachable!("no pinned entries in a fresh machine"),
+        }
+    }
+
+    /// Installs a copy of `block` (dirty or shared) in processor `lp` of
+    /// `cluster`, bypassing the protocol.
+    pub fn fill_line(m: &mut Machine, cluster: usize, lp: usize, block: u64, dirty: bool) {
+        let state = if dirty { LineState::Dirty } else { LineState::Shared };
+        m.clusters[cluster].caches.fill(lp, block, state, 0);
+    }
+
+    /// Forces the home directory entry for `block` to Dirty with `owner`.
+    pub fn force_dirty_entry(m: &mut Machine, home: usize, block: u64, owner: usize) {
+        entry_of(m, home, block).make_dirty(owner as NodeId);
+    }
+
+    /// Forces the home directory entry for `block` to Shared over `sharers`.
+    pub fn force_shared_entry(m: &mut Machine, home: usize, block: u64, sharers: &[usize]) {
+        let nodes: Vec<NodeId> = sharers.iter().map(|&s| s as NodeId).collect();
+        entry_of(m, home, block).make_shared(&nodes);
+    }
+
+    /// Removes the home directory entry for `block` entirely.
+    pub fn clear_entry(m: &mut Machine, home: usize, block: u64) {
+        let key = m.dir_key(block);
+        if let Some(e) = m.clusters[home].dir.lookup_mut(key, 0) {
+            e.clear();
+        }
+        m.clusters[home].dir.release_if_empty(key);
+    }
+
+    /// Marks `block` busy in the home serializer, as if a transaction never
+    /// closed.
+    pub fn mark_busy(m: &mut Machine, home: usize, block: u64) {
+        m.clusters[home].ser.mark_busy(block, BusyReason::AwaitClose);
     }
 }

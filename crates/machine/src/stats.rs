@@ -21,6 +21,25 @@ pub struct ProtocolCounters {
     pub sparse_stalls: u64,
 }
 
+/// Counts of injected faults and the protocol's recovery work. All zeros
+/// when no fault plan is active.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Requests the home refused with a transient NACK (injected or
+    /// `SelfOwned` conversions under an active plan).
+    pub nacks: u64,
+    /// Requests reissued by a requester after a NACK.
+    pub retries: u64,
+    /// Extra deliveries injected by the duplication fault.
+    pub duplicates: u64,
+    /// Stray replies/NACKs dropped at the requester (duplicate service).
+    pub strays_dropped: u64,
+    /// Latency spikes injected by the delay fault.
+    pub delay_spikes: u64,
+    /// Messages jittered out of channel order by the reorder fault.
+    pub reorders: u64,
+}
+
 /// Where simulated time went, per processor and in aggregate.
 #[derive(Clone, Debug, Default)]
 pub struct StallBreakdown {
@@ -87,6 +106,8 @@ pub struct RunStats {
     pub live_dir_entries: usize,
     /// Rare-path counters.
     pub protocol: ProtocolCounters,
+    /// Fault-injection counters (all zero when no fault plan is active).
+    pub faults: FaultCounters,
     /// Ownership-epoch versions assigned by the version oracle (0 when
     /// `track_versions` is off). Every write transaction that reaches a
     /// home directory creates one.

@@ -1,0 +1,100 @@
+//! The quiescent invariant checker's error branches, exercised directly by
+//! hand-corrupting machine state (via `scd_machine::machine::testing`) —
+//! each corruption is one that only a protocol bug could produce, so no
+//! workload can reach these branches honestly.
+
+use scd_machine::checker::verify_quiescent;
+use scd_machine::machine::testing;
+use scd_machine::{Machine, MachineConfig};
+use scd_tango::{ScriptProgram, ThreadProgram};
+
+/// A fresh, never-run 4-cluster machine (quiescent by construction).
+fn idle_machine() -> Machine {
+    let cfg = MachineConfig::tiny(4);
+    let programs: Vec<Box<dyn ThreadProgram>> = (0..cfg.processors())
+        .map(|_| Box::new(ScriptProgram::new(vec![])) as Box<dyn ThreadProgram>)
+        .collect();
+    Machine::new(cfg, programs)
+}
+
+#[test]
+fn pristine_machine_verifies() {
+    let m = idle_machine();
+    assert_eq!(verify_quiescent(&m), Ok(()));
+}
+
+#[test]
+fn busy_serializer_block_is_reported() {
+    let mut m = idle_machine();
+    testing::mark_busy(&mut m, 2, 6);
+    let err = verify_quiescent(&m).unwrap_err();
+    assert!(err.contains("busy blocks"), "{err}");
+    assert!(err.contains("cluster 2"), "{err}");
+}
+
+#[test]
+fn multiple_dirty_holders_are_reported() {
+    let mut m = idle_machine();
+    // Block 2's home is cluster 2; clusters 0 and 1 both claim it dirty.
+    testing::fill_line(&mut m, 0, 0, 2, true);
+    testing::fill_line(&mut m, 1, 0, 2, true);
+    testing::force_dirty_entry(&mut m, 2, 2, 0);
+    let err = verify_quiescent(&m).unwrap_err();
+    assert!(err.contains("multiple dirty holders"), "{err}");
+}
+
+#[test]
+fn dirty_copy_without_a_home_entry_is_reported() {
+    let mut m = idle_machine();
+    // Cluster 0 holds block 1 dirty but its home (cluster 1) lost the entry.
+    testing::fill_line(&mut m, 0, 0, 1, true);
+    let err = verify_quiescent(&m).unwrap_err();
+    assert!(err.contains("dirty but home 1 has no entry"), "{err}");
+}
+
+#[test]
+fn dirty_copy_with_a_mismatched_entry_is_reported() {
+    let mut m = idle_machine();
+    testing::fill_line(&mut m, 0, 0, 1, true);
+    // The entry exists but says Shared — a downgrade the owner never saw.
+    testing::force_shared_entry(&mut m, 1, 1, &[0]);
+    let err = verify_quiescent(&m).unwrap_err();
+    assert!(err.contains("entry says"), "{err}");
+
+    let mut m = idle_machine();
+    testing::fill_line(&mut m, 0, 0, 1, true);
+    // Dirty, but the recorded owner is a different cluster.
+    testing::force_dirty_entry(&mut m, 1, 1, 3);
+    let err = verify_quiescent(&m).unwrap_err();
+    assert!(err.contains("entry says"), "{err}");
+}
+
+#[test]
+fn home_recorded_in_its_own_directory_is_reported() {
+    let mut m = idle_machine();
+    testing::fill_line(&mut m, 0, 0, 1, false);
+    // A precise entry must never cover its own home cluster (1).
+    testing::force_shared_entry(&mut m, 1, 1, &[0, 1]);
+    let err = verify_quiescent(&m).unwrap_err();
+    assert!(err.contains("recorded in its own directory"), "{err}");
+}
+
+#[test]
+fn shared_copy_without_a_home_entry_is_reported() {
+    let mut m = idle_machine();
+    testing::fill_line(&mut m, 0, 0, 1, false);
+    let err = verify_quiescent(&m).unwrap_err();
+    assert!(err.contains("holds a copy but home 1 has no entry"), "{err}");
+}
+
+#[test]
+fn uncovered_sharer_is_reported() {
+    let mut m = idle_machine();
+    testing::fill_line(&mut m, 0, 0, 1, false);
+    testing::fill_line(&mut m, 2, 0, 1, false);
+    // The entry only covers cluster 0; cluster 2's copy is untracked.
+    testing::force_shared_entry(&mut m, 1, 1, &[0]);
+    let err = verify_quiescent(&m).unwrap_err();
+    assert!(err.contains("not covered"), "{err}");
+    assert!(err.contains("cluster 2"), "{err}");
+}

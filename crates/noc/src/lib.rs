@@ -14,8 +14,10 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod mesh;
 pub mod network;
 
+pub use fault::FaultPlan;
 pub use mesh::Mesh;
 pub use network::{LatencyModel, Network, NetworkStats};

@@ -120,6 +120,17 @@ pub enum MsgKind {
         /// Version the write will create (version oracle; 0 when off).
         version: u64,
     },
+    /// The home refused to service a request this time (transient: the
+    /// directory was busy, or a fault plan injected the refusal). The
+    /// requester must retry; nothing about the block's state changed. DASH
+    /// NAKs travel on the reply network (§7: the RAC absorbs them).
+    Nack {
+        /// The refused block.
+        block: Block,
+        /// Whether the refused request was a write — the requester matches
+        /// this against its outstanding MSHR to discard stale NACKs.
+        was_write: bool,
+    },
 
     // ----- invalidations -----
     /// Home tells a cluster to drop its copy; the ack goes to `requester`.
@@ -213,6 +224,7 @@ impl MsgKind {
             MsgKind::ReadReply { .. }
             | MsgKind::WriteReply { .. }
             | MsgKind::TransferReply { .. }
+            | MsgKind::Nack { .. }
             | MsgKind::LockGrant { .. }
             | MsgKind::LockRetry { .. }
             | MsgKind::BarrierRelease { .. } => Reply,
@@ -236,6 +248,7 @@ impl MsgKind {
             | MsgKind::ReadReply { block, .. }
             | MsgKind::WriteReply { block, .. }
             | MsgKind::TransferReply { block, .. }
+            | MsgKind::Nack { block, .. }
             | MsgKind::Inval { block, .. }
             | MsgKind::InvalAck { block }
             | MsgKind::DirFlush { block, .. }
@@ -295,6 +308,22 @@ mod tests {
         assert_eq!(MsgKind::DirFlushAck { block: 1 }.class(), Acknowledgement);
         assert_eq!(MsgKind::LockReq { lock: 0 }.class(), Request);
         assert_eq!(MsgKind::BarrierRelease { barrier: 0 }.class(), Reply);
+        assert_eq!(
+            MsgKind::Nack {
+                block: 1,
+                was_write: true
+            }
+            .class(),
+            Reply
+        );
+        assert_eq!(
+            MsgKind::Nack {
+                block: 4,
+                was_write: false
+            }
+            .block(),
+            Some(4)
+        );
     }
 
     #[test]

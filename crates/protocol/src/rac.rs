@@ -55,6 +55,8 @@ pub struct Mshr {
     /// completing (`version` is the home-assigned version of the forwarded
     /// write, 0 for reads).
     pub deferred_forward: Option<(usize, bool, u64)>,
+    /// Times this transaction's request has been NACKed and reissued.
+    pub retries: u32,
 }
 
 impl Mshr {
@@ -127,6 +129,7 @@ impl Rac {
                         version: 0,
                         poisoned: false,
                         deferred_forward: None,
+                        retries: 0,
                     },
                 );
                 StartOutcome::IssueRequest
@@ -152,15 +155,44 @@ impl Rac {
     /// If no read MSHR is outstanding for `block` (a stray reply is always a
     /// protocol bug).
     pub fn read_reply(&mut self, block: Block) -> Mshr {
+        self.try_read_reply(block).expect("read reply without MSHR")
+    }
+
+    /// Records a data reply for a read MSHR, tolerating strays: returns
+    /// `None` when no *read* MSHR is outstanding for `block`. Under fault
+    /// injection a duplicated read request is serviced twice, so the second
+    /// reply finds its MSHR gone (or superseded by a write) and must simply
+    /// be discarded.
+    pub fn try_read_reply(&mut self, block: Block) -> Option<Mshr> {
+        if self.outstanding.get(&block).map(|m| m.kind) != Some(MshrKind::Read) {
+            return None;
+        }
         // Any reply implies the home processed our request, which followed
         // our writeback on the same channel: the writeback has landed.
         self.writeback_in_flight.remove(&block);
-        let m = self
-            .outstanding
-            .remove(&block)
-            .expect("read reply without MSHR");
-        assert_eq!(m.kind, MshrKind::Read, "read reply for a write MSHR");
-        m
+        self.outstanding.remove(&block)
+    }
+
+    /// Records a NACK for `block`'s outstanding request. Returns
+    /// `Some(attempt)` — the number of reissues so far, starting at 1 —
+    /// when a retry must be sent: the MSHR exists, its kind matches the
+    /// NACKed request, and the transaction has seen no service yet (no
+    /// reply, no acks). Any other NACK is stale — the transaction it
+    /// refused already completed, or a duplicated request bounced — and
+    /// must be dropped (`None`), because reissuing a request that was
+    /// *also* serviced would corrupt the directory.
+    pub fn on_nack(&mut self, block: Block, was_write: bool) -> Option<u32> {
+        let m = self.outstanding.get_mut(&block)?;
+        let kind = if was_write {
+            MshrKind::Write
+        } else {
+            MshrKind::Read
+        };
+        if m.kind != kind || m.reply_received || m.acks_received > 0 {
+            return None;
+        }
+        m.retries += 1;
+        Some(m.retries)
     }
 
     /// Records the ownership reply (with its ack count) for a write MSHR.
@@ -388,5 +420,49 @@ mod tests {
     fn stray_reply_panics() {
         let mut rac = Rac::new();
         rac.read_reply(42);
+    }
+
+    #[test]
+    fn stray_read_reply_is_dropped_tolerantly() {
+        let mut rac = Rac::new();
+        assert!(rac.try_read_reply(42).is_none(), "no MSHR at all");
+        rac.start(42, MshrKind::Write, 0);
+        assert!(
+            rac.try_read_reply(42).is_none(),
+            "a write MSHR must not consume a read reply"
+        );
+        assert!(rac.has_mshr(42), "the write MSHR survives the stray");
+    }
+
+    #[test]
+    fn nack_counts_retries_until_service() {
+        let mut rac = Rac::new();
+        rac.start(7, MshrKind::Write, 0);
+        assert_eq!(rac.on_nack(7, true), Some(1));
+        assert_eq!(rac.on_nack(7, true), Some(2));
+        let m = rac.write_reply(7, 0, 0).expect("completes");
+        assert_eq!(m.retries, 2);
+    }
+
+    #[test]
+    fn stale_nacks_are_dropped() {
+        let mut rac = Rac::new();
+        // No MSHR at all.
+        assert_eq!(rac.on_nack(3, false), None);
+        // Kind mismatch: a read NACK must not reissue a write.
+        rac.start(3, MshrKind::Write, 0);
+        assert_eq!(rac.on_nack(3, false), None);
+        // Service already visible (an ack arrived): the request was
+        // processed, so the NACK is stale.
+        assert!(rac.inval_ack(3).is_none());
+        assert_eq!(rac.on_nack(3, true), None);
+    }
+
+    #[test]
+    fn nack_after_reply_is_dropped() {
+        let mut rac = Rac::new();
+        rac.start(4, MshrKind::Write, 0);
+        assert!(rac.write_reply(4, 2, 0).is_none(), "acks still owed");
+        assert_eq!(rac.on_nack(4, true), None, "reply already in");
     }
 }

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to the crates.io registry, so the
+//! workspace vendors the *subset* of the `rand` 0.8 API it actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over
+//! integer ranges, and [`seq::SliceRandom::shuffle`]. The generator is
+//! xorshift64\* seeded through splitmix64 — deterministic per seed and ample
+//! quality for the Monte-Carlo invalidation analysis (`scd-core::analysis`),
+//! which only needs uniform home/writer/sharer draws.
+//!
+//! Numerical streams differ from upstream `rand`; everything in-tree treats
+//! the RNG as an opaque uniform source, so only determinism per seed
+//! matters, not the exact sequence.
+
+#![warn(missing_docs)]
+
+/// Low-level uniform 64-bit source.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform value from the range.
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Convenience sampling methods, as in `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform value from `range` (half-open or inclusive integer ranges).
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_one(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+fn below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    let zone = u64::MAX - (u64::MAX % bound);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + below(rng, span) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xorshift64\* generator (stand-in for rand's `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Splitmix64 scrambles low-entropy seeds (0, small integers)
+            // into a full-width nonzero state.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            StdRng {
+                state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z },
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+/// Slice sampling helpers.
+pub mod seq {
+    use super::{below, RngCore};
+
+    /// Shuffling, as in `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = below(rng, (i + 1) as u64) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3u16..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(5usize..=5);
+            assert_eq!(w, 5);
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 1_000.0, "bucket {c}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..40).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn f64_range() {
+        let mut r = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&v));
+        }
+    }
+}

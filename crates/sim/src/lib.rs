@@ -8,7 +8,9 @@
 #![warn(missing_docs)]
 
 pub mod queue;
+pub mod ring;
 pub mod rng;
 
 pub use queue::{Cycle, EventQueue};
+pub use ring::RingLog;
 pub use rng::SimRng;

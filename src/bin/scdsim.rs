@@ -14,12 +14,16 @@
 //!   --serial-invalidations           SCI-style serial invalidation walk
 //!   --histogram                      print the invalidation distribution
 //!   --check                          verify coherence invariants at exit
+//!   --max-cycles <n>                 abort past n simulated cycles
+//!   --fault <spec>                   inject faults (nack:P,dup:P,delay:P:C,reorder:P:W)
+//!   --watchdog <cycles>              fail if no op retires for n cycles
 //! ```
 
 use scd::apps::{dwf, locusroute, lu, mp3d, AppRun, DwfParams, LocusRouteParams, LuParams,
     Mp3dParams};
 use scd::core::{Replacement, Scheme};
 use scd::machine::{Machine, MachineConfig};
+use scd::noc::FaultPlan;
 
 fn usage() -> ! {
     eprintln!("{}", HELP.trim());
@@ -42,6 +46,12 @@ usage: scdsim [options]
   --serial-invalidations                      SCI-style serial invalidations
   --contention <cycles>                       mesh link occupancy (queueing)
   --hints                                     send replacement hints
+  --max-cycles <n>                            abort past n simulated cycles
+  --fault <spec>                              inject faults, e.g.
+                                              nack:0.01 | dup:0.005 |
+                                              delay:0.02:200 | reorder:0.02:100
+                                              (comma-separate to combine)
+  --watchdog <cycles>                         fail if no op retires for n cycles
   --anatomy                                   print busy/stall breakdown
   --histogram                                 print invalidation distribution
   --check                                     verify coherence invariants
@@ -88,6 +98,9 @@ fn main() {
     let mut anatomy = false;
     let mut histogram = false;
     let mut check = false;
+    let mut max_cycles: Option<u64> = None;
+    let mut fault: Option<FaultPlan> = None;
+    let mut watchdog = 0u64;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -126,6 +139,15 @@ fn main() {
             }
             "--serial-invalidations" => serial = true,
             "--contention" => contention = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--max-cycles" => max_cycles = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--fault" => {
+                let v = val();
+                fault = Some(FaultPlan::parse(&v).unwrap_or_else(|e| {
+                    eprintln!("bad --fault spec {v:?}: {e}");
+                    std::process::exit(2)
+                }));
+            }
+            "--watchdog" => watchdog = val().parse().unwrap_or_else(|_| usage()),
             "--hints" => hints = true,
             "--anatomy" => anatomy = true,
             "--histogram" => histogram = true,
@@ -143,6 +165,11 @@ fn main() {
     cfg.replacement_hints = hints;
     cfg.check_invariants = check;
     cfg.track_versions = check;
+    if let Some(n) = max_cycles {
+        cfg.max_cycles = n;
+    }
+    cfg.fault_plan = fault;
+    cfg.watchdog_cycles = watchdog;
     if let Some((entries, ways, policy)) = sparse {
         cfg = cfg.with_sparse(entries, ways, policy);
     }
@@ -169,7 +196,14 @@ fn main() {
         app.shared_refs(),
     );
     let wall = std::time::Instant::now();
-    let stats = Machine::new(cfg, app.boxed_programs()).run();
+    let stats = match Machine::new(cfg, app.boxed_programs()).try_run() {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("simulation failed ({})", e.kind());
+            eprintln!("{e}");
+            std::process::exit(1)
+        }
+    };
     println!(
         "simulated {} cycles in {:.2}s wall ({:.0} events-ish/s)",
         stats.cycles,
@@ -200,6 +234,14 @@ fn main() {
         println!(
             "sync: {} ops, {} lock grants, {} lock retries",
             stats.sync_ops, stats.lock_metrics.0, stats.lock_metrics.1
+        );
+    }
+    if stats.faults != Default::default() {
+        let f = stats.faults;
+        println!(
+            "faults: {} nacks, {} retries, {} duplicates, {} strays dropped, \
+             {} delay spikes, {} reorders",
+            f.nacks, f.retries, f.duplicates, f.strays_dropped, f.delay_spikes, f.reorders
         );
     }
     if anatomy {
