@@ -2,7 +2,7 @@
 //! scale and print wall time, simulated cycles and traffic. Used to tune
 //! problem sizes before the real experiments.
 
-use bench::{run_app, scheme_suite};
+use bench::{run_app, scheme_suite, write_bench_json};
 use scd_apps::suite;
 
 fn main() {
@@ -33,6 +33,7 @@ fn main() {
                 stats.invalidations.events(),
                 stats.invalidations.mean(),
             );
+            write_bench_json(app, name, &stats);
         }
     }
 }

@@ -22,5 +22,6 @@
 pub mod runner;
 
 pub use runner::{
-    run_app, run_app_with, scheme_suite, sparse_config, write_results, SPARSE_CACHE_RATIO,
+    bench_json_name, run_app, run_app_with, scheme_suite, sparse_config, write_bench_json,
+    write_results, SPARSE_CACHE_RATIO,
 };

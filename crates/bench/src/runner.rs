@@ -4,6 +4,7 @@
 use scd_apps::AppRun;
 use scd_core::Scheme;
 use scd_machine::{Machine, MachineConfig, RunStats};
+use scd_trace::Json;
 
 /// The paper's four evaluated schemes for 32 processors with a ~13%
 /// directory-memory budget (§5): full vector plus the three-pointer
@@ -65,6 +66,46 @@ pub fn sparse_config(
         cfg = cfg.with_sparse(per_home.max(ways), ways, policy);
     }
     cfg
+}
+
+/// Lower-cases `s` and collapses every non-alphanumeric run to a single
+/// `_`, producing the file-system-safe slugs used in `BENCH_*.json` names.
+fn slug(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut gap = false;
+    for ch in s.chars() {
+        if ch.is_ascii_alphanumeric() {
+            if gap && !out.is_empty() {
+                out.push('_');
+            }
+            gap = false;
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            gap = true;
+        }
+    }
+    out
+}
+
+/// The `BENCH_<app>_<scheme>.json` file name for one benchmark data point.
+pub fn bench_json_name(app_name: &str, scheme_name: &str) -> String {
+    format!("BENCH_{}_{}.json", slug(app_name), slug(scheme_name))
+}
+
+/// Writes one perf-trajectory data point as `BENCH_<app>_<scheme>.json` in
+/// the current directory, using the `scd-run-stats/v1` schema (the same
+/// document `scdsim --stats-json` emits). Successive PRs compare these
+/// files to track simulator behaviour over time.
+pub fn write_bench_json(app: &AppRun, scheme_name: &str, stats: &RunStats) {
+    let run = Json::obj()
+        .with("app", Json::Str(app.name.into()))
+        .with("scheme", Json::Str(scheme_name.into()))
+        .with("shared_refs", Json::U64(app.shared_refs()))
+        .with("shared_bytes", Json::U64(app.shared_bytes));
+    let doc = stats.to_json_document(Some(run), None);
+    let name = bench_json_name(app.name, scheme_name);
+    std::fs::write(&name, format!("{doc}\n")).expect("write bench json");
+    println!("[bench point written to {name}]");
 }
 
 /// Writes `content` to `results/<name>` (creating the directory), and

@@ -2,6 +2,7 @@
 
 use scd_core::{Organization, Replacement, Scheme};
 use scd_noc::{FaultPlan, LatencyModel};
+use scd_trace::TraceConfig;
 
 /// Fixed-cost timing parameters, calibrated so that the three canonical
 /// DASH latencies come out near the paper's §5 numbers: local misses
@@ -102,6 +103,10 @@ pub struct MachineConfig {
     /// Capacity of the in-memory ring of recent events reported in a
     /// failure post-mortem. 0 disables event logging.
     pub event_log: usize,
+    /// Structured transaction tracing and the metrics registry
+    /// (`scd-trace`). `None` — like an inactive config — leaves the run
+    /// bit-identical to a machine without trace hooks.
+    pub trace: Option<TraceConfig>,
 }
 
 impl MachineConfig {
@@ -136,6 +141,7 @@ impl MachineConfig {
             fault_plan: None,
             watchdog_cycles: 0,
             event_log: 64,
+            trace: None,
         }
     }
 
@@ -165,6 +171,7 @@ impl MachineConfig {
             fault_plan: None,
             watchdog_cycles: 0,
             event_log: 64,
+            trace: None,
         }
     }
 
@@ -231,6 +238,12 @@ impl MachineConfig {
     /// Enables the forward-progress watchdog (0 disables it).
     pub fn with_watchdog(mut self, cycles: u64) -> Self {
         self.watchdog_cycles = cycles;
+        self
+    }
+
+    /// Enables transaction tracing / the metrics registry.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
         self
     }
 

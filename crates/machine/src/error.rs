@@ -50,6 +50,10 @@ pub struct PostMortem {
     /// The last events the engine processed, oldest first (capacity set by
     /// `MachineConfig::event_log`; empty when disabled).
     pub recent_events: Vec<String>,
+    /// Per-cluster trace tails for clusters with protocol state still in
+    /// flight: `(cluster, rendered events, oldest first)`. Populated only
+    /// when the machine ran with an active `TraceConfig`.
+    pub trace_tails: Vec<(usize, Vec<String>)>,
     /// Rare-path protocol counters at failure time.
     pub counters: ProtocolCounters,
     /// Fault-injection counters at failure time.
@@ -82,6 +86,12 @@ impl std::fmt::Display for PostMortem {
         if !self.recent_events.is_empty() {
             writeln!(f, "  last {} events:", self.recent_events.len())?;
             for ev in &self.recent_events {
+                writeln!(f, "    {ev}")?;
+            }
+        }
+        for (cluster, tail) in &self.trace_tails {
+            writeln!(f, "  cluster {cluster} trace tail ({} events):", tail.len())?;
+            for ev in tail {
                 writeln!(f, "    {ev}")?;
             }
         }
@@ -166,6 +176,7 @@ mod tests {
                 busy: vec![(4, "AwaitClose".into(), 2)],
             }],
             recent_events: vec!["[120] Deliver(..)".into()],
+            trace_tails: vec![(0, vec!["[     110] #7 TxnBegin { .. }".into()])],
             counters: ProtocolCounters::default(),
             faults: FaultCounters::default(),
             detail: "1 processors blocked".into(),
@@ -181,6 +192,8 @@ mod tests {
         assert!(text.contains("Read(64)"), "{text}");
         assert!(text.contains("cluster 0"), "{text}");
         assert!(text.contains("[120]"), "{text}");
+        assert!(text.contains("trace tail (1 events)"), "{text}");
+        assert!(text.contains("TxnBegin"), "{text}");
     }
 
     #[test]

@@ -42,6 +42,10 @@ use scd_protocol::rac::{MshrKind, StartOutcome};
 use scd_sim::{Cycle, EventQueue, RingLog, SimRng};
 use scd_stats::{Histogram, MessageClass, Traffic};
 use scd_tango::{Op, ThreadProgram};
+use scd_trace::{
+    EventKind, IntervalSnapshot, MetricsRegistry, Phase, TraceConfig, TraceEvent, Tracer,
+    TxnTimeline,
+};
 
 use crate::config::MachineConfig;
 use crate::error::{BlockedProc, ClusterDiag, PostMortem, SimError};
@@ -143,6 +147,28 @@ struct ReplacementWork {
     dirty_owner: Option<usize>,
 }
 
+/// One in-flight traced coherence transaction. Keyed by (requester
+/// cluster, block), which is unique because the RAC holds one MSHR per
+/// cluster/block pair; merged waiters join the existing transaction.
+struct TxnLive {
+    id: u64,
+    issue: Cycle,
+    write: bool,
+    home_lookup: Option<Cycle>,
+    fanout: Option<Cycle>,
+    retries: u32,
+}
+
+/// Counter baselines at the last interval boundary, so each
+/// [`IntervalSnapshot`] reports per-window deltas.
+#[derive(Default)]
+struct IntervalBase {
+    messages: u64,
+    retries: u64,
+    nacks: u64,
+    ops: u64,
+}
+
 /// Per-cluster snapshot handed to the invariant checker: resident blocks
 /// with their highest state, the directory store, and the serializer.
 pub(crate) type ClusterView<'a> = (
@@ -185,6 +211,26 @@ pub struct Machine {
     last_progress: Cycle,
     /// Recently processed events, kept for failure post-mortems.
     event_log: RingLog<(Cycle, Ev)>,
+    /// Resolved trace configuration (inert when `cfg.trace` is `None`).
+    trace_cfg: TraceConfig,
+    /// Pre-computed `trace_cfg.is_active()`: like `fault_active`, an inert
+    /// trace must cost nothing, so every hook gates on this bool.
+    trace_active: bool,
+    /// Per-cluster bounded event rings (inert when tracing is off).
+    tracer: Tracer,
+    /// Phase-latency histograms and interval snapshots (only fed when
+    /// `trace_cfg.metrics`).
+    metrics: MetricsRegistry,
+    /// Live traced transactions, keyed by (requester cluster, block).
+    txn_live: HashMap<(usize, u64), TxnLive>,
+    /// Last transaction id handed out.
+    txn_next: u64,
+    /// Next interval-snapshot boundary (0 when sampling is off).
+    interval_next: Cycle,
+    /// Start cycle of the current interval window.
+    interval_start: Cycle,
+    /// Counter baselines at the last interval boundary.
+    interval_base: IntervalBase,
 }
 
 impl Machine {
@@ -243,6 +289,13 @@ impl Machine {
         let fault_plan = cfg.fault_plan.unwrap_or_default();
         let fault_rng = SimRng::new(cfg.seed).fork(0xFA17);
         let event_log = RingLog::new(cfg.event_log);
+        let trace_cfg = cfg.trace.unwrap_or_else(TraceConfig::none);
+        let trace_active = trace_cfg.is_active();
+        let tracer = if trace_active {
+            Tracer::new(cfg.clusters, &trace_cfg)
+        } else {
+            Tracer::inert()
+        };
         Machine {
             queue: EventQueue::new(),
             clusters,
@@ -265,6 +318,15 @@ impl Machine {
             chan_clamp: HashMap::new(),
             last_progress: 0,
             event_log,
+            interval_next: trace_cfg.interval,
+            interval_start: 0,
+            interval_base: IntervalBase::default(),
+            trace_cfg,
+            trace_active,
+            tracer,
+            metrics: MetricsRegistry::new(),
+            txn_live: HashMap::new(),
+            txn_next: 0,
             cfg,
         }
     }
@@ -347,6 +409,20 @@ impl Machine {
         let lat = self.network.send(ready_at, msg.src, msg.dst);
         if msg.src != msg.dst {
             self.traffic.record(msg.kind.class());
+            if self.trace_active && self.tracer.messages_enabled() {
+                self.tracer.record(
+                    msg.src,
+                    ready_at,
+                    EventKind::MsgSend {
+                        src: msg.src as u32,
+                        dst: msg.dst as u32,
+                        msg: msg.kind.label(),
+                        class: msg.kind.class().label(),
+                        block: msg.kind.block(),
+                        hops: self.network.hops(msg.src, msg.dst) as u32,
+                    },
+                );
+            }
             if self.fault_active {
                 return self.faulty_schedule(ready_at + lat, msg);
             }
@@ -441,6 +517,183 @@ impl Machine {
         st.blocked_on_sync = on_sync;
     }
 
+    // ------------------------------------------------------------------
+    // Telemetry (scd-trace)
+    //
+    // Every hook gates on `trace_active` and only *reads* machine state:
+    // tracing must never touch the event queue, any RNG stream, or any
+    // timing decision, so a traced run retires the identical schedule (the
+    // bit-identity contract, tested in tests/telemetry.rs).
+    // ------------------------------------------------------------------
+
+    /// A new coherence transaction issued its first request.
+    fn trace_txn_begin(&mut self, t: Cycle, cl: usize, block: u64, write: bool) {
+        if !self.trace_active || self.txn_live.contains_key(&(cl, block)) {
+            return;
+        }
+        self.txn_next += 1;
+        let id = self.txn_next;
+        self.txn_live.insert(
+            (cl, block),
+            TxnLive {
+                id,
+                issue: t,
+                write,
+                home_lookup: None,
+                fanout: None,
+                retries: 0,
+            },
+        );
+        self.tracer
+            .record(cl, t, EventKind::TxnBegin { txn: id, block, write });
+    }
+
+    /// The home directory first serviced the transaction (set-once:
+    /// queued replays and re-entrant processing don't re-record).
+    fn trace_txn_phase(
+        &mut self,
+        t: Cycle,
+        home: usize,
+        requester: usize,
+        block: u64,
+        phase: Phase,
+    ) {
+        if !self.trace_active {
+            return;
+        }
+        let Some(live) = self.txn_live.get_mut(&(requester, block)) else {
+            return;
+        };
+        let slot = match phase {
+            Phase::HomeLookup => &mut live.home_lookup,
+            Phase::Fanout => &mut live.fanout,
+            _ => return,
+        };
+        if slot.is_some() {
+            return;
+        }
+        *slot = Some(t);
+        let txn = live.id;
+        self.tracer
+            .record(home, t, EventKind::TxnPhase { txn, block, phase });
+    }
+
+    /// The requester received a NACK for its outstanding transaction.
+    fn trace_nack(&mut self, t: Cycle, cl: usize, block: u64) {
+        if !self.trace_active {
+            return;
+        }
+        let Some(live) = self.txn_live.get(&(cl, block)) else {
+            return;
+        };
+        let txn = live.id;
+        self.tracer.record(cl, t, EventKind::Nack { txn, block });
+    }
+
+    /// The requester reissued a NACKed request after backing off.
+    fn trace_retry(&mut self, t: Cycle, cl: usize, block: u64, attempt: u32, backoff: u64) {
+        if !self.trace_active {
+            return;
+        }
+        let Some(live) = self.txn_live.get_mut(&(cl, block)) else {
+            return;
+        };
+        live.retries = attempt;
+        let txn = live.id;
+        self.tracer.record(
+            cl,
+            t,
+            EventKind::Retry {
+                txn,
+                block,
+                attempt,
+                backoff,
+            },
+        );
+    }
+
+    /// The transaction completed at its requester: close it out and feed
+    /// the phase-latency histograms.
+    fn trace_txn_end(&mut self, t: Cycle, cl: usize, block: u64) {
+        if !self.trace_active {
+            return;
+        }
+        let Some(live) = self.txn_live.remove(&(cl, block)) else {
+            return;
+        };
+        let latency = t.saturating_sub(live.issue);
+        self.tracer.record(
+            cl,
+            t,
+            EventKind::TxnEnd {
+                txn: live.id,
+                block,
+                latency,
+                retries: live.retries,
+            },
+        );
+        if self.trace_cfg.metrics {
+            self.metrics.record_txn(&TxnTimeline {
+                issue: live.issue,
+                home_lookup: live.home_lookup,
+                fanout: live.fanout,
+                end: t,
+                write: live.write,
+                retries: live.retries,
+            });
+        }
+    }
+
+    /// Advances interval sampling across every boundary up to `t`.
+    fn trace_intervals(&mut self, t: Cycle) {
+        while t >= self.interval_next {
+            let net = self.network.stats().messages;
+            let ops = self.shared_reads + self.shared_writes + self.sync_ops;
+            let occupancy: u64 = self
+                .clusters
+                .iter()
+                .map(|c| c.rac.outstanding() as u64)
+                .sum();
+            self.metrics.push_interval(IntervalSnapshot {
+                start: self.interval_start,
+                end: self.interval_next,
+                messages: net - self.interval_base.messages,
+                retries: self.faults.retries - self.interval_base.retries,
+                nacks: self.faults.nacks - self.interval_base.nacks,
+                occupancy,
+                ops_retired: ops - self.interval_base.ops,
+            });
+            self.interval_base = IntervalBase {
+                messages: net,
+                retries: self.faults.retries,
+                nacks: self.faults.nacks,
+                ops,
+            };
+            self.interval_start = self.interval_next;
+            self.interval_next += self.trace_cfg.interval;
+        }
+    }
+
+    /// All retained trace events, merged into one cycle-ordered history.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.tracer.merged()
+    }
+
+    /// The last `k` retained trace events of one cluster, oldest first.
+    pub fn trace_tail(&self, cluster: usize, k: usize) -> Vec<TraceEvent> {
+        self.tracer.tail(cluster, k)
+    }
+
+    /// Events recorded / evicted-from-ring counts for the run so far.
+    pub fn trace_counts(&self) -> (u64, u64) {
+        (self.tracer.recorded(), self.tracer.dropped())
+    }
+
+    /// The metrics registry (empty unless `TraceConfig::metrics` was on).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
     /// Runs the workload to completion and returns the collected metrics.
     ///
     /// # Panics
@@ -451,7 +704,13 @@ impl Machine {
     pub fn run(&mut self) -> RunStats {
         match self.try_run() {
             Ok(stats) => stats,
-            Err(e) => panic!("{e}"),
+            Err(e) => {
+                // The panic payload carries the full post-mortem rendering
+                // (blocked processors, cluster state, event log, trace
+                // tails), so even harnesses that only capture the panic
+                // message get the causal history, not a bare headline.
+                panic!("simulation failed ({})\n{e}", e.kind());
+            }
         }
     }
 
@@ -479,6 +738,9 @@ impl Machine {
                     self.last_progress, self.cfg.watchdog_cycles
                 );
                 return Err(SimError::LivelockWatchdog(self.post_mortem(t, detail)));
+            }
+            if self.trace_active && self.trace_cfg.interval > 0 {
+                self.trace_intervals(t);
             }
             self.event_log.push((t, ev));
             match ev {
@@ -563,7 +825,7 @@ impl Machine {
                 blocked_since: st.blocked_since,
             })
             .collect();
-        let clusters = self
+        let clusters: Vec<ClusterDiag> = self
             .clusters
             .iter()
             .enumerate()
@@ -579,6 +841,23 @@ impl Machine {
                     .collect(),
             })
             .collect();
+        // Attach each stuck cluster's recent trace history (empty when
+        // tracing is off): the transaction-level view of what the cluster
+        // was doing when the run died.
+        const TAIL_EVENTS: usize = 16;
+        let trace_tails = if self.trace_active {
+            clusters
+                .iter()
+                .map(|d: &ClusterDiag| d.cluster)
+                .filter_map(|c| {
+                    let tail = self.tracer.tail(c, TAIL_EVENTS);
+                    (!tail.is_empty())
+                        .then(|| (c, tail.iter().map(TraceEvent::render).collect()))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         Box::new(PostMortem {
             cycle,
             running: self.running,
@@ -589,6 +868,7 @@ impl Machine {
                 .iter()
                 .map(|(at, ev)| format!("[{at:>8}] {ev:?}"))
                 .collect(),
+            trace_tails,
             counters: self.counters,
             faults: self.faults,
             detail,
@@ -766,6 +1046,7 @@ impl Machine {
         // Remote (or local-home) transaction through the RAC.
         match self.clusters[cl].rac.start(block, kind, lp) {
             StartOutcome::IssueRequest => {
+                self.trace_txn_begin(t, cl, block, kind == MshrKind::Write);
                 let mk = if kind == MshrKind::Write {
                     MsgKind::WriteReq { block }
                 } else {
@@ -901,6 +1182,18 @@ impl Machine {
 
     fn deliver(&mut self, t: Cycle, msg: Msg) {
         let Msg { src, dst, kind } = msg;
+        if self.trace_active && src != dst && self.tracer.messages_enabled() {
+            self.tracer.record(
+                dst,
+                t,
+                EventKind::MsgDeliver {
+                    src: src as u32,
+                    dst: dst as u32,
+                    msg: kind.label(),
+                    block: kind.block(),
+                },
+            );
+        }
         if self.fault_active && src != dst && self.fault_plan.nack_prob > 0.0 {
             if let MsgKind::ReadReq { block } | MsgKind::WriteReq { block } = kind {
                 if self.fault_rng.chance(self.fault_plan.nack_prob) {
@@ -1052,6 +1345,7 @@ impl Machine {
                 }
             }
             MsgKind::Nack { block, was_write } => {
+                self.trace_nack(t, dst, block);
                 match self.clusters[dst].rac.on_nack(block, was_write) {
                     Some(attempt) => {
                         // Reissue with exponential backoff so a refusing
@@ -1059,6 +1353,7 @@ impl Machine {
                         self.faults.retries += 1;
                         let base = self.cfg.timing.bus_memory.max(1);
                         let backoff = base << (attempt - 1).min(10);
+                        self.trace_retry(t, dst, block, attempt, backoff);
                         let home = self.cfg.home_of(block);
                         let kind = if was_write {
                             MsgKind::WriteReq { block }
@@ -1360,6 +1655,8 @@ impl Machine {
             return;
         }
 
+        self.trace_txn_phase(t, home, requester, block, Phase::HomeLookup);
+
         // Home bus snoop: keep/make the home cluster's own copies coherent.
         if is_write {
             // Home copies are invalidated over the bus (a dirty home copy
@@ -1522,6 +1819,9 @@ impl Machine {
             }
             DirAction::Grant { inval_targets } => {
                 self.inval_hist.record(inval_targets.len());
+                if !inval_targets.is_empty() {
+                    self.trace_txn_phase(t, home, requester, block, Phase::Fanout);
+                }
                 let version = self.bump_version(home, block);
                 if self.cfg.serial_invalidations && !inval_targets.is_empty() {
                     // SCI-style: walk the sharers one at a time. The block
@@ -1592,6 +1892,17 @@ impl Machine {
         }
         let tm = self.cfg.timing;
         self.counters.replacement_flushes += 1;
+        if self.trace_active {
+            self.tracer.record(
+                home,
+                t,
+                EventKind::Replacement {
+                    victim: rep.victim_key,
+                    targets: rep.targets.len() as u32,
+                    dirty: rep.dirty_owner.is_some(),
+                },
+            );
+        }
         let epoch = self.memory_version(home, rep.victim_key);
         let n = rep.targets.len() as u32;
         for c in rep.targets {
@@ -2087,6 +2398,7 @@ impl Machine {
     // ------------------------------------------------------------------
 
     fn complete_read(&mut self, t: Cycle, cl: usize, block: u64, mshr: scd_protocol::Mshr) {
+        self.trace_txn_end(t, cl, block);
         let tm = self.cfg.timing;
         for &(lp, kind) in &mshr.waiters {
             if kind == MshrKind::Read {
@@ -2106,6 +2418,7 @@ impl Machine {
     }
 
     fn complete_write(&mut self, t: Cycle, cl: usize, block: u64, mshr: scd_protocol::Mshr) {
+        self.trace_txn_end(t, cl, block);
         let tm = self.cfg.timing;
         let (writer, _) = *mshr
             .waiters

@@ -2,7 +2,8 @@
 
 use scd_core::{OverflowStats, SparseStats};
 use scd_noc::NetworkStats;
-use scd_stats::{Histogram, Traffic};
+use scd_stats::{Histogram, MessageClass, Traffic};
+use scd_trace::{Json, MetricsRegistry};
 
 /// Counts of rare protocol paths, for observability in stress tests.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -125,5 +126,122 @@ impl RunStats {
     /// Execution time normalized to a baseline run.
     pub fn normalized_time(&self, baseline: &RunStats) -> f64 {
         self.cycles as f64 / baseline.cycles as f64
+    }
+
+    /// The core run statistics as a JSON object with insertion-ordered,
+    /// stable field names. This is the `stats` section of the
+    /// `scd-run-stats/v1` schema; field names and nesting are a published
+    /// format (`scdsim --stats-json`, `BENCH_*.json`) — only add, never
+    /// rename.
+    pub fn to_json(&self) -> Json {
+        let traffic = Json::obj()
+            .with("requests", Json::U64(self.traffic.get(MessageClass::Request)))
+            .with("replies", Json::U64(self.traffic.get(MessageClass::Reply)))
+            .with(
+                "invalidations",
+                Json::U64(self.traffic.get(MessageClass::Invalidation)),
+            )
+            .with(
+                "acks",
+                Json::U64(self.traffic.get(MessageClass::Acknowledgement)),
+            )
+            .with("total", Json::U64(self.traffic.total()));
+        let network = Json::obj()
+            .with("messages", Json::U64(self.network.messages))
+            .with("hops", Json::U64(self.network.hops))
+            .with("mean_hops", Json::F64(self.network.mean_hops()))
+            .with(
+                "contention_cycles",
+                Json::U64(self.network.contention_cycles),
+            );
+        let protocol = Json::obj()
+            .with("forwards", Json::U64(self.protocol.forwards))
+            .with("races", Json::U64(self.protocol.races))
+            .with("self_owned_parks", Json::U64(self.protocol.self_owned_parks))
+            .with("nb_evictions", Json::U64(self.protocol.nb_evictions))
+            .with(
+                "replacement_flushes",
+                Json::U64(self.protocol.replacement_flushes),
+            )
+            .with("sparse_stalls", Json::U64(self.protocol.sparse_stalls));
+        let faults = Json::obj()
+            .with("nacks", Json::U64(self.faults.nacks))
+            .with("retries", Json::U64(self.faults.retries))
+            .with("duplicates", Json::U64(self.faults.duplicates))
+            .with("strays_dropped", Json::U64(self.faults.strays_dropped))
+            .with("delay_spikes", Json::U64(self.faults.delay_spikes))
+            .with("reorders", Json::U64(self.faults.reorders));
+        let (busy, mem, sync) = self.stalls.fractions();
+        let anatomy = Json::obj()
+            .with("busy", Json::F64(busy))
+            .with("mem_stall", Json::F64(mem))
+            .with("sync_stall", Json::F64(sync));
+        let mut j = Json::obj()
+            .with("cycles", Json::U64(self.cycles))
+            .with("shared_reads", Json::U64(self.shared_reads))
+            .with("shared_writes", Json::U64(self.shared_writes))
+            .with("sync_ops", Json::U64(self.sync_ops))
+            .with("l2_misses", Json::U64(self.l2_misses))
+            .with("traffic", traffic)
+            .with(
+                "invalidations",
+                Json::obj()
+                    .with("events", Json::U64(self.invalidations.events()))
+                    .with("total", Json::U64(self.invalidations.weight()))
+                    .with("mean", Json::F64(self.invalidations.mean()))
+                    .with("max", Json::U64(self.invalidations.max_value() as u64)),
+            )
+            .with("network", network)
+            .with("protocol", protocol)
+            .with("faults", faults)
+            .with("anatomy", anatomy)
+            .with("lock_grants", Json::U64(self.lock_metrics.0))
+            .with("lock_retries", Json::U64(self.lock_metrics.1))
+            .with("max_home_queue", Json::U64(self.queue_metrics.0 as u64))
+            .with("queued_requests", Json::U64(self.queue_metrics.1))
+            .with("live_dir_entries", Json::U64(self.live_dir_entries as u64))
+            .with("versions_assigned", Json::U64(self.versions_assigned));
+        if let Some(s) = &self.sparse {
+            j.set(
+                "sparse",
+                Json::obj()
+                    .with("hits", Json::U64(s.hits))
+                    .with("misses", Json::U64(s.misses))
+                    .with("fills", Json::U64(s.fills))
+                    .with("replacements", Json::U64(s.replacements)),
+            );
+        }
+        if let Some(o) = &self.overflow {
+            j.set(
+                "overflow",
+                Json::obj()
+                    .with("promotions", Json::U64(o.promotions))
+                    .with("demotions", Json::U64(o.demotions))
+                    .with("displacements", Json::U64(o.displacements))
+                    .with("fallback_evictions", Json::U64(o.fallback_evictions)),
+            );
+        }
+        j
+    }
+
+    /// The full `scd-run-stats/v1` document: schema tag, the core stats,
+    /// and the metrics registry (or `null` when metrics were off).
+    /// `meta` fields (app, scheme, seed, ...) are prepended under `run`
+    /// when provided, so harnesses can label their outputs.
+    pub fn to_json_document(
+        &self,
+        run: Option<Json>,
+        metrics: Option<&MetricsRegistry>,
+    ) -> Json {
+        let mut j = Json::obj().with("schema", Json::Str("scd-run-stats/v1".into()));
+        if let Some(run) = run {
+            j.set("run", run);
+        }
+        j.set("stats", self.to_json());
+        j.set(
+            "metrics",
+            metrics.map(MetricsRegistry::to_json).unwrap_or(Json::Null),
+        );
+        j
     }
 }

@@ -168,6 +168,16 @@ impl Network {
         self.model.latency(&self.mesh, src, dst)
     }
 
+    /// Mesh hops between two clusters (0 for a local delivery), without
+    /// recording anything.
+    pub fn hops(&self, src: usize, dst: usize) -> usize {
+        if src == dst {
+            0
+        } else {
+            self.mesh.distance(src, dst)
+        }
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &NetworkStats {
         &self.stats
@@ -218,6 +228,17 @@ mod tests {
         assert_eq!(n.stats().hop_histogram[6], 1);
         assert_eq!(n.stats().hop_histogram[1], 1);
         assert!((n.stats().mean_hops() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hops_accessor_matches_send_accounting() {
+        let mut n = Network::new(16, LatencyModel::Uniform { latency: 5 });
+        assert_eq!(n.hops(3, 3), 0, "local delivery crosses no links");
+        assert_eq!(n.hops(0, 15), 6);
+        assert_eq!(n.hops(0, 1), 1);
+        n.send(0, 0, 15);
+        assert_eq!(n.stats().hops, n.hops(0, 15) as u64);
+        assert_eq!(n.stats().messages, 1, "hops() itself records nothing");
     }
 
     #[test]

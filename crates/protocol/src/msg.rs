@@ -233,6 +233,36 @@ impl MsgKind {
         }
     }
 
+    /// Stable snake_case name of this message kind, for trace schemas.
+    /// Names are part of the JSONL trace format — never reuse or rename.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MsgKind::ReadReq { .. } => "read_req",
+            MsgKind::WriteReq { .. } => "write_req",
+            MsgKind::Writeback { .. } => "writeback",
+            MsgKind::ReplacementHint { .. } => "replacement_hint",
+            MsgKind::FwdRead { .. } => "fwd_read",
+            MsgKind::FwdWrite { .. } => "fwd_write",
+            MsgKind::SharingWriteback { .. } => "sharing_writeback",
+            MsgKind::OwnershipTransfer { .. } => "ownership_transfer",
+            MsgKind::WritebackRace { .. } => "writeback_race",
+            MsgKind::ReadReply { .. } => "read_reply",
+            MsgKind::WriteReply { .. } => "write_reply",
+            MsgKind::TransferReply { .. } => "transfer_reply",
+            MsgKind::Nack { .. } => "nack",
+            MsgKind::Inval { .. } => "inval",
+            MsgKind::InvalAck { .. } => "inval_ack",
+            MsgKind::DirFlush { .. } => "dir_flush",
+            MsgKind::DirFlushAck { .. } => "dir_flush_ack",
+            MsgKind::LockReq { .. } => "lock_req",
+            MsgKind::LockGrant { .. } => "lock_grant",
+            MsgKind::LockRetry { .. } => "lock_retry",
+            MsgKind::UnlockReq { .. } => "unlock_req",
+            MsgKind::BarrierArrive { .. } => "barrier_arrive",
+            MsgKind::BarrierRelease { .. } => "barrier_release",
+        }
+    }
+
     /// The block this message concerns, if any.
     pub fn block(&self) -> Option<Block> {
         match *self {
@@ -324,6 +354,47 @@ mod tests {
             .block(),
             Some(4)
         );
+    }
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let kinds = [
+            MsgKind::ReadReq { block: 1 },
+            MsgKind::WriteReq { block: 1 },
+            MsgKind::Writeback { block: 1 },
+            MsgKind::ReplacementHint { block: 1 },
+            MsgKind::FwdRead { block: 1, requester: 0, epoch: 0 },
+            MsgKind::FwdWrite { block: 1, requester: 0, version: 0 },
+            MsgKind::SharingWriteback { block: 1, requester: 0, epoch: 0 },
+            MsgKind::OwnershipTransfer { block: 1, new_owner: 0 },
+            MsgKind::WritebackRace { block: 1, requester: 0, was_write: false },
+            MsgKind::ReadReply { block: 1, version: 0 },
+            MsgKind::WriteReply { block: 1, inval_count: 0, version: 0 },
+            MsgKind::TransferReply { block: 1, version: 0 },
+            MsgKind::Nack { block: 1, was_write: false },
+            MsgKind::Inval { block: 1, requester: 0 },
+            MsgKind::InvalAck { block: 1 },
+            MsgKind::DirFlush { block: 1, epoch: 0, owner_flush: false },
+            MsgKind::DirFlushAck { block: 1 },
+            MsgKind::LockReq { lock: 0 },
+            MsgKind::LockGrant { lock: 0 },
+            MsgKind::LockRetry { lock: 0 },
+            MsgKind::UnlockReq { lock: 0 },
+            MsgKind::BarrierArrive { barrier: 0 },
+            MsgKind::BarrierRelease { barrier: 0 },
+        ];
+        let labels: std::collections::HashSet<_> =
+            kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len(), "labels must be distinct");
+        assert_eq!(MsgKind::ReadReq { block: 1 }.label(), "read_req");
+        assert_eq!(MsgKind::DirFlushAck { block: 1 }.label(), "dir_flush_ack");
+        for k in &kinds {
+            let l = k.label();
+            assert!(
+                l.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "snake_case only: {l}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! The structured trace-event vocabulary.
+//!
+//! One [`TraceEvent`] records one observable step of the machine:
+//! transaction lifecycle edges (begin, phase transition, end), NACK/retry
+//! recovery, sparse-directory replacements, and raw message send/deliver
+//! hops. Events carry a global sequence number (total order of recording)
+//! and the simulated cycle, so per-cluster ring buffers can be merged back
+//! into one causal history.
+
+use crate::json::Json;
+
+/// A coherence-transaction lifecycle phase (the latency breakdown the
+/// metrics registry histograms: issue → home lookup → invalidation
+/// fan-out → reply).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// The requester issued the request into the network.
+    Issue,
+    /// The home directory picked the request up (first service, not a
+    /// queued replay).
+    HomeLookup,
+    /// The home sent the write's invalidation fan-out.
+    Fanout,
+    /// The requester observed the completing reply.
+    Reply,
+}
+
+impl Phase {
+    /// Stable schema name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Issue => "issue",
+            Phase::HomeLookup => "home_lookup",
+            Phase::Fanout => "fanout",
+            Phase::Reply => "reply",
+        }
+    }
+}
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A coherence transaction (read or write miss) issued its request.
+    TxnBegin {
+        /// Transaction id, unique within the run.
+        txn: u64,
+        /// The block.
+        block: u64,
+        /// Whether this is a write/ownership transaction.
+        write: bool,
+    },
+    /// A transaction crossed a lifecycle phase.
+    TxnPhase {
+        /// Transaction id.
+        txn: u64,
+        /// The block.
+        block: u64,
+        /// The phase entered.
+        phase: Phase,
+    },
+    /// A transaction completed at its requester.
+    TxnEnd {
+        /// Transaction id.
+        txn: u64,
+        /// The block.
+        block: u64,
+        /// Cycles from issue to completion.
+        latency: u64,
+        /// NACK-driven reissues the transaction absorbed.
+        retries: u32,
+    },
+    /// The home refused a request with a transient NACK.
+    Nack {
+        /// Transaction id (the requester's outstanding MSHR).
+        txn: u64,
+        /// The block.
+        block: u64,
+    },
+    /// A requester reissued a NACKed request after exponential backoff.
+    Retry {
+        /// Transaction id.
+        txn: u64,
+        /// The block.
+        block: u64,
+        /// Reissue ordinal, starting at 1.
+        attempt: u32,
+        /// Backoff delay in cycles before the reissue.
+        backoff: u64,
+    },
+    /// A sparse-directory (or overflow wide-slot) entry was displaced and
+    /// its covered copies flushed.
+    Replacement {
+        /// The victim block losing its entry.
+        victim: u64,
+        /// Clusters flushed.
+        targets: u32,
+        /// Whether the victim entry recorded a dirty owner.
+        dirty: bool,
+    },
+    /// A protocol message entered the network.
+    MsgSend {
+        /// Source cluster.
+        src: u32,
+        /// Destination cluster.
+        dst: u32,
+        /// Stable message-kind label (see `scd-protocol::MsgKind::label`).
+        msg: &'static str,
+        /// The paper's traffic class label.
+        class: &'static str,
+        /// The block concerned, if any.
+        block: Option<u64>,
+        /// Mesh hops the message traverses.
+        hops: u32,
+    },
+    /// A protocol message reached its destination cluster.
+    MsgDeliver {
+        /// Source cluster.
+        src: u32,
+        /// Destination cluster.
+        dst: u32,
+        /// Stable message-kind label.
+        msg: &'static str,
+        /// The block concerned, if any.
+        block: Option<u64>,
+    },
+}
+
+impl EventKind {
+    /// Stable schema name of this event type.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::TxnBegin { .. } => "txn_begin",
+            EventKind::TxnPhase { .. } => "txn_phase",
+            EventKind::TxnEnd { .. } => "txn_end",
+            EventKind::Nack { .. } => "nack",
+            EventKind::Retry { .. } => "retry",
+            EventKind::Replacement { .. } => "replacement",
+            EventKind::MsgSend { .. } => "msg_send",
+            EventKind::MsgDeliver { .. } => "msg_deliver",
+        }
+    }
+}
+
+/// One recorded event: where and when, plus the payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Global recording order (strictly increasing across the whole run).
+    pub seq: u64,
+    /// Simulated cycle.
+    pub cycle: u64,
+    /// Cluster the event is attributed to (requester for transaction
+    /// edges, home for directory-side events, src/dst for messages).
+    pub cluster: u32,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Renders the event as one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj()
+            .with("seq", Json::U64(self.seq))
+            .with("cycle", Json::U64(self.cycle))
+            .with("cluster", Json::U64(self.cluster as u64))
+            .with("type", Json::Str(self.kind.label().into()));
+        match &self.kind {
+            EventKind::TxnBegin { txn, block, write } => {
+                j.set("txn", Json::U64(*txn));
+                j.set("block", Json::U64(*block));
+                j.set("write", Json::Bool(*write));
+            }
+            EventKind::TxnPhase { txn, block, phase } => {
+                j.set("txn", Json::U64(*txn));
+                j.set("block", Json::U64(*block));
+                j.set("phase", Json::Str(phase.label().into()));
+            }
+            EventKind::TxnEnd {
+                txn,
+                block,
+                latency,
+                retries,
+            } => {
+                j.set("txn", Json::U64(*txn));
+                j.set("block", Json::U64(*block));
+                j.set("latency", Json::U64(*latency));
+                j.set("retries", Json::U64(*retries as u64));
+            }
+            EventKind::Nack { txn, block } => {
+                j.set("txn", Json::U64(*txn));
+                j.set("block", Json::U64(*block));
+            }
+            EventKind::Retry {
+                txn,
+                block,
+                attempt,
+                backoff,
+            } => {
+                j.set("txn", Json::U64(*txn));
+                j.set("block", Json::U64(*block));
+                j.set("attempt", Json::U64(*attempt as u64));
+                j.set("backoff", Json::U64(*backoff));
+            }
+            EventKind::Replacement {
+                victim,
+                targets,
+                dirty,
+            } => {
+                j.set("victim", Json::U64(*victim));
+                j.set("targets", Json::U64(*targets as u64));
+                j.set("dirty", Json::Bool(*dirty));
+            }
+            EventKind::MsgSend {
+                src,
+                dst,
+                msg,
+                class,
+                block,
+                hops,
+            } => {
+                j.set("src", Json::U64(*src as u64));
+                j.set("dst", Json::U64(*dst as u64));
+                j.set("msg", Json::Str((*msg).into()));
+                j.set("class", Json::Str((*class).into()));
+                if let Some(b) = block {
+                    j.set("block", Json::U64(*b));
+                }
+                j.set("hops", Json::U64(*hops as u64));
+            }
+            EventKind::MsgDeliver {
+                src,
+                dst,
+                msg,
+                block,
+            } => {
+                j.set("src", Json::U64(*src as u64));
+                j.set("dst", Json::U64(*dst as u64));
+                j.set("msg", Json::Str((*msg).into()));
+                if let Some(b) = block {
+                    j.set("block", Json::U64(*b));
+                }
+            }
+        }
+        j
+    }
+
+    /// One-line human rendering for post-mortem tails.
+    pub fn render(&self) -> String {
+        format!("[{:>8}] #{} {:?}", self.cycle, self.seq, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_has_stable_envelope() {
+        let ev = TraceEvent {
+            seq: 3,
+            cycle: 120,
+            cluster: 2,
+            kind: EventKind::TxnBegin {
+                txn: 1,
+                block: 64,
+                write: true,
+            },
+        };
+        assert_eq!(
+            ev.to_json().to_string(),
+            r#"{"seq":3,"cycle":120,"cluster":2,"type":"txn_begin","txn":1,"block":64,"write":true}"#
+        );
+    }
+
+    #[test]
+    fn every_kind_serializes_with_its_label() {
+        let kinds = vec![
+            EventKind::TxnBegin { txn: 1, block: 2, write: false },
+            EventKind::TxnPhase { txn: 1, block: 2, phase: Phase::HomeLookup },
+            EventKind::TxnEnd { txn: 1, block: 2, latency: 10, retries: 0 },
+            EventKind::Nack { txn: 1, block: 2 },
+            EventKind::Retry { txn: 1, block: 2, attempt: 1, backoff: 15 },
+            EventKind::Replacement { victim: 2, targets: 3, dirty: true },
+            EventKind::MsgSend {
+                src: 0, dst: 1, msg: "read_req", class: "request", block: Some(2), hops: 1,
+            },
+            EventKind::MsgDeliver { src: 0, dst: 1, msg: "read_req", block: Some(2) },
+        ];
+        for kind in kinds {
+            let label = kind.label();
+            let ev = TraceEvent { seq: 0, cycle: 0, cluster: 0, kind };
+            let j = ev.to_json();
+            assert_eq!(j.get("type").and_then(Json::as_str), Some(label));
+        }
+    }
+
+    #[test]
+    fn phase_labels_are_distinct() {
+        let labels = [
+            Phase::Issue.label(),
+            Phase::HomeLookup.label(),
+            Phase::Fanout.label(),
+            Phase::Reply.label(),
+        ];
+        let set: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), labels.len());
+    }
+}

@@ -1,0 +1,31 @@
+//! scd-trace: transaction tracing, metrics registry, and machine-readable
+//! run telemetry.
+//!
+//! The observability layer for the simulator, built on two contracts:
+//!
+//! * **Zero-cost when off.** A [`TraceConfig`] is inert by default (the
+//!   `FaultPlan` pattern): the machine pre-computes `is_active()` into a
+//!   bool and gates every hook on it, so a run with tracing disabled is
+//!   bit-identical to one without trace hooks at all.
+//! * **Stable schemas.** Trace events serialize to JSONL with a fixed
+//!   envelope (`seq`, `cycle`, `cluster`, `type`, payload); run stats and
+//!   metrics serialize to versioned JSON objects (`scd-run-stats/v1`,
+//!   `scd-metrics/v1`) that [`replay`] can validate offline.
+//!
+//! Recording uses per-cluster bounded ring buffers ([`Tracer`]) merged
+//! into a global cycle-ordered history, a phase-latency
+//! [`MetricsRegistry`], and interval time-series snapshots.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod replay;
+pub mod tracer;
+
+pub use event::{EventKind, Phase, TraceEvent};
+pub use json::Json;
+pub use metrics::{IntervalSnapshot, MetricsRegistry, TxnTimeline, LATENCY_BUCKET_CAP};
+pub use replay::{validate_stats_json, validate_trace, TraceSummary};
+pub use tracer::{TraceConfig, Tracer};

@@ -1,0 +1,237 @@
+//! The recording side: configuration and per-cluster bounded ring buffers.
+//!
+//! Follows the `FaultPlan` pattern from `scd-noc`: a [`TraceConfig`] is
+//! pure configuration, inert by default, and a machine built without one
+//! (or with an inactive one) must behave bit-identically to a build
+//! without trace hooks. The machine pre-computes [`TraceConfig::is_active`]
+//! into a bool and gates every hook on it.
+
+use scd_sim::RingLog;
+
+use crate::event::{EventKind, TraceEvent};
+
+/// What to record, and how much history to keep. The default records
+/// nothing (all fields zero/false).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Events retained per cluster (bounded ring). 0 records nothing.
+    pub ring_capacity: usize,
+    /// Record per-message send/deliver events (high volume; the
+    /// transaction lifecycle events are always recorded when tracing is
+    /// on).
+    pub messages: bool,
+    /// Collect the metrics registry (phase-latency histograms).
+    pub metrics: bool,
+    /// Interval time-series snapshot period in cycles. 0 disables
+    /// snapshots.
+    pub interval: u64,
+}
+
+impl TraceConfig {
+    /// A configuration recording nothing (identical to running without
+    /// one).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any recording is enabled.
+    pub fn is_active(&self) -> bool {
+        self.ring_capacity > 0 || self.metrics || self.interval > 0
+    }
+
+    /// Standard tracing: transaction lifecycle + messages into rings of
+    /// `capacity` events per cluster, with the metrics registry on.
+    pub fn full(capacity: usize) -> Self {
+        TraceConfig {
+            ring_capacity: capacity,
+            messages: true,
+            metrics: true,
+            interval: 0,
+        }
+    }
+
+    /// Lifecycle-only tracing (no per-message events): much lower volume,
+    /// still enough to reconstruct transaction histories.
+    pub fn lifecycle(capacity: usize) -> Self {
+        TraceConfig {
+            ring_capacity: capacity,
+            messages: false,
+            metrics: true,
+            interval: 0,
+        }
+    }
+
+    /// Builder: set the interval-snapshot period.
+    pub fn with_interval(mut self, cycles: u64) -> Self {
+        self.interval = cycles;
+        self
+    }
+}
+
+/// Per-cluster bounded event recorder.
+///
+/// Each cluster owns a [`RingLog`] so a hot home cannot evict the history
+/// of a quiet requester; [`Tracer::merged`] re-establishes the global
+/// cycle order (ties broken by recording sequence, which is itself a
+/// valid causal order: the simulator records effects after causes within
+/// a cycle).
+#[derive(Debug)]
+pub struct Tracer {
+    rings: Vec<RingLog<TraceEvent>>,
+    seq: u64,
+    dropped: u64,
+    messages: bool,
+}
+
+impl Tracer {
+    /// A tracer over `clusters` ring buffers of `cfg.ring_capacity` each.
+    pub fn new(clusters: usize, cfg: &TraceConfig) -> Self {
+        Tracer {
+            rings: (0..clusters)
+                .map(|_| RingLog::new(cfg.ring_capacity))
+                .collect(),
+            seq: 0,
+            dropped: 0,
+            messages: cfg.messages,
+        }
+    }
+
+    /// An inert tracer (capacity 0 everywhere); records nothing.
+    pub fn inert() -> Self {
+        Tracer {
+            rings: Vec::new(),
+            seq: 0,
+            dropped: 0,
+            messages: false,
+        }
+    }
+
+    /// Whether per-message events should be recorded.
+    pub fn messages_enabled(&self) -> bool {
+        self.messages
+    }
+
+    /// Records one event attributed to `cluster`.
+    pub fn record(&mut self, cluster: usize, cycle: u64, kind: EventKind) {
+        let Some(ring) = self.rings.get_mut(cluster) else {
+            return;
+        };
+        self.seq += 1;
+        if ring.len() == ring.capacity() && ring.capacity() > 0 {
+            self.dropped += 1;
+        }
+        ring.push(TraceEvent {
+            seq: self.seq,
+            cycle,
+            cluster: cluster as u32,
+            kind,
+        });
+    }
+
+    /// Events recorded since the run began (including any since evicted
+    /// from their rings).
+    pub fn recorded(&self) -> u64 {
+        self.seq
+    }
+
+    /// Events evicted from full rings (lost history).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The last `k` events of one cluster, oldest first.
+    pub fn tail(&self, cluster: usize, k: usize) -> Vec<TraceEvent> {
+        let Some(ring) = self.rings.get(cluster) else {
+            return Vec::new();
+        };
+        let events: Vec<_> = ring.iter().cloned().collect();
+        let skip = events.len().saturating_sub(k);
+        events.into_iter().skip(skip).collect()
+    }
+
+    /// All retained events merged into one global, cycle-ordered history
+    /// (ties broken by recording sequence).
+    pub fn merged(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = self
+            .rings
+            .iter()
+            .flat_map(|r| r.iter().cloned())
+            .collect();
+        all.sort_by_key(|e| (e.cycle, e.seq));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+
+    fn phase(txn: u64) -> EventKind {
+        EventKind::TxnPhase {
+            txn,
+            block: 0,
+            phase: Phase::HomeLookup,
+        }
+    }
+
+    #[test]
+    fn default_config_is_inert() {
+        assert!(!TraceConfig::default().is_active());
+        assert!(!TraceConfig::none().is_active());
+        assert!(TraceConfig::full(16).is_active());
+        assert!(TraceConfig::none().with_interval(100).is_active());
+    }
+
+    #[test]
+    fn merge_orders_by_cycle_then_seq() {
+        let mut t = Tracer::new(2, &TraceConfig::full(8));
+        t.record(1, 50, phase(1));
+        t.record(0, 10, phase(2));
+        t.record(0, 50, phase(3));
+        let merged = t.merged();
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0].cycle, 10);
+        // Same cycle: recording order wins.
+        assert_eq!(merged[1].kind, phase(1));
+        assert_eq!(merged[2].kind, phase(3));
+        assert!(merged.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+    }
+
+    #[test]
+    fn rings_bound_history_per_cluster() {
+        let mut t = Tracer::new(2, &TraceConfig::full(2));
+        for i in 0..5 {
+            t.record(0, i, phase(i));
+        }
+        t.record(1, 0, phase(99));
+        // Cluster 0 overflowed but cluster 1's history survives.
+        assert_eq!(t.merged().len(), 3);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.recorded(), 6);
+        let tail = t.tail(0, 8);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].cycle, 3, "oldest retained after eviction");
+    }
+
+    #[test]
+    fn tail_takes_most_recent_k() {
+        let mut t = Tracer::new(1, &TraceConfig::full(8));
+        for i in 0..6 {
+            t.record(0, i, phase(i));
+        }
+        let tail = t.tail(0, 2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].cycle, 4);
+        assert_eq!(tail[1].cycle, 5);
+    }
+
+    #[test]
+    fn inert_tracer_records_nothing() {
+        let mut t = Tracer::inert();
+        t.record(0, 1, phase(1));
+        assert_eq!(t.recorded(), 0);
+        assert!(t.merged().is_empty());
+        assert!(t.tail(0, 4).is_empty());
+    }
+}

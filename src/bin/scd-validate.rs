@@ -1,0 +1,115 @@
+//! Offline validator for the machine-readable telemetry formats.
+//!
+//! Checks trace logs (`scdsim --trace-out`, JSONL) against the
+//! per-transaction lifecycle invariants and stats dumps
+//! (`scdsim --stats-json`, `BENCH_*.json`) against the
+//! `scd-run-stats/v1` schema. CI runs this over the smoke job's outputs;
+//! it is also the quickest way to sanity-check a trace by hand.
+//!
+//! ```text
+//! scd-validate [--trace <file>]... [--stats <file>]... [<file>]...
+//! ```
+//!
+//! Bare file arguments are auto-detected by extension: `.jsonl` is treated
+//! as a trace, anything else as a stats document. Exits non-zero if any
+//! file fails validation.
+
+use scd::trace::{validate_stats_json, validate_trace};
+use std::process::exit;
+
+const HELP: &str = "\
+scd-validate: check scd telemetry files against their schemas
+
+usage: scd-validate [--trace <file>]... [--stats <file>]... [<file>]...
+
+  --trace <file>   validate a JSONL transaction trace (scdsim --trace-out)
+  --stats <file>   validate an scd-run-stats/v1 document
+                   (scdsim --stats-json, BENCH_*.json)
+  <file>           auto-detect: .jsonl -> trace, otherwise stats
+  -h, --help       show this help
+";
+
+enum Kind {
+    Trace,
+    Stats,
+}
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("scd-validate: cannot read {path}: {e}");
+            exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut jobs: Vec<(Kind, String)> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{HELP}");
+                return;
+            }
+            "--trace" | "--stats" => {
+                let Some(path) = args.next() else {
+                    eprintln!("scd-validate: {arg} needs a file argument");
+                    exit(2);
+                };
+                let kind = if arg == "--trace" { Kind::Trace } else { Kind::Stats };
+                jobs.push((kind, path));
+            }
+            path if !path.starts_with('-') => {
+                let kind = if path.ends_with(".jsonl") {
+                    Kind::Trace
+                } else {
+                    Kind::Stats
+                };
+                jobs.push((kind, path.to_string()));
+            }
+            other => {
+                eprintln!("scd-validate: unknown flag {other}\n{HELP}");
+                exit(2);
+            }
+        }
+    }
+    if jobs.is_empty() {
+        eprintln!("scd-validate: no files given\n{HELP}");
+        exit(2);
+    }
+
+    let mut failures = 0usize;
+    for (kind, path) in &jobs {
+        let text = read(path);
+        match kind {
+            Kind::Trace => match validate_trace(&text) {
+                Ok(s) => {
+                    println!(
+                        "{path}: OK — {} events, {} transactions ({} completed)",
+                        s.events, s.transactions, s.completed
+                    );
+                    for (ty, n) in &s.by_type {
+                        println!("    {ty:<14} {n}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{path}: FAIL — {e}");
+                    failures += 1;
+                }
+            },
+            Kind::Stats => match validate_stats_json(&text) {
+                Ok(()) => println!("{path}: OK — scd-run-stats/v1"),
+                Err(e) => {
+                    eprintln!("{path}: FAIL — {e}");
+                    failures += 1;
+                }
+            },
+        }
+    }
+    if failures > 0 {
+        eprintln!("scd-validate: {failures} of {} files failed", jobs.len());
+        exit(1);
+    }
+}

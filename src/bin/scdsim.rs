@@ -17,6 +17,10 @@
 //!   --max-cycles <n>                 abort past n simulated cycles
 //!   --fault <spec>                   inject faults (nack:P,dup:P,delay:P:C,reorder:P:W)
 //!   --watchdog <cycles>              fail if no op retires for n cycles
+//!   --trace-out <path>               write the JSONL transaction trace
+//!   --trace-buffer <n>               trace ring capacity per cluster
+//!   --stats-json <path>              write scd-run-stats/v1 JSON
+//!   --interval-stats <n>             sample traffic/occupancy every n cycles
 //! ```
 
 use scd::apps::{dwf, locusroute, lu, mp3d, AppRun, DwfParams, LocusRouteParams, LuParams,
@@ -24,6 +28,7 @@ use scd::apps::{dwf, locusroute, lu, mp3d, AppRun, DwfParams, LocusRouteParams, 
 use scd::core::{Replacement, Scheme};
 use scd::machine::{Machine, MachineConfig};
 use scd::noc::FaultPlan;
+use scd::trace::{Json, TraceConfig};
 
 fn usage() -> ! {
     eprintln!("{}", HELP.trim());
@@ -52,12 +57,43 @@ usage: scdsim [options]
                                               delay:0.02:200 | reorder:0.02:100
                                               (comma-separate to combine)
   --watchdog <cycles>                         fail if no op retires for n cycles
+  --trace-out <path>                          write the JSONL transaction trace
+                                              (lifecycle + message events)
+  --trace-buffer <n>                          trace ring capacity per cluster
+                                              (default 4096 when tracing)
+  --stats-json <path>                         write the scd-run-stats/v1
+                                              document (stats + metrics)
+  --interval-stats <n>                        sample traffic/retries/occupancy
+                                              every n cycles, print the table
   --anatomy                                   print busy/stall breakdown
   --histogram                                 print invalidation distribution
   --check                                     verify coherence invariants
                                               (also enables the version oracle)
   --help
 "#;
+
+/// Writes the merged, cycle-ordered trace as JSONL and reports volume.
+fn write_trace(machine: &Machine, path: &str) {
+    use std::io::Write as _;
+    let events = machine.trace_events();
+    let (recorded, dropped) = machine.trace_counts();
+    let mut out = std::io::BufWriter::new(match std::fs::File::create(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1)
+        }
+    });
+    for ev in &events {
+        writeln!(out, "{}", ev.to_json()).expect("trace write failed");
+    }
+    out.flush().expect("trace flush failed");
+    eprintln!(
+        "trace written to {path}: {} events retained ({recorded} recorded, {dropped} \
+         evicted from rings)",
+        events.len()
+    );
+}
 
 fn parse_policy(s: &str) -> Replacement {
     match s {
@@ -101,6 +137,10 @@ fn main() {
     let mut max_cycles: Option<u64> = None;
     let mut fault: Option<FaultPlan> = None;
     let mut watchdog = 0u64;
+    let mut trace_out: Option<String> = None;
+    let mut trace_buffer: Option<usize> = None;
+    let mut stats_json: Option<String> = None;
+    let mut interval: u64 = 0;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -148,6 +188,12 @@ fn main() {
                 }));
             }
             "--watchdog" => watchdog = val().parse().unwrap_or_else(|_| usage()),
+            "--trace-out" => trace_out = Some(val()),
+            "--trace-buffer" => {
+                trace_buffer = Some(val().parse().unwrap_or_else(|_| usage()))
+            }
+            "--stats-json" => stats_json = Some(val()),
+            "--interval-stats" => interval = val().parse().unwrap_or_else(|_| usage()),
             "--hints" => hints = true,
             "--anatomy" => anatomy = true,
             "--histogram" => histogram = true,
@@ -170,6 +216,19 @@ fn main() {
     }
     cfg.fault_plan = fault;
     cfg.watchdog_cycles = watchdog;
+    // Tracing: a trace file wants the full event stream; a stats file or
+    // interval sampling only needs the metrics registry.
+    let want_metrics = stats_json.is_some() || interval > 0;
+    if trace_out.is_some() || trace_buffer.is_some() || want_metrics {
+        let mut tc = if trace_out.is_some() || trace_buffer.is_some() {
+            TraceConfig::full(trace_buffer.unwrap_or(4096))
+        } else {
+            TraceConfig::none()
+        };
+        tc.metrics = tc.metrics || want_metrics;
+        tc.interval = interval;
+        cfg = cfg.with_trace(tc);
+    }
     if let Some((entries, ways, policy)) = sparse {
         cfg = cfg.with_sparse(entries, ways, policy);
     }
@@ -195,8 +254,23 @@ fn main() {
         cfg.scheme.name(cfg.clusters),
         app.shared_refs(),
     );
+    let run_meta = Json::obj()
+        .with("app", Json::Str(app.name.to_string()))
+        .with("scheme", Json::Str(cfg.scheme.name(cfg.clusters)))
+        .with("clusters", Json::U64(cfg.clusters as u64))
+        .with("procs_per_cluster", Json::U64(cfg.procs_per_cluster as u64))
+        .with("seed", Json::U64(seed))
+        .with("scale", Json::F64(scale));
+
     let wall = std::time::Instant::now();
-    let stats = match Machine::new(cfg, app.boxed_programs()).try_run() {
+    let mut machine = Machine::new(cfg, app.boxed_programs());
+    let result = machine.try_run();
+    // The transaction trace is most valuable exactly when the run failed:
+    // write it before bailing out.
+    if let Some(path) = &trace_out {
+        write_trace(&machine, path);
+    }
+    let stats = match result {
         Ok(stats) => stats,
         Err(e) => {
             eprintln!("simulation failed ({})", e.kind());
@@ -204,6 +278,17 @@ fn main() {
             std::process::exit(1)
         }
     };
+    if let Some(path) = &stats_json {
+        let doc = stats.to_json_document(
+            Some(run_meta.clone()),
+            want_metrics.then(|| machine.metrics()),
+        );
+        if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1)
+        }
+        eprintln!("stats written to {path}");
+    }
     println!(
         "simulated {} cycles in {:.2}s wall ({:.0} events-ish/s)",
         stats.cycles,
@@ -258,6 +343,21 @@ fn main() {
                 stats.network.contention_cycles
             );
         }
+    }
+    if want_metrics {
+        let m = machine.metrics();
+        println!(
+            "latency: {} txns, read p50/p99 {}/{}, write p50/p99 {}/{}",
+            m.transactions(),
+            m.read_latency.percentile(0.50),
+            m.read_latency.percentile(0.99),
+            m.write_latency.percentile(0.50),
+            m.write_latency.percentile(0.99),
+        );
+    }
+    if interval > 0 {
+        println!();
+        print!("{}", machine.metrics().render_intervals());
     }
     if histogram {
         println!();

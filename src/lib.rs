@@ -20,6 +20,7 @@
 //! | [`tango`] | `scd-tango` | reference generation, trace capture/replay |
 //! | [`apps`] | `scd-apps` | LU, DWF, MP3D, LocusRoute workload generators |
 //! | [`stats`] | `scd-stats` | traffic counters, histograms, table rendering |
+//! | [`trace`] | `scd-trace` | transaction tracing, metrics registry, JSON telemetry |
 //!
 //! ## Quickstart
 //!
@@ -46,3 +47,4 @@ pub use scd_protocol as protocol;
 pub use scd_sim as sim;
 pub use scd_stats as stats;
 pub use scd_tango as tango;
+pub use scd_trace as trace;

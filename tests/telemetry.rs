@@ -1,0 +1,222 @@
+//! Observability suite: the `scd-trace` subsystem must watch the machine
+//! without perturbing it. Tracing/metrics left off (or configured inert)
+//! keeps a fixed-seed run bit-identical; tracing turned on yields a JSONL
+//! transaction log that replays through `validate_trace`'s lifecycle
+//! invariants (no reply before its request, retries monotonically backed
+//! off), interval snapshots that tile the run, latency metrics with a
+//! stable JSON schema, and post-mortems that carry per-cluster trace tails.
+
+use scd::machine::{Machine, MachineConfig, RunStats, SimError};
+use scd::noc::FaultPlan;
+use scd::sim::SimRng;
+use scd::tango::{Op, ScriptProgram, ThreadProgram};
+use scd::trace::{validate_stats_json, validate_trace, TraceConfig};
+
+/// A random read/write mix over a small hot block set (the coherence
+/// stress suite's shape, shortened for debug builds).
+fn random_programs(
+    procs: usize,
+    ops_per_proc: usize,
+    blocks: u64,
+    write_ratio: f64,
+    seed: u64,
+) -> Vec<Box<dyn ThreadProgram>> {
+    let mut root = SimRng::new(seed);
+    (0..procs)
+        .map(|p| {
+            let mut rng = root.fork(p as u64);
+            let mut ops = Vec::with_capacity(ops_per_proc);
+            for _ in 0..ops_per_proc {
+                let addr = rng.below(blocks) * 16;
+                if rng.chance(write_ratio) {
+                    ops.push(Op::Write(addr));
+                } else {
+                    ops.push(Op::Read(addr));
+                }
+                if rng.chance(0.3) {
+                    ops.push(Op::Compute(rng.below(20)));
+                }
+            }
+            Box::new(ScriptProgram::new(ops)) as Box<dyn ThreadProgram>
+        })
+        .collect()
+}
+
+fn run_with_trace(trace: Option<TraceConfig>, seed: u64) -> (Machine, RunStats) {
+    let mut cfg = MachineConfig::tiny(6);
+    cfg.trace = trace;
+    let programs = random_programs(cfg.processors(), 250, 24, 0.4, seed);
+    let mut machine = Machine::new(cfg, programs);
+    let stats = machine.try_run().expect("run must quiesce");
+    (machine, stats)
+}
+
+/// The inert-by-default contract (ISSUE 2 acceptance): with tracing and
+/// metrics disabled, a fixed-seed run's `RunStats` is bit-identical to a
+/// machine that never heard of tracing. The comparison goes through the
+/// stable JSON rendering so every exported field participates.
+#[test]
+fn disabled_tracing_is_bit_identical() {
+    let (_, base) = run_with_trace(None, 0x7E1E);
+    let (_, inert) = run_with_trace(Some(TraceConfig::none()), 0x7E1E);
+    assert_eq!(base.to_json().to_string(), inert.to_json().to_string());
+    assert_eq!(base.cycles, inert.cycles);
+    assert_eq!(base.traffic, inert.traffic);
+}
+
+/// Stronger than the contract requires: the hooks only *read* machine
+/// state, so even full tracing with metrics and intervals must not move a
+/// single cycle or message.
+#[test]
+fn active_tracing_does_not_perturb_the_run() {
+    let (_, base) = run_with_trace(None, 0x7E1E);
+    let full = TraceConfig::full(4096).with_interval(500);
+    let (machine, traced) = run_with_trace(Some(full), 0x7E1E);
+    assert_eq!(base.to_json().to_string(), traced.to_json().to_string());
+    let (recorded, _) = machine.trace_counts();
+    assert!(recorded > 0, "tracing was supposed to be on");
+}
+
+/// The acceptance-criteria replay test: record a run (with injected NACKs
+/// so the retry path fires), export the merged trace as JSONL, and replay
+/// it through the validator, which enforces per-transaction phase ordering
+/// (begin before phases before end, latency consistent — no reply before
+/// its request) and monotonically backed-off retries.
+#[test]
+fn recorded_trace_replays_with_lifecycle_invariants_intact() {
+    let mut cfg = MachineConfig::tiny(6)
+        .with_fault(FaultPlan::nack(0.25))
+        .with_trace(TraceConfig::full(1 << 16));
+    cfg.watchdog_cycles = 1_000_000;
+    let programs = random_programs(cfg.processors(), 250, 24, 0.4, 0xBEEF);
+    let mut machine = Machine::new(cfg, programs);
+    let stats = machine.try_run().expect("faulty run must still quiesce");
+    assert!(stats.faults.retries > 0, "fault plan failed to inject NACKs");
+
+    let jsonl: String = machine
+        .trace_events()
+        .iter()
+        .map(|e| e.to_json().to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    let summary = validate_trace(&jsonl).unwrap_or_else(|e| panic!("replay failed: {e}"));
+    assert!(summary.transactions > 0);
+    assert!(summary.completed > 0, "no transaction observed end-to-end");
+    assert!(
+        summary.by_type.get("retry").copied().unwrap_or(0) > 0,
+        "backoff invariant never exercised: {:?}",
+        summary.by_type
+    );
+    assert!(summary.by_type["msg_send"] >= summary.by_type["msg_deliver"]);
+}
+
+/// Interval snapshots must tile simulated time: contiguous windows of the
+/// configured width, and their retired-op deltas must sum to at most the
+/// whole run's total (the tail after the last boundary is not snapshot).
+#[test]
+fn interval_snapshots_tile_the_run() {
+    const PERIOD: u64 = 500;
+    let trace = TraceConfig::lifecycle(1024).with_interval(PERIOD);
+    let (machine, stats) = run_with_trace(Some(trace), 0x7E1E);
+    let intervals = &machine.metrics().intervals;
+    assert!(!intervals.is_empty(), "run too short for any interval");
+    let mut expect_start = 0;
+    for snap in intervals {
+        assert_eq!(snap.start, expect_start, "windows must be contiguous");
+        assert_eq!(snap.end, snap.start + PERIOD, "windows must be uniform");
+        expect_start = snap.end;
+    }
+    let ops: u64 = intervals.iter().map(|s| s.ops_retired).sum();
+    let total = stats.shared_reads + stats.shared_writes + stats.sync_ops;
+    assert!(ops <= total, "interval ops {ops} exceed run total {total}");
+    assert!(ops > 0, "no operation retired inside any window");
+}
+
+/// Latency metrics must see every completed transaction, agree with the
+/// machine's own miss accounting, and export under the stable
+/// `scd-run-stats/v1` schema (the `BENCH_*.json` / `--stats-json` format).
+#[test]
+fn metrics_registry_reports_latency_histograms() {
+    let (machine, stats) = run_with_trace(Some(TraceConfig::lifecycle(64)), 0x7E1E);
+    let m = machine.metrics();
+    assert!(m.transactions() > 0);
+    assert!(m.read_latency.events() > 0 && m.write_latency.events() > 0);
+    assert!(m.read_latency.percentile(0.5) > 0, "a remote read takes cycles");
+    assert!(
+        m.read_latency.percentile(0.99) >= m.read_latency.percentile(0.5),
+        "percentiles must be monotone"
+    );
+    let doc = stats.to_json_document(None, Some(m)).to_string();
+    validate_stats_json(&doc).unwrap_or_else(|e| panic!("schema broke: {e}\n{doc}"));
+}
+
+/// PR 1's post-mortems gain causal history: when a NACK storm trips the
+/// livelock watchdog under tracing, the `PostMortem` must attach the
+/// starving cluster's trace tail, and the rendered report must show it.
+#[test]
+fn post_mortem_attaches_trace_tails_for_stuck_clusters() {
+    let cfg = MachineConfig::tiny(2)
+        .with_fault(FaultPlan::nack(1.0))
+        .with_watchdog(50_000)
+        .with_trace(TraceConfig::full(256));
+    let programs: Vec<Box<dyn ThreadProgram>> = vec![
+        Box::new(ScriptProgram::new(vec![])),
+        // Block 0's home is cluster 0, so cluster 1's read is remote and
+        // retries forever against the permanent NACKs.
+        Box::new(ScriptProgram::new(vec![Op::Read(0)])),
+    ];
+    let err = Machine::new(cfg, programs).try_run().expect_err("must livelock");
+    let SimError::LivelockWatchdog(pm) = &err else {
+        panic!("expected LivelockWatchdog, got {err}");
+    };
+    assert!(!pm.trace_tails.is_empty(), "no trace tail attached: {err}");
+    let tail_text: String = pm
+        .trace_tails
+        .iter()
+        .flat_map(|(_, lines)| lines.iter())
+        .cloned()
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        tail_text.contains("Retry") || tail_text.contains("Nack"),
+        "tail shows the NACK/retry storm: {tail_text}"
+    );
+    assert!(err.to_string().contains("trace tail"), "{err}");
+}
+
+/// Without tracing the post-mortem stays as PR 1 shipped it: no tails.
+#[test]
+fn post_mortem_has_no_tails_when_tracing_is_off() {
+    let cfg = MachineConfig::tiny(2)
+        .with_fault(FaultPlan::nack(1.0))
+        .with_watchdog(50_000);
+    let programs: Vec<Box<dyn ThreadProgram>> = vec![
+        Box::new(ScriptProgram::new(vec![])),
+        Box::new(ScriptProgram::new(vec![Op::Read(0)])),
+    ];
+    let err = Machine::new(cfg, programs).try_run().expect_err("must livelock");
+    assert!(err.post_mortem().trace_tails.is_empty());
+}
+
+/// Bounded rings evict oldest-first under pressure but never corrupt the
+/// merge: a truncated trace still replays cleanly and reports drops.
+#[test]
+fn tiny_rings_evict_but_the_merge_still_validates() {
+    let trace = TraceConfig::full(8);
+    let mut cfg = MachineConfig::tiny(6);
+    cfg.trace = Some(trace);
+    let programs = random_programs(cfg.processors(), 250, 24, 0.4, 0x7E1E);
+    let mut machine = Machine::new(cfg, programs);
+    machine.try_run().expect("run must quiesce");
+    let (recorded, dropped) = machine.trace_counts();
+    assert!(dropped > 0, "8-deep rings must overflow on this run");
+    assert!(recorded > dropped);
+    let jsonl: String = machine
+        .trace_events()
+        .iter()
+        .map(|e| e.to_json().to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    let summary = validate_trace(&jsonl).unwrap_or_else(|e| panic!("replay failed: {e}"));
+    assert_eq!(summary.events + dropped, recorded);
+}
