@@ -1,15 +1,23 @@
 //! Quick end-to-end calibration: run every app on every scheme at a given
 //! scale and print wall time, simulated cycles and traffic. Used to tune
 //! problem sizes before the real experiments.
+//!
+//! `smoke <scale> trajectory` runs the perf-trajectory suite instead:
+//! every app under `Dir4CV4`, full directory and sparse (size factor 2,
+//! 4-way), writing `BENCH_<app>_dir4cv4[_sparse].json` bench points with
+//! traffic-attribution sections. These are the baselines `scd-report`
+//! compares against across PRs.
 
-use bench::{run_app, scheme_suite, write_bench_json};
+use bench::{run_app_attributed, scheme_suite, sparse_config, write_bench_json};
 use scd_apps::suite;
+use scd_core::{Replacement, Scheme};
 
 fn main() {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0);
+    let trajectory = std::env::args().nth(2).is_some_and(|s| s == "trajectory");
     let apps = suite(32, 0xD45B, scale);
     for app in &apps {
         println!(
@@ -22,9 +30,33 @@ fn main() {
             app.sync_ops(),
             app.shared_bytes / 1024,
         );
-        for (name, scheme) in scheme_suite() {
+        let points: Vec<(String, scd_machine::MachineConfig)> = if trajectory {
+            let scheme = Scheme::dir_cv(4, 4);
+            let name = scheme.name(32);
+            vec![
+                (
+                    name.clone(),
+                    scd_machine::MachineConfig::paper_32().with_scheme(scheme),
+                ),
+                (
+                    format!("{name} Sparse"),
+                    sparse_config(app, scheme, 2, 4, Replacement::Random),
+                ),
+            ]
+        } else {
+            scheme_suite()
+                .into_iter()
+                .map(|(name, scheme)| {
+                    (
+                        name.to_string(),
+                        scd_machine::MachineConfig::paper_32().with_scheme(scheme),
+                    )
+                })
+                .collect()
+        };
+        for (name, cfg) in points {
             let t0 = std::time::Instant::now();
-            let stats = run_app(app, scheme);
+            let (stats, attrib) = run_app_attributed(app, cfg);
             println!(
                 "  {name:<14} cycles={:>9} wall={:>6.2}s  {}  inval_events={} avg_inv={:.2}",
                 stats.cycles,
@@ -33,7 +65,7 @@ fn main() {
                 stats.invalidations.events(),
                 stats.invalidations.mean(),
             );
-            write_bench_json(app, name, &stats);
+            write_bench_json(app, &name, &stats, attrib);
         }
     }
 }

@@ -22,6 +22,7 @@
 pub mod runner;
 
 pub use runner::{
-    bench_json_name, run_app, run_app_with, scheme_suite, sparse_config, write_bench_json,
+    bench_json_name, run_app, run_app_attributed, run_app_with, scheme_suite, sparse_config,
+    write_bench_json,
     write_results, SPARSE_CACHE_RATIO,
 };

@@ -4,7 +4,7 @@
 use scd_apps::AppRun;
 use scd_core::Scheme;
 use scd_machine::{Machine, MachineConfig, RunStats};
-use scd_trace::Json;
+use scd_trace::{Json, TraceConfig};
 
 /// The paper's four evaluated schemes for 32 processors with a ~13%
 /// directory-memory budget (§5): full vector plus the three-pointer
@@ -33,6 +33,28 @@ pub fn run_app_with(app: &AppRun, cfg: MachineConfig) -> RunStats {
         "application generated for a different machine size"
     );
     Machine::new(cfg, app.boxed_programs()).run()
+}
+
+/// Runs `app` with traffic-attribution counters enabled (no event ring,
+/// no metrics — just the byte/flit/link accounting), returning the stats
+/// together with the `scd-attrib/v1` section for the bench document.
+///
+/// Attribution counters live outside [`RunStats`], so the stats returned
+/// here are identical to what [`run_app_with`] produces for the same
+/// configuration — bench points gain an attribution section without
+/// perturbing any tracked metric.
+pub fn run_app_attributed(app: &AppRun, cfg: MachineConfig) -> (RunStats, Option<Json>) {
+    assert_eq!(
+        app.programs.len(),
+        cfg.processors(),
+        "application generated for a different machine size"
+    );
+    let mut tc = TraceConfig::none();
+    tc.attribution = true;
+    let mut machine = Machine::new(cfg.with_trace(tc), app.boxed_programs());
+    let stats = machine.run();
+    let attrib = machine.attribution_json(stats.cycles);
+    (stats, attrib)
 }
 
 /// Ratio of data-set size to total cache size used by the sparse-directory
@@ -95,14 +117,21 @@ pub fn bench_json_name(app_name: &str, scheme_name: &str) -> String {
 /// Writes one perf-trajectory data point as `BENCH_<app>_<scheme>.json` in
 /// the current directory, using the `scd-run-stats/v1` schema (the same
 /// document `scdsim --stats-json` emits). Successive PRs compare these
-/// files to track simulator behaviour over time.
-pub fn write_bench_json(app: &AppRun, scheme_name: &str, stats: &RunStats) {
+/// files (`scd-report` automates it) to track simulator behaviour over
+/// time. `attribution` is the optional `scd-attrib/v1` section from
+/// [`run_app_attributed`].
+pub fn write_bench_json(
+    app: &AppRun,
+    scheme_name: &str,
+    stats: &RunStats,
+    attribution: Option<Json>,
+) {
     let run = Json::obj()
         .with("app", Json::Str(app.name.into()))
         .with("scheme", Json::Str(scheme_name.into()))
         .with("shared_refs", Json::U64(app.shared_refs()))
         .with("shared_bytes", Json::U64(app.shared_bytes));
-    let doc = stats.to_json_document(Some(run), None);
+    let doc = stats.to_json_document(Some(run), None, attribution);
     let name = bench_json_name(app.name, scheme_name);
     std::fs::write(&name, format!("{doc}\n")).expect("write bench json");
     println!("[bench point written to {name}]");

@@ -43,8 +43,8 @@ use scd_sim::{Cycle, EventQueue, RingLog, SimRng};
 use scd_stats::{Histogram, MessageClass, Traffic};
 use scd_tango::{Op, ThreadProgram};
 use scd_trace::{
-    EventKind, IntervalSnapshot, MetricsRegistry, Phase, TraceConfig, TraceEvent, Tracer,
-    TxnTimeline,
+    AttribParams, Attribution, EventKind, IntervalSnapshot, Json, MetricsRegistry, Phase,
+    TraceConfig, TraceEvent, Tracer, TxnTimeline,
 };
 
 use crate::config::MachineConfig;
@@ -221,6 +221,11 @@ pub struct Machine {
     /// Phase-latency histograms and interval snapshots (only fed when
     /// `trace_cfg.metrics`).
     metrics: MetricsRegistry,
+    /// Pre-computed `trace_cfg.attribution`: gates the byte/flit and
+    /// per-link accounting in `send` (inert and free when off).
+    attrib_active: bool,
+    /// Per-class traffic attribution (only fed when `attrib_active`).
+    attrib: Attribution,
     /// Live traced transactions, keyed by (requester cluster, block).
     txn_live: HashMap<(usize, u64), TxnLive>,
     /// Last transaction id handed out.
@@ -296,6 +301,9 @@ impl Machine {
         } else {
             Tracer::inert()
         };
+        if trace_cfg.attribution {
+            network.enable_link_counters();
+        }
         Machine {
             queue: EventQueue::new(),
             clusters,
@@ -321,6 +329,8 @@ impl Machine {
             interval_next: trace_cfg.interval,
             interval_start: 0,
             interval_base: IntervalBase::default(),
+            attrib_active: trace_cfg.attribution,
+            attrib: Attribution::new(AttribParams::with_block_bytes(cfg.block_bytes)),
             trace_cfg,
             trace_active,
             tracer,
@@ -409,6 +419,14 @@ impl Machine {
         let lat = self.network.send(ready_at, msg.src, msg.dst);
         if msg.src != msg.dst {
             self.traffic.record(msg.kind.class());
+            if self.attrib_active {
+                // Read-only accounting: classifies the label under the
+                // byte/flit wire model and charges the flits to every
+                // link of the route. Never touches latency or ordering.
+                let hops = self.network.hops(msg.src, msg.dst);
+                let flits = self.attrib.record(msg.kind.label(), hops as u32);
+                self.network.note_link_traffic(msg.src, msg.dst, flits);
+            }
             if self.trace_active && self.tracer.messages_enabled() {
                 self.tracer.record(
                     msg.src,
@@ -692,6 +710,85 @@ impl Machine {
     /// The metrics registry (empty unless `TraceConfig::metrics` was on).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The traffic attribution (None unless `TraceConfig::attribution`
+    /// was on).
+    pub fn attribution(&self) -> Option<&Attribution> {
+        self.attrib_active.then_some(&self.attrib)
+    }
+
+    /// The full `scd-attrib/v1` document section: per-class byte/flit
+    /// counters plus the machine-side gauges only this side can see —
+    /// the busiest links with their channel occupancy, and (for sparse
+    /// organizations) directory set pressure. None when attribution is
+    /// off. `elapsed` is the cycle horizon occupancies are normalized
+    /// over (pass the run's final cycle).
+    pub fn attribution_json(&self, elapsed: Cycle) -> Option<Json> {
+        if !self.attrib_active {
+            return None;
+        }
+        let mut j = self.attrib.to_json();
+        let horizon = elapsed.max(1) as f64;
+        const TOP_LINKS: usize = 16;
+        let all = self.network.link_traffic();
+        let links: Vec<Json> = all
+            .iter()
+            .take(TOP_LINKS)
+            .map(|((from, to), c)| {
+                Json::obj()
+                    .with("from", Json::U64(*from as u64))
+                    .with("to", Json::U64(*to as u64))
+                    .with("messages", Json::U64(c.messages))
+                    .with("flits", Json::U64(c.flits))
+                    // Fraction of the horizon the channel was moving
+                    // flits (one flit-time per flit).
+                    .with("occupancy", Json::F64(c.flits as f64 / horizon))
+            })
+            .collect();
+        j.set(
+            "links",
+            Json::obj()
+                .with("tracked", Json::U64(all.len() as u64))
+                .with("busiest", Json::Arr(links)),
+        );
+        // Sparse-directory set pressure: occupancy + replacement rate.
+        let mut live = 0usize;
+        let mut sparse_sum: Option<scd_core::SparseStats> = None;
+        for c in &self.clusters {
+            live += c.dir.live_entries();
+            if let Some(s) = c.dir.sparse_stats() {
+                let sum = sparse_sum.get_or_insert_with(Default::default);
+                sum.hits += s.hits;
+                sum.misses += s.misses;
+                sum.fills += s.fills;
+                sum.replacements += s.replacements;
+            }
+        }
+        if let Some(s) = sparse_sum {
+            let capacity = match &self.cfg.organization {
+                scd_core::Organization::Sparse { entries, .. } => {
+                    *entries * self.cfg.clusters
+                }
+                _ => 0,
+            };
+            let mut sp = Json::obj()
+                .with("capacity", Json::U64(capacity as u64))
+                .with("live", Json::U64(live as u64));
+            if capacity > 0 {
+                sp.set(
+                    "occupancy",
+                    Json::F64(live as f64 / capacity as f64),
+                );
+            }
+            sp.set("replacements", Json::U64(s.replacements));
+            sp.set(
+                "replacements_per_kcycle",
+                Json::F64(s.replacements as f64 * 1000.0 / horizon),
+            );
+            j.set("sparse", sp);
+        }
+        Some(j)
     }
 
     /// Runs the workload to completion and returns the collected metrics.

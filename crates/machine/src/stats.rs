@@ -225,13 +225,16 @@ impl RunStats {
     }
 
     /// The full `scd-run-stats/v1` document: schema tag, the core stats,
-    /// and the metrics registry (or `null` when metrics were off).
-    /// `meta` fields (app, scheme, seed, ...) are prepended under `run`
-    /// when provided, so harnesses can label their outputs.
+    /// the metrics registry (or `null` when metrics were off), and the
+    /// traffic attribution section (or `null` when attribution was off;
+    /// see `Machine::attribution_json`). `meta` fields (app, scheme,
+    /// seed, ...) are prepended under `run` when provided, so harnesses
+    /// can label their outputs.
     pub fn to_json_document(
         &self,
         run: Option<Json>,
         metrics: Option<&MetricsRegistry>,
+        attribution: Option<Json>,
     ) -> Json {
         let mut j = Json::obj().with("schema", Json::Str("scd-run-stats/v1".into()));
         if let Some(run) = run {
@@ -242,6 +245,7 @@ impl RunStats {
             "metrics",
             metrics.map(MetricsRegistry::to_json).unwrap_or(Json::Null),
         );
+        j.set("attribution", attribution.unwrap_or(Json::Null));
         j
     }
 }

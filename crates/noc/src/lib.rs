@@ -20,4 +20,4 @@ pub mod network;
 
 pub use fault::FaultPlan;
 pub use mesh::Mesh;
-pub use network::{LatencyModel, Network, NetworkStats};
+pub use network::{LatencyModel, LinkCounters, Network, NetworkStats};

@@ -69,6 +69,17 @@ impl NetworkStats {
     }
 }
 
+/// Per-directed-link traffic counters, collected only when the
+/// attribution profiler enables them ([`Network::enable_link_counters`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkCounters {
+    /// Messages that crossed the link.
+    pub messages: u64,
+    /// Flits that crossed the link (each flit occupies the channel for
+    /// one flit-time; flits / elapsed cycles is the channel occupancy).
+    pub flits: u64,
+}
+
 /// The interconnect of one machine: topology + latency model + statistics.
 #[derive(Clone, Debug)]
 pub struct Network {
@@ -79,6 +90,9 @@ pub struct Network {
     link_occupancy: Option<u64>,
     /// Next-free time per directed link `(from, to)`.
     link_free: HashMap<(usize, usize), u64>,
+    /// Per-link traffic counters; `None` (the default) records nothing —
+    /// the inert-by-default contract of every profiling hook.
+    link_traffic: Option<HashMap<(usize, usize), LinkCounters>>,
 }
 
 impl Network {
@@ -91,6 +105,7 @@ impl Network {
             stats: NetworkStats::default(),
             link_occupancy: None,
             link_free: HashMap::new(),
+            link_traffic: None,
         }
     }
 
@@ -102,6 +117,7 @@ impl Network {
             stats: NetworkStats::default(),
             link_occupancy: None,
             link_free: HashMap::new(),
+            link_traffic: None,
         }
     }
 
@@ -182,6 +198,48 @@ impl Network {
     pub fn stats(&self) -> &NetworkStats {
         &self.stats
     }
+
+    /// Turns on per-link traffic counters. Off (and free) by default;
+    /// the attribution profiler enables them at machine construction.
+    pub fn enable_link_counters(&mut self) {
+        self.link_traffic = Some(HashMap::new());
+    }
+
+    /// Whether per-link counters are being collected.
+    pub fn link_counters_enabled(&self) -> bool {
+        self.link_traffic.is_some()
+    }
+
+    /// Charges `flits` to every directed link on the dimension-ordered
+    /// route from `src` to `dst`. No-op unless counters are enabled or
+    /// for local deliveries — and purely observational either way (never
+    /// affects latency or ordering).
+    pub fn note_link_traffic(&mut self, src: usize, dst: usize, flits: u64) {
+        let Some(map) = self.link_traffic.as_mut() else {
+            return;
+        };
+        if src == dst {
+            return;
+        }
+        let mut prev = src;
+        for next in self.mesh.route(src, dst) {
+            let c = map.entry((prev, next)).or_default();
+            c.messages += 1;
+            c.flits += flits;
+            prev = next;
+        }
+    }
+
+    /// Snapshot of the per-link counters, busiest (most flits) first,
+    /// ties broken by link id for determinism. Empty when disabled.
+    pub fn link_traffic(&self) -> Vec<((usize, usize), LinkCounters)> {
+        let Some(map) = &self.link_traffic else {
+            return Vec::new();
+        };
+        let mut v: Vec<_> = map.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_by(|a, b| b.1.flits.cmp(&a.1.flits).then(a.0.cmp(&b.0)));
+        v
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +297,25 @@ mod tests {
         n.send(0, 0, 15);
         assert_eq!(n.stats().hops, n.hops(0, 15) as u64);
         assert_eq!(n.stats().messages, 1, "hops() itself records nothing");
+    }
+
+    #[test]
+    fn link_counters_are_inert_until_enabled() {
+        let mut n = Network::new(16, LatencyModel::Uniform { latency: 5 });
+        n.note_link_traffic(0, 3, 4);
+        assert!(!n.link_counters_enabled());
+        assert!(n.link_traffic().is_empty(), "disabled counters record nothing");
+        n.enable_link_counters();
+        n.note_link_traffic(0, 3, 4);
+        n.note_link_traffic(0, 2, 1);
+        n.note_link_traffic(5, 5, 9);
+        let links = n.link_traffic();
+        // Route 0 -> 3 shares links (0,1) and (1,2) with 0 -> 2.
+        assert_eq!(links.len(), 3);
+        assert_eq!(links[0].0, (0, 1), "busiest link first");
+        assert_eq!(links[0].1, LinkCounters { messages: 2, flits: 5 });
+        assert_eq!(links[2].1, LinkCounters { messages: 1, flits: 4 });
+        assert_eq!(n.stats().messages, 0, "counters never touch send stats");
     }
 
     #[test]

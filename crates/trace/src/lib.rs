@@ -15,17 +15,35 @@
 //! Recording uses per-cluster bounded ring buffers ([`Tracer`]) merged
 //! into a global cycle-ordered history, a phase-latency
 //! [`MetricsRegistry`], and interval time-series snapshots.
+//!
+//! On top of the event stream sits the profiler: [`SpanTree`] derives
+//! causal spans (txn → phase → message) from a trace, [`perfetto`]
+//! exports them for `chrome://tracing` alongside folded flamegraph
+//! stacks, [`Attribution`] splits traffic into scheme-relevant classes
+//! under a byte/flit wire model, and [`report`] diffs two run documents
+//! as a CI perf gate.
 
 #![warn(missing_docs)]
 
+pub mod attrib;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod perfetto;
 pub mod replay;
+pub mod report;
+pub mod span;
 pub mod tracer;
 
+pub use attrib::{
+    validate_attrib_json, AttribClass, AttribParams, Attribution, ClassCounters,
+    ATTRIB_SCHEMA,
+};
 pub use event::{EventKind, Phase, TraceEvent};
 pub use json::Json;
 pub use metrics::{IntervalSnapshot, MetricsRegistry, TxnTimeline, LATENCY_BUCKET_CAP};
+pub use perfetto::{to_perfetto, validate_perfetto, PerfettoSummary};
 pub use replay::{validate_stats_json, validate_trace, TraceSummary};
+pub use report::{compare_docs, doc_label, tracked_metrics, Comparison, ReportMetric};
+pub use span::{MsgSpan, PhaseSpan, SpanTree, TxnSpan};
 pub use tracer::{TraceConfig, Tracer};

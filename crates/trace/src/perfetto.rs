@@ -1,0 +1,431 @@
+//! Perfetto / chrome `trace_event` export of a span tree.
+//!
+//! Produces the JSON object format (`{"traceEvents": [...]}`) that
+//! `chrome://tracing` and ui.perfetto.dev load directly: one complete
+//! (`"ph":"X"`) slice per transaction and phase, one nestable-async
+//! (`"ph":"b"`/`"e"`) pair per message leaf — a message sent late in one
+//! phase legitimately delivers inside the next, so it cannot live on the
+//! synchronous slice stack — counter (`"ph":"C"`) tracks from the
+//! interval time series, and metadata (`"ph":"M"`) naming the per-cluster
+//! process rows. Timestamps are simulated cycles rendered in the format's
+//! microsecond field — the viewer's "us" unit reads as cycles.
+//!
+//! Hand-rolled over [`crate::json::Json`] like every other exporter (the
+//! build is offline; no serde), and paired with [`validate_perfetto`] so
+//! CI can gate on schema well-formedness without a browser.
+
+use crate::json::Json;
+use crate::metrics::IntervalSnapshot;
+use crate::span::SpanTree;
+
+/// Thread id used for spans not owned by any transaction (orphan
+/// messages). Transaction ids start at 1, so 0 never collides.
+const BACKGROUND_TID: u64 = 0;
+
+fn complete_event(
+    name: &str,
+    cat: &str,
+    pid: u64,
+    tid: u64,
+    ts: u64,
+    dur: u64,
+    args: Json,
+) -> Json {
+    Json::obj()
+        .with("name", Json::Str(name.into()))
+        .with("cat", Json::Str(cat.into()))
+        .with("ph", Json::Str("X".into()))
+        .with("pid", Json::U64(pid))
+        .with("tid", Json::U64(tid))
+        .with("ts", Json::U64(ts))
+        .with("dur", Json::U64(dur))
+        .with("args", args)
+}
+
+fn async_msg_pair(m: &crate::span::MsgSpan, pid: u64, tid: u64, id: u64) -> [Json; 2] {
+    let head = |ph: &str, ts: u64| {
+        Json::obj()
+            .with("name", Json::Str(m.msg.into()))
+            .with("cat", Json::Str("msg".into()))
+            .with("ph", Json::Str(ph.into()))
+            .with("id", Json::Str(format!("0x{id:x}")))
+            .with("pid", Json::U64(pid))
+            .with("tid", Json::U64(tid))
+            .with("ts", Json::U64(ts))
+    };
+    [
+        head("b", m.send).with(
+            "args",
+            Json::obj()
+                .with("src", Json::U64(m.src as u64))
+                .with("dst", Json::U64(m.dst as u64))
+                .with("class", Json::Str(m.class.into()))
+                .with("hops", Json::U64(m.hops as u64)),
+        ),
+        head("e", m.deliver.unwrap_or(m.send)),
+    ]
+}
+
+/// Renders a span tree (plus optional interval counters) as a chrome
+/// `trace_event` JSON document.
+///
+/// Layout: one process row per cluster (pid = cluster id, named by an
+/// `"M"` metadata record), one thread lane per transaction (tid = txn
+/// id), so concurrent transactions of one cluster stack as parallel
+/// tracks. Message leaves are nestable-async pairs on their transaction's
+/// lane (in-flight time crosses phase boundaries); orphan messages ride a
+/// `background` lane (tid 0) of their source cluster. Counter tracks
+/// (`messages`, `retries`, `nacks`, `occupancy`) attach to a synthetic
+/// pid one past the largest cluster.
+pub fn to_perfetto(tree: &SpanTree, intervals: &[IntervalSnapshot]) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    let mut max_pid = 0u64;
+    let mut msg_id = 0u64;
+    for t in &tree.txns {
+        let pid = t.cluster as u64;
+        max_pid = max_pid.max(pid);
+        let end = t.end.unwrap_or_else(|| {
+            t.phases.last().map(|p| p.end).unwrap_or(t.begin)
+        });
+        let root = format!(
+            "{} blk#{}",
+            if t.write { "write" } else { "read" },
+            t.block
+        );
+        events.push(complete_event(
+            &root,
+            "txn",
+            pid,
+            t.txn,
+            t.begin,
+            end.saturating_sub(t.begin),
+            Json::obj()
+                .with("txn", Json::U64(t.txn))
+                .with("block", Json::U64(t.block))
+                .with("retries", Json::U64(t.retries as u64))
+                .with("nacks", Json::U64(t.nacks as u64))
+                .with("complete", Json::Bool(t.end.is_some())),
+        ));
+        for p in &t.phases {
+            events.push(complete_event(
+                p.phase,
+                "phase",
+                pid,
+                t.txn,
+                p.start,
+                p.duration(),
+                Json::obj(),
+            ));
+            for m in &p.msgs {
+                msg_id += 1;
+                events.extend(async_msg_pair(m, pid, t.txn, msg_id));
+            }
+        }
+    }
+    for m in &tree.orphan_msgs {
+        let pid = m.src as u64;
+        max_pid = max_pid.max(pid);
+        msg_id += 1;
+        events.extend(async_msg_pair(m, pid, BACKGROUND_TID, msg_id));
+    }
+    // Metadata rows: name each cluster's process lane.
+    let mut pids: Vec<u64> = tree.txns.iter().map(|t| t.cluster as u64).collect();
+    pids.extend(tree.orphan_msgs.iter().map(|m| m.src as u64));
+    pids.sort_unstable();
+    pids.dedup();
+    for pid in &pids {
+        events.push(
+            Json::obj()
+                .with("name", Json::Str("process_name".into()))
+                .with("ph", Json::Str("M".into()))
+                .with("pid", Json::U64(*pid))
+                .with("tid", Json::U64(0))
+                .with(
+                    "args",
+                    Json::obj().with("name", Json::Str(format!("cluster {pid}"))),
+                ),
+        );
+    }
+    // Counter tracks from the interval time series, on their own pid.
+    if !intervals.is_empty() {
+        let counter_pid = max_pid + 1;
+        events.push(
+            Json::obj()
+                .with("name", Json::Str("process_name".into()))
+                .with("ph", Json::Str("M".into()))
+                .with("pid", Json::U64(counter_pid))
+                .with("tid", Json::U64(0))
+                .with(
+                    "args",
+                    Json::obj().with("name", Json::Str("machine counters".into())),
+                ),
+        );
+        for s in intervals {
+            for (name, value) in [
+                ("messages", s.messages),
+                ("retries", s.retries),
+                ("nacks", s.nacks),
+                ("occupancy", s.occupancy),
+            ] {
+                events.push(
+                    Json::obj()
+                        .with("name", Json::Str(name.into()))
+                        .with("ph", Json::Str("C".into()))
+                        .with("pid", Json::U64(counter_pid))
+                        .with("tid", Json::U64(0))
+                        .with("ts", Json::U64(s.start))
+                        .with("args", Json::obj().with("value", Json::U64(value))),
+                );
+            }
+        }
+    }
+    Json::obj()
+        .with("traceEvents", Json::Arr(events))
+        .with("displayTimeUnit", Json::Str("ns".into()))
+        .with(
+            "otherData",
+            Json::obj().with("clock", Json::Str("simulated cycles".into())),
+        )
+}
+
+/// Aggregate of one validated Perfetto document.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PerfettoSummary {
+    /// Total records in `traceEvents`.
+    pub events: u64,
+    /// Complete (`"X"`) slices.
+    pub slices: u64,
+    /// Matched nestable-async (`"b"`/`"e"`) pairs.
+    pub async_ops: u64,
+    /// Counter (`"C"`) samples.
+    pub counters: u64,
+    /// Metadata (`"M"`) records.
+    pub meta: u64,
+}
+
+/// Validates a chrome `trace_event` JSON document: object format with a
+/// `traceEvents` array; every record an object with a known `ph`
+/// (`X`/`b`/`e`/`C`/`M`), `name`, `pid` and `tid`; `X` slices carry
+/// integer `ts`/`dur`; every async `b` carries an `id` and is closed by a
+/// matching `e` (same `pid`/`id`) no earlier than it began; `C` samples
+/// carry `ts` and a numeric `args.value`; and within each `(pid, tid)`
+/// lane the `X` slices obey stack discipline (properly nested, never
+/// partially overlapping).
+pub fn validate_perfetto(text: &str) -> Result<PerfettoSummary, String> {
+    let doc = Json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing `traceEvents` array")?;
+    let mut summary = PerfettoSummary::default();
+    // (pid, tid) -> X slices as (ts, dur).
+    let mut lanes: std::collections::BTreeMap<(u64, u64), Vec<(u64, u64)>> =
+        std::collections::BTreeMap::new();
+    // (pid, id) -> begin ts of an open async op.
+    let mut open_async: std::collections::BTreeMap<(u64, String), u64> =
+        std::collections::BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let at = |key: &str| format!("traceEvents[{i}]: missing or invalid `{key}`");
+        let ph = ev.get("ph").and_then(Json::as_str).ok_or_else(|| at("ph"))?;
+        ev.get("name").and_then(Json::as_str).ok_or_else(|| at("name"))?;
+        let pid = ev.get("pid").and_then(Json::as_u64).ok_or_else(|| at("pid"))?;
+        let tid = ev.get("tid").and_then(Json::as_u64).ok_or_else(|| at("tid"))?;
+        summary.events += 1;
+        match ph {
+            "X" => {
+                let ts = ev.get("ts").and_then(Json::as_u64).ok_or_else(|| at("ts"))?;
+                let dur = ev.get("dur").and_then(Json::as_u64).ok_or_else(|| at("dur"))?;
+                lanes.entry((pid, tid)).or_default().push((ts, dur));
+                summary.slices += 1;
+            }
+            "b" | "e" => {
+                let ts = ev.get("ts").and_then(Json::as_u64).ok_or_else(|| at("ts"))?;
+                let id = ev.get("id").and_then(Json::as_str).ok_or_else(|| at("id"))?;
+                let key = (pid, id.to_string());
+                if ph == "b" {
+                    if open_async.insert(key, ts).is_some() {
+                        return Err(format!(
+                            "traceEvents[{i}]: async id `{id}` reopened on pid {pid}"
+                        ));
+                    }
+                } else {
+                    let begin = open_async.remove(&key).ok_or(format!(
+                        "traceEvents[{i}]: async end `{id}` on pid {pid} without a begin"
+                    ))?;
+                    if ts < begin {
+                        return Err(format!(
+                            "traceEvents[{i}]: async `{id}` ends at {ts} before its begin {begin}"
+                        ));
+                    }
+                    summary.async_ops += 1;
+                }
+            }
+            "C" => {
+                ev.get("ts").and_then(Json::as_u64).ok_or_else(|| at("ts"))?;
+                let value = ev.get("args").and_then(|a| a.get("value"));
+                if value.and_then(Json::as_u64).is_none()
+                    && value.and_then(Json::as_f64).is_none()
+                {
+                    return Err(at("args.value"));
+                }
+                summary.counters += 1;
+            }
+            "M" => summary.meta += 1,
+            other => {
+                return Err(format!("traceEvents[{i}]: unknown ph `{other}`"));
+            }
+        }
+    }
+    if let Some(((pid, id), ts)) = open_async.into_iter().next() {
+        return Err(format!(
+            "async op `{id}` on pid {pid} (begun at {ts}) never ended"
+        ));
+    }
+    // Stack discipline per lane: sort by (ts, widest first) and require
+    // each slice to fit entirely inside whatever encloses it.
+    for ((pid, tid), mut slices) in lanes {
+        slices.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let mut stack: Vec<u64> = Vec::new(); // enclosing end times
+        for (ts, dur) in slices {
+            while matches!(stack.last(), Some(&end) if end <= ts) {
+                stack.pop();
+            }
+            let end = ts + dur;
+            if let Some(&open) = stack.last() {
+                if end > open {
+                    return Err(format!(
+                        "lane pid {pid} tid {tid}: slice [{ts}, {end}] straddles \
+                         an enclosing slice ending at {open}"
+                    ));
+                }
+            }
+            stack.push(end);
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Phase, TraceEvent};
+
+    fn ev(seq: u64, cycle: u64, cluster: u32, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            seq,
+            cycle,
+            cluster,
+            kind,
+        }
+    }
+
+    fn sample_tree() -> SpanTree {
+        SpanTree::from_events(&[
+            ev(1, 10, 0, EventKind::TxnBegin { txn: 1, block: 4, write: true }),
+            ev(2, 10, 0, EventKind::MsgSend {
+                src: 0,
+                dst: 2,
+                msg: "write_req",
+                class: "request",
+                block: Some(4),
+                hops: 2,
+            }),
+            ev(3, 24, 2, EventKind::MsgDeliver {
+                src: 0,
+                dst: 2,
+                msg: "write_req",
+                block: Some(4),
+            }),
+            ev(4, 25, 0, EventKind::TxnPhase { txn: 1, block: 4, phase: Phase::HomeLookup }),
+            ev(5, 60, 0, EventKind::TxnEnd { txn: 1, block: 4, latency: 50, retries: 0 }),
+        ])
+    }
+
+    #[test]
+    fn export_validates_and_counts() {
+        let intervals = [IntervalSnapshot {
+            start: 0,
+            end: 1000,
+            messages: 5,
+            retries: 1,
+            nacks: 1,
+            occupancy: 2,
+            ops_retired: 3,
+        }];
+        let doc = to_perfetto(&sample_tree(), &intervals);
+        let text = doc.to_string();
+        let s = validate_perfetto(&text).unwrap();
+        // 1 txn + 2 phases = 3 slices; 1 msg = 1 async pair; 4 counters;
+        // 2 meta (cluster 0 + counter process).
+        assert_eq!(s.slices, 3);
+        assert_eq!(s.async_ops, 1);
+        assert_eq!(s.counters, 4);
+        assert_eq!(s.meta, 2);
+        assert_eq!(s.events, 11);
+        // Round-trips through the parser.
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn slices_nest_inside_the_txn_root() {
+        let doc = to_perfetto(&sample_tree(), &[]);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let root = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("txn"))
+            .unwrap();
+        assert_eq!(root.get("ts").and_then(Json::as_u64), Some(10));
+        assert_eq!(root.get("dur").and_then(Json::as_u64), Some(50));
+        assert_eq!(root.get("tid").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn rejects_straddling_slices() {
+        let bad = r#"{"traceEvents":[
+            {"name":"a","ph":"X","pid":0,"tid":1,"ts":0,"dur":10},
+            {"name":"b","ph":"X","pid":0,"tid":1,"ts":5,"dur":10}
+        ]}"#;
+        let err = validate_perfetto(bad).unwrap_err();
+        assert!(err.contains("straddles"), "{err}");
+        // Same spans on different lanes are fine.
+        let ok = r#"{"traceEvents":[
+            {"name":"a","ph":"X","pid":0,"tid":1,"ts":0,"dur":10},
+            {"name":"b","ph":"X","pid":0,"tid":2,"ts":5,"dur":10}
+        ]}"#;
+        assert_eq!(validate_perfetto(ok).unwrap().slices, 2);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(validate_perfetto("[]").is_err(), "array format not accepted");
+        assert!(validate_perfetto(r#"{"traceEvents":[{"ph":"X"}]}"#).is_err());
+        assert!(
+            validate_perfetto(
+                r#"{"traceEvents":[{"name":"a","ph":"Q","pid":0,"tid":0}]}"#
+            )
+            .unwrap_err()
+            .contains("unknown ph")
+        );
+        assert!(validate_perfetto(
+            r#"{"traceEvents":[{"name":"c","ph":"C","pid":0,"tid":0,"ts":1,"args":{}}]}"#
+        )
+        .is_err());
+        assert!(validate_perfetto(
+            r#"{"traceEvents":[{"name":"m","ph":"b","id":"0x1","pid":0,"tid":0,"ts":1}]}"#
+        )
+        .unwrap_err()
+        .contains("never ended"));
+        assert!(validate_perfetto(
+            r#"{"traceEvents":[{"name":"m","ph":"e","id":"0x1","pid":0,"tid":0,"ts":1}]}"#
+        )
+        .unwrap_err()
+        .contains("without a begin"));
+    }
+
+    #[test]
+    fn empty_tree_is_a_valid_document() {
+        let doc = to_perfetto(&SpanTree::default(), &[]);
+        let s = validate_perfetto(&doc.to_string()).unwrap();
+        assert_eq!(s.events, 0);
+    }
+}

@@ -285,6 +285,11 @@ pub fn validate_stats_json(text: &str) -> Result<(), String> {
             }
         }
     }
+    if let Some(attrib) = j.get("attribution") {
+        if *attrib != Json::Null {
+            crate::attrib::validate_attrib_json(attrib)?;
+        }
+    }
     Ok(())
 }
 

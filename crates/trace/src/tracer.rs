@@ -25,6 +25,9 @@ pub struct TraceConfig {
     /// Interval time-series snapshot period in cycles. 0 disables
     /// snapshots.
     pub interval: u64,
+    /// Collect per-class byte/flit traffic attribution and per-link
+    /// occupancy counters (the `scd-attrib/v1` document section).
+    pub attribution: bool,
 }
 
 impl TraceConfig {
@@ -36,17 +39,19 @@ impl TraceConfig {
 
     /// Whether any recording is enabled.
     pub fn is_active(&self) -> bool {
-        self.ring_capacity > 0 || self.metrics || self.interval > 0
+        self.ring_capacity > 0 || self.metrics || self.interval > 0 || self.attribution
     }
 
     /// Standard tracing: transaction lifecycle + messages into rings of
-    /// `capacity` events per cluster, with the metrics registry on.
+    /// `capacity` events per cluster, with the metrics registry and
+    /// traffic attribution on.
     pub fn full(capacity: usize) -> Self {
         TraceConfig {
             ring_capacity: capacity,
             messages: true,
             metrics: true,
             interval: 0,
+            attribution: true,
         }
     }
 
@@ -58,12 +63,19 @@ impl TraceConfig {
             messages: false,
             metrics: true,
             interval: 0,
+            attribution: false,
         }
     }
 
     /// Builder: set the interval-snapshot period.
     pub fn with_interval(mut self, cycles: u64) -> Self {
         self.interval = cycles;
+        self
+    }
+
+    /// Builder: toggle traffic/occupancy attribution.
+    pub fn with_attribution(mut self, on: bool) -> Self {
+        self.attribution = on;
         self
     }
 }
@@ -181,6 +193,9 @@ mod tests {
         assert!(!TraceConfig::none().is_active());
         assert!(TraceConfig::full(16).is_active());
         assert!(TraceConfig::none().with_interval(100).is_active());
+        assert!(TraceConfig::none().with_attribution(true).is_active());
+        assert!(TraceConfig::full(16).attribution);
+        assert!(!TraceConfig::lifecycle(16).attribution);
     }
 
     #[test]

@@ -1,37 +1,45 @@
 //! Offline validator for the machine-readable telemetry formats.
 //!
 //! Checks trace logs (`scdsim --trace-out`, JSONL) against the
-//! per-transaction lifecycle invariants and stats dumps
+//! per-transaction lifecycle invariants, stats dumps
 //! (`scdsim --stats-json`, `BENCH_*.json`) against the
-//! `scd-run-stats/v1` schema. CI runs this over the smoke job's outputs;
-//! it is also the quickest way to sanity-check a trace by hand.
+//! `scd-run-stats/v1` schema, and Perfetto exports
+//! (`scdsim --perfetto-out`) against the chrome `trace_event` format
+//! (slice stack discipline, matched async message pairs). CI runs this
+//! over the smoke job's outputs; it is also the quickest way to
+//! sanity-check a trace by hand.
 //!
 //! ```text
-//! scd-validate [--trace <file>]... [--stats <file>]... [<file>]...
+//! scd-validate [--trace <file>]... [--stats <file>]...
+//!              [--perfetto <file>]... [<file>]...
 //! ```
 //!
 //! Bare file arguments are auto-detected by extension: `.jsonl` is treated
 //! as a trace, anything else as a stats document. Exits non-zero if any
 //! file fails validation.
 
-use scd::trace::{validate_stats_json, validate_trace};
+use scd::trace::{validate_perfetto, validate_stats_json, validate_trace};
 use std::process::exit;
 
 const HELP: &str = "\
 scd-validate: check scd telemetry files against their schemas
 
-usage: scd-validate [--trace <file>]... [--stats <file>]... [<file>]...
+usage: scd-validate [--trace <file>]... [--stats <file>]...
+                    [--perfetto <file>]... [<file>]...
 
-  --trace <file>   validate a JSONL transaction trace (scdsim --trace-out)
-  --stats <file>   validate an scd-run-stats/v1 document
-                   (scdsim --stats-json, BENCH_*.json)
-  <file>           auto-detect: .jsonl -> trace, otherwise stats
-  -h, --help       show this help
+  --trace <file>     validate a JSONL transaction trace (scdsim --trace-out)
+  --stats <file>     validate an scd-run-stats/v1 document
+                     (scdsim --stats-json, BENCH_*.json)
+  --perfetto <file>  validate a chrome trace_event export
+                     (scdsim --perfetto-out)
+  <file>             auto-detect: .jsonl -> trace, otherwise stats
+  -h, --help         show this help
 ";
 
 enum Kind {
     Trace,
     Stats,
+    Perfetto,
 }
 
 fn read(path: &str) -> String {
@@ -53,12 +61,16 @@ fn main() {
                 print!("{HELP}");
                 return;
             }
-            "--trace" | "--stats" => {
+            "--trace" | "--stats" | "--perfetto" => {
                 let Some(path) = args.next() else {
                     eprintln!("scd-validate: {arg} needs a file argument");
                     exit(2);
                 };
-                let kind = if arg == "--trace" { Kind::Trace } else { Kind::Stats };
+                let kind = match arg.as_str() {
+                    "--trace" => Kind::Trace,
+                    "--perfetto" => Kind::Perfetto,
+                    _ => Kind::Stats,
+                };
                 jobs.push((kind, path));
             }
             path if !path.starts_with('-') => {
@@ -101,6 +113,16 @@ fn main() {
             },
             Kind::Stats => match validate_stats_json(&text) {
                 Ok(()) => println!("{path}: OK — scd-run-stats/v1"),
+                Err(e) => {
+                    eprintln!("{path}: FAIL — {e}");
+                    failures += 1;
+                }
+            },
+            Kind::Perfetto => match validate_perfetto(&text) {
+                Ok(s) => println!(
+                    "{path}: OK — {} events ({} slices, {} msg ops, {} counters, {} meta)",
+                    s.events, s.slices, s.async_ops, s.counters, s.meta
+                ),
                 Err(e) => {
                     eprintln!("{path}: FAIL — {e}");
                     failures += 1;

@@ -21,6 +21,8 @@
 //!   --trace-buffer <n>               trace ring capacity per cluster
 //!   --stats-json <path>              write scd-run-stats/v1 JSON
 //!   --interval-stats <n>             sample traffic/occupancy every n cycles
+//!   --perfetto-out <path>            write a chrome://tracing span profile
+//!   --folded-out <path>              write folded stacks for flamegraphs
 //! ```
 
 use scd::apps::{dwf, locusroute, lu, mp3d, AppRun, DwfParams, LocusRouteParams, LuParams,
@@ -28,7 +30,7 @@ use scd::apps::{dwf, locusroute, lu, mp3d, AppRun, DwfParams, LocusRouteParams, 
 use scd::core::{Replacement, Scheme};
 use scd::machine::{Machine, MachineConfig};
 use scd::noc::FaultPlan;
-use scd::trace::{Json, TraceConfig};
+use scd::trace::{to_perfetto, Json, SpanTree, TraceConfig};
 
 fn usage() -> ! {
     eprintln!("{}", HELP.trim());
@@ -62,9 +64,16 @@ usage: scdsim [options]
   --trace-buffer <n>                          trace ring capacity per cluster
                                               (default 4096 when tracing)
   --stats-json <path>                         write the scd-run-stats/v1
-                                              document (stats + metrics)
+                                              document (stats + metrics +
+                                              traffic attribution)
   --interval-stats <n>                        sample traffic/retries/occupancy
                                               every n cycles, print the table
+  --perfetto-out <path>                       derive the causal span tree and
+                                              write a chrome trace_event JSON
+                                              (open in chrome://tracing or
+                                              ui.perfetto.dev)
+  --folded-out <path>                         write folded stacks (flamegraph
+                                              input; weights in cycles)
   --anatomy                                   print busy/stall breakdown
   --histogram                                 print invalidation distribution
   --check                                     verify coherence invariants
@@ -141,6 +150,8 @@ fn main() {
     let mut trace_buffer: Option<usize> = None;
     let mut stats_json: Option<String> = None;
     let mut interval: u64 = 0;
+    let mut perfetto_out: Option<String> = None;
+    let mut folded_out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -194,6 +205,8 @@ fn main() {
             }
             "--stats-json" => stats_json = Some(val()),
             "--interval-stats" => interval = val().parse().unwrap_or_else(|_| usage()),
+            "--perfetto-out" => perfetto_out = Some(val()),
+            "--folded-out" => folded_out = Some(val()),
             "--hints" => hints = true,
             "--anatomy" => anatomy = true,
             "--histogram" => histogram = true,
@@ -216,17 +229,23 @@ fn main() {
     }
     cfg.fault_plan = fault;
     cfg.watchdog_cycles = watchdog;
-    // Tracing: a trace file wants the full event stream; a stats file or
-    // interval sampling only needs the metrics registry.
+    // Tracing: a trace file or span profile wants the full event stream;
+    // a stats file or interval sampling only needs the metrics registry.
+    // Any telemetry request also turns on traffic attribution (counters
+    // only — the run stays bit-identical).
     let want_metrics = stats_json.is_some() || interval > 0;
-    if trace_out.is_some() || trace_buffer.is_some() || want_metrics {
-        let mut tc = if trace_out.is_some() || trace_buffer.is_some() {
+    let want_events =
+        trace_out.is_some() || trace_buffer.is_some() || perfetto_out.is_some()
+            || folded_out.is_some();
+    if want_events || want_metrics {
+        let mut tc = if want_events {
             TraceConfig::full(trace_buffer.unwrap_or(4096))
         } else {
             TraceConfig::none()
         };
         tc.metrics = tc.metrics || want_metrics;
         tc.interval = interval;
+        tc.attribution = true;
         cfg = cfg.with_trace(tc);
     }
     if let Some((entries, ways, policy)) = sparse {
@@ -265,10 +284,37 @@ fn main() {
     let wall = std::time::Instant::now();
     let mut machine = Machine::new(cfg, app.boxed_programs());
     let result = machine.try_run();
-    // The transaction trace is most valuable exactly when the run failed:
-    // write it before bailing out.
+    // The transaction trace (and the span profile derived from it) is
+    // most valuable exactly when the run failed: write both before
+    // bailing out.
     if let Some(path) = &trace_out {
         write_trace(&machine, path);
+    }
+    if perfetto_out.is_some() || folded_out.is_some() {
+        let events = machine.trace_events();
+        let tree = SpanTree::from_events(&events);
+        if let Some(path) = &perfetto_out {
+            let doc = to_perfetto(&tree, &machine.metrics().intervals);
+            if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1)
+            }
+            eprintln!(
+                "span profile written to {path}: {} txns ({} complete), \
+                 {} attributed msgs, {} background msgs",
+                tree.txns.len(),
+                tree.completed(),
+                tree.attributed_msgs(),
+                tree.orphan_msgs.len()
+            );
+        }
+        if let Some(path) = &folded_out {
+            if let Err(e) = std::fs::write(path, tree.to_folded()) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1)
+            }
+            eprintln!("folded stacks written to {path}");
+        }
     }
     let stats = match result {
         Ok(stats) => stats,
@@ -282,6 +328,7 @@ fn main() {
         let doc = stats.to_json_document(
             Some(run_meta.clone()),
             want_metrics.then(|| machine.metrics()),
+            machine.attribution_json(stats.cycles),
         );
         if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
             eprintln!("cannot write {path}: {e}");

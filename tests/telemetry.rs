@@ -10,7 +10,10 @@ use scd::machine::{Machine, MachineConfig, RunStats, SimError};
 use scd::noc::FaultPlan;
 use scd::sim::SimRng;
 use scd::tango::{Op, ScriptProgram, ThreadProgram};
-use scd::trace::{validate_stats_json, validate_trace, TraceConfig};
+use scd::trace::{
+    to_perfetto, validate_perfetto, validate_stats_json, validate_trace, AttribClass, Attribution,
+    SpanTree, TraceConfig,
+};
 
 /// A random read/write mix over a small hot block set (the coherence
 /// stress suite's shape, shortened for debug builds).
@@ -146,8 +149,118 @@ fn metrics_registry_reports_latency_histograms() {
         m.read_latency.percentile(0.99) >= m.read_latency.percentile(0.5),
         "percentiles must be monotone"
     );
-    let doc = stats.to_json_document(None, Some(m)).to_string();
+    let doc = stats.to_json_document(None, Some(m), None).to_string();
     validate_stats_json(&doc).unwrap_or_else(|e| panic!("schema broke: {e}\n{doc}"));
+}
+
+/// Attribution-only profiling obeys the same inertness contract as the
+/// rest of the subsystem: byte/flit/link counters may not move a cycle,
+/// and the counters themselves live *outside* `RunStats`, so the exported
+/// stats stay bit-identical while the machine gains an attribution view.
+#[test]
+fn attribution_counters_do_not_perturb_the_run() {
+    let (_, base) = run_with_trace(None, 0x7E1E);
+    let mut tc = TraceConfig::none();
+    tc.attribution = true;
+    let (machine, stats) = run_with_trace(Some(tc), 0x7E1E);
+    assert_eq!(base.to_json().to_string(), stats.to_json().to_string());
+    let attrib = machine.attribution().expect("attribution was on");
+    assert_eq!(
+        attrib.totals().messages,
+        stats.traffic.total(),
+        "every message the traffic tally saw must be classified"
+    );
+    let doc = stats
+        .to_json_document(None, None, machine.attribution_json(stats.cycles))
+        .to_string();
+    validate_stats_json(&doc).unwrap_or_else(|e| panic!("attrib schema broke: {e}\n{doc}"));
+}
+
+/// The online send-hook counters and an offline pass over the recorded
+/// event stream are two independent implementations of the same
+/// classification; with a ring deep enough to drop nothing they must agree
+/// class-for-class on messages, bytes, flits, and flit-hops.
+#[test]
+fn online_and_offline_attribution_agree() {
+    let (machine, _) = run_with_trace(Some(TraceConfig::full(1 << 16)), 0x7E1E);
+    let (_, dropped) = machine.trace_counts();
+    assert_eq!(dropped, 0, "ring too small; offline pass would be partial");
+    let online = machine.attribution().expect("full tracing enables attribution");
+    let offline = Attribution::from_events(&machine.trace_events(), online.params());
+    assert_eq!(online.totals(), offline.totals());
+    for class in AttribClass::ALL {
+        assert_eq!(online.class(class), offline.class(class), "{}", class.label());
+    }
+}
+
+/// Span-tree well-formedness on a clean run: every `TxnBegin` that saw its
+/// `TxnEnd` closes, phases tile the transaction contiguously, and message
+/// leaves nest inside their phase — `SpanTree::check` enforces all of it.
+#[test]
+fn span_tree_is_well_formed_for_a_clean_run() {
+    let (machine, _) = run_with_trace(Some(TraceConfig::full(1 << 16)), 0x7E1E);
+    let tree = SpanTree::from_events(&machine.trace_events());
+    tree.check().unwrap_or_else(|e| panic!("malformed span tree: {e}"));
+    assert!(tree.completed() > 0, "no transaction completed");
+    assert_eq!(
+        tree.txns.iter().filter(|t| t.end.is_none()).count(),
+        0,
+        "a quiesced run leaves no transaction open"
+    );
+    assert!(tree.attributed_msgs() > 0, "no message found its transaction");
+}
+
+/// The tree must stay well-formed when the protocol is under attack:
+/// injected NACKs force retries, which stretch transactions across many
+/// issue phases, and the span builder may not tangle them.
+#[test]
+fn span_tree_is_well_formed_under_nack_retry_faults() {
+    let mut cfg = MachineConfig::tiny(6)
+        .with_fault(FaultPlan::nack(0.25))
+        .with_trace(TraceConfig::full(1 << 16));
+    cfg.watchdog_cycles = 1_000_000;
+    let programs = random_programs(cfg.processors(), 250, 24, 0.4, 0xBEEF);
+    let mut machine = Machine::new(cfg, programs);
+    machine.try_run().expect("faulty run must still quiesce");
+    let tree = SpanTree::from_events(&machine.trace_events());
+    tree.check().unwrap_or_else(|e| panic!("malformed span tree under faults: {e}"));
+    assert!(
+        tree.txns.iter().any(|t| t.retries > 0),
+        "fault plan never forced a retry"
+    );
+    assert!(
+        tree.txns.iter().any(|t| t.nacks > 0),
+        "fault plan never landed a NACK"
+    );
+}
+
+/// The Perfetto export of a traced run must pass the schema/stack checks
+/// `scd-validate --perfetto` applies: slices nest per lane, counter tracks
+/// ride on their own pid, and metadata names every cluster process.
+#[test]
+fn perfetto_export_passes_validation() {
+    let trace = TraceConfig::full(1 << 16).with_interval(500);
+    let (machine, _) = run_with_trace(Some(trace), 0x7E1E);
+    let tree = SpanTree::from_events(&machine.trace_events());
+    let doc = to_perfetto(&tree, &machine.metrics().intervals).to_string();
+    let summary =
+        validate_perfetto(&doc).unwrap_or_else(|e| panic!("perfetto export invalid: {e}"));
+    assert!(summary.slices > 0, "no slices exported");
+    assert!(summary.counters > 0, "interval counters missing");
+    assert!(summary.meta > 0, "process-name metadata missing");
+    // Folded stacks come from the same tree; a quick sanity pass.
+    let folded = tree.to_folded();
+    assert!(!folded.is_empty());
+    for line in folded.lines() {
+        let (stack, weight) = line.rsplit_once(' ').expect("stack <space> weight");
+        assert!(weight.parse::<u64>().is_ok(), "bad weight in {line:?}");
+        assert!(
+            stack.starts_with("read")
+                || stack.starts_with("write")
+                || stack.starts_with("background"),
+            "stack root must be a transaction kind or the background lane: {line:?}"
+        );
+    }
 }
 
 /// PR 1's post-mortems gain causal history: when a NACK storm trips the
