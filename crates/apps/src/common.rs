@@ -1,6 +1,7 @@
 //! Shared plumbing for application generators.
 
 use scd_tango::{Op, ScriptProgram, ThreadProgram};
+use std::sync::Arc;
 
 /// Coherence block size all generators lay data out for (the paper's 16 B).
 pub const BLOCK_BYTES: u64 = 16;
@@ -10,35 +11,51 @@ pub const WORD: u64 = 8;
 
 /// A generated application run: one operation stream per processor plus
 /// the Table 2 self-characterization.
+///
+/// The streams sit behind [`Arc`]s, so cloning an `AppRun` — or boxing its
+/// programs for yet another simulation — shares the (potentially
+/// multi-megabyte) op vectors instead of copying them. A generated run is
+/// immutable reference data: the parallel sweep engine hands one instance
+/// to every worker thread.
 #[derive(Clone, Debug)]
 pub struct AppRun {
     /// Application name as the paper spells it.
     pub name: &'static str,
-    /// Per-processor operation streams.
-    pub programs: Vec<Vec<Op>>,
+    /// Per-processor operation streams (shared, immutable).
+    pub programs: Vec<Arc<[Op]>>,
     /// Bytes of shared space touched (Table 2's "shared space").
     pub shared_bytes: u64,
 }
 
 impl AppRun {
-    /// Boxes the streams for `scd-machine`-style consumption.
+    /// Wraps freshly generated per-processor streams.
+    pub fn new(name: &'static str, programs: Vec<Vec<Op>>, shared_bytes: u64) -> Self {
+        AppRun {
+            name,
+            programs: programs.into_iter().map(Arc::from).collect(),
+            shared_bytes,
+        }
+    }
+
+    /// Boxes the streams for `scd-machine`-style consumption (cheap: the
+    /// underlying op vectors are shared, not copied).
     pub fn boxed_programs(&self) -> Vec<Box<dyn ThreadProgram>> {
         self.programs
             .iter()
-            .map(|ops| Box::new(ScriptProgram::new(ops.clone())) as Box<dyn ThreadProgram>)
+            .map(|ops| Box::new(ScriptProgram::shared(ops.clone())) as Box<dyn ThreadProgram>)
             .collect()
     }
 
     /// Total operations across all processors.
     pub fn total_ops(&self) -> usize {
-        self.programs.iter().map(Vec::len).sum()
+        self.programs.iter().map(|ops| ops.len()).sum()
     }
 
     /// Shared references (reads + writes) across all processors.
     pub fn shared_refs(&self) -> u64 {
         self.programs
             .iter()
-            .flatten()
+            .flat_map(|ops| ops.iter())
             .filter(|op| op.is_reference())
             .count() as u64
     }
@@ -47,7 +64,7 @@ impl AppRun {
     pub fn reads(&self) -> u64 {
         self.programs
             .iter()
-            .flatten()
+            .flat_map(|ops| ops.iter())
             .filter(|op| matches!(op, Op::Read(_)))
             .count() as u64
     }
@@ -56,7 +73,7 @@ impl AppRun {
     pub fn writes(&self) -> u64 {
         self.programs
             .iter()
-            .flatten()
+            .flat_map(|ops| ops.iter())
             .filter(|op| matches!(op, Op::Write(_)))
             .count() as u64
     }
@@ -65,7 +82,7 @@ impl AppRun {
     pub fn sync_ops(&self) -> u64 {
         self.programs
             .iter()
-            .flatten()
+            .flat_map(|ops| ops.iter())
             .filter(|op| op.is_sync())
             .count() as u64
     }
@@ -82,7 +99,7 @@ pub(crate) mod testutil {
 
     /// Asserts every processor issues the same barriers in the same order
     /// (a mismatched barrier would deadlock the machine).
-    pub fn assert_barriers_aligned(programs: &[Vec<Op>]) {
+    pub fn assert_barriers_aligned<P: std::ops::Deref<Target = [Op]>>(programs: &[P]) {
         let barrier_seq = |ops: &[Op]| {
             ops.iter()
                 .filter_map(|op| match op {
@@ -102,10 +119,10 @@ pub(crate) mod testutil {
     }
 
     /// Asserts lock/unlock pairs balance per processor.
-    pub fn assert_locks_balanced(programs: &[Vec<Op>]) {
+    pub fn assert_locks_balanced<P: std::ops::Deref<Target = [Op]>>(programs: &[P]) {
         for (p, ops) in programs.iter().enumerate() {
             let mut held = std::collections::HashSet::new();
-            for op in ops {
+            for op in ops.iter() {
                 match op {
                     Op::Lock(l) => assert!(held.insert(*l), "proc {p} re-locks {l}"),
                     Op::Unlock(l) => {
@@ -119,9 +136,12 @@ pub(crate) mod testutil {
     }
 
     /// Asserts all references fall inside the declared shared space.
-    pub fn assert_addresses_in_bounds(programs: &[Vec<Op>], shared_bytes: u64) {
+    pub fn assert_addresses_in_bounds<P: std::ops::Deref<Target = [Op]>>(
+        programs: &[P],
+        shared_bytes: u64,
+    ) {
         for (p, ops) in programs.iter().enumerate() {
-            for op in ops {
+            for op in ops.iter() {
                 if let Op::Read(a) | Op::Write(a) = op {
                     assert!(
                         *a < shared_bytes,
@@ -140,19 +160,31 @@ mod tests {
 
     #[test]
     fn apprun_counters() {
-        let run = AppRun {
-            name: "x",
-            programs: vec![
+        let run = AppRun::new(
+            "x",
+            vec![
                 vec![Op::Read(0), Op::Write(8), Op::Lock(0), Op::Unlock(0)],
                 vec![Op::Read(16), Op::Compute(5)],
             ],
-            shared_bytes: 64,
-        };
+            64,
+        );
         assert_eq!(run.total_ops(), 6);
         assert_eq!(run.shared_refs(), 3);
         assert_eq!(run.reads(), 2);
         assert_eq!(run.writes(), 1);
         assert_eq!(run.sync_ops(), 2);
         assert_eq!(run.boxed_programs().len(), 2);
+    }
+
+    /// Cloning an `AppRun` (and boxing its programs) shares the op streams
+    /// rather than copying them — the invariant the parallel sweep engine
+    /// relies on to hand one generated program set to many workers.
+    #[test]
+    fn apprun_clones_share_streams() {
+        let run = AppRun::new("x", vec![vec![Op::Read(0); 100]], 16);
+        let clone = run.clone();
+        assert!(Arc::ptr_eq(&run.programs[0], &clone.programs[0]));
+        let _boxed = run.boxed_programs();
+        assert_eq!(Arc::strong_count(&run.programs[0]), 3, "clone + boxed share");
     }
 }

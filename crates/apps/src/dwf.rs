@@ -115,11 +115,7 @@ pub fn dwf(params: &DwfParams, procs: usize, _seed: u64) -> AppRun {
         }
     }
 
-    AppRun {
-        name: "DWF",
-        programs,
-        shared_bytes: space.total_bytes(),
-    }
+    AppRun::new("DWF", programs, space.total_bytes())
 }
 
 #[cfg(test)]
@@ -153,7 +149,7 @@ mod tests {
         let run = small();
         let mut written = std::collections::HashMap::new();
         for ops in &run.programs {
-            for op in ops {
+            for op in ops.iter() {
                 if let Op::Write(a) = op {
                     *written.entry(*a).or_insert(0u32) += 1;
                 }

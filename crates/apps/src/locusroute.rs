@@ -133,11 +133,7 @@ pub fn locusroute(params: &LocusRouteParams, procs: usize, seed: u64) -> AppRun 
         }
     }
 
-    AppRun {
-        name: "LocusRoute",
-        programs,
-        shared_bytes: space.total_bytes(),
-    }
+    AppRun::new("LocusRoute", programs, space.total_bytes())
 }
 
 #[cfg(test)]
@@ -178,7 +174,7 @@ mod tests {
         let strip_w = 16usize; // 64 / 4 regions
         let mut touchers: HashMap<usize, HashSet<usize>> = HashMap::new();
         for (p, ops) in run.programs.iter().enumerate() {
-            for op in ops {
+            for op in ops.iter() {
                 if let Op::Read(a) | Op::Write(a) = op {
                     if *a < cost_bytes {
                         let x = (*a / WORD) as usize / 16; // column = idx / h

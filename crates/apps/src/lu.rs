@@ -86,11 +86,7 @@ pub fn lu(params: &LuParams, procs: usize, _seed: u64) -> AppRun {
         }
     }
 
-    AppRun {
-        name: "LU",
-        programs,
-        shared_bytes: space.total_bytes(),
-    }
+    AppRun::new("LU", programs, space.total_bytes())
 }
 
 #[cfg(test)]
@@ -135,7 +131,7 @@ mod tests {
         let n = 12usize;
         // Column j's elements are written by proc j % 4 only.
         for (p, ops) in run.programs.iter().enumerate() {
-            for op in ops {
+            for op in ops.iter() {
                 if let Op::Write(a) = op {
                     let idx = a / WORD;
                     let col = (idx as usize) / n;

@@ -120,11 +120,7 @@ pub fn mp3d(params: &Mp3dParams, procs: usize, seed: u64) -> AppRun {
         }
     }
 
-    AppRun {
-        name: "MP3D",
-        programs,
-        shared_bytes: space.total_bytes(),
-    }
+    AppRun::new("MP3D", programs, space.total_bytes())
 }
 
 #[cfg(test)]
@@ -162,7 +158,7 @@ mod tests {
         let particle_bytes = 256 * 32u64;
         let mut writers: HashMap<u64, HashSet<usize>> = HashMap::new();
         for (p, ops) in run.programs.iter().enumerate() {
-            for op in ops {
+            for op in ops.iter() {
                 if let Op::Write(a) = op {
                     if *a < particle_bytes {
                         writers.entry(*a).or_default().insert(p);
@@ -182,7 +178,7 @@ mod tests {
         let particle_bytes = 256 * 32u64;
         let mut writers: HashMap<u64, HashSet<usize>> = HashMap::new();
         for (p, ops) in run.programs.iter().enumerate() {
-            for op in ops {
+            for op in ops.iter() {
                 if let Op::Write(a) = op {
                     if *a >= particle_bytes {
                         writers.entry(*a).or_default().insert(p);

@@ -117,11 +117,7 @@ pub fn synth(params: &SynthParams, procs: usize, seed: u64) -> AppRun {
         }
     }
 
-    AppRun {
-        name: "Synthetic",
-        programs,
-        shared_bytes: space.total_bytes(),
-    }
+    AppRun::new("Synthetic", programs, space.total_bytes())
 }
 
 #[cfg(test)]

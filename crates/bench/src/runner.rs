@@ -75,10 +75,33 @@ pub fn sparse_config(
     ways: usize,
     policy: scd_core::Replacement,
 ) -> MachineConfig {
-    let mut cfg = MachineConfig::paper_32().with_scheme(scheme);
+    sparse_config_with(
+        MachineConfig::paper_32().with_scheme(scheme),
+        app,
+        size_factor,
+        ways,
+        policy,
+    )
+}
+
+/// [`sparse_config`] on an explicit base machine (scheme already set):
+/// scales the caches to the §6.3 ratio and, for `size_factor > 0`, attaches
+/// the sparse directory. Used by the sweep engine, whose grids may override
+/// cluster counts.
+pub fn sparse_config_with(
+    mut cfg: MachineConfig,
+    app: &AppRun,
+    size_factor: usize,
+    ways: usize,
+    policy: scd_core::Replacement,
+) -> MachineConfig {
     let dataset_blocks = app.shared_bytes / cfg.block_bytes;
+    // At least 8 blocks per *processor*: with one processor per cluster
+    // (the paper's runs) this equals the old `clusters * 8` floor, but on
+    // DASH-shaped machines (4 processors per cluster) the cluster-based
+    // floor under-sized the caches by 4x.
     let total_cache = ((dataset_blocks / SPARSE_CACHE_RATIO) as usize)
-        .max(cfg.clusters * 8); // at least 8 blocks per processor
+        .max(cfg.processors() * 8);
     cfg = cfg.with_scaled_caches(total_cache);
     if size_factor > 0 {
         let per_home = (cfg.total_cache_blocks() * size_factor)
@@ -91,8 +114,11 @@ pub fn sparse_config(
 }
 
 /// Lower-cases `s` and collapses every non-alphanumeric run to a single
-/// `_`, producing the file-system-safe slugs used in `BENCH_*.json` names.
-fn slug(s: &str) -> String {
+/// `_`, producing the file-system-safe slugs used in `BENCH_*.json` names
+/// and sweep run identifiers. Leading/trailing punctuation is dropped
+/// entirely (no leading or trailing `_`), and an all-punctuation or empty
+/// input slugs to the empty string.
+pub fn slug(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut gap = false;
     for ch in s.chars() {
@@ -126,15 +152,39 @@ pub fn write_bench_json(
     stats: &RunStats,
     attribution: Option<Json>,
 ) {
+    write_bench_json_in(std::path::Path::new("."), app, scheme_name, stats, attribution);
+}
+
+/// [`write_bench_json`] into an explicit directory (created if missing) —
+/// the sweep engine's `--bench-out` lands its per-run points this way.
+pub fn write_bench_json_in(
+    dir: &std::path::Path,
+    app: &AppRun,
+    scheme_name: &str,
+    stats: &RunStats,
+    attribution: Option<Json>,
+) {
+    let doc = bench_point_document(app, scheme_name, stats, attribution);
+    std::fs::create_dir_all(dir).expect("create bench output dir");
+    let path = dir.join(bench_json_name(app.name, scheme_name));
+    std::fs::write(&path, format!("{doc}\n")).expect("write bench json");
+    println!("[bench point written to {}]", path.display());
+}
+
+/// The `scd-run-stats/v1` document for one bench point, with the standard
+/// `run` meta section (app, scheme, shared refs/bytes).
+pub fn bench_point_document(
+    app: &AppRun,
+    scheme_name: &str,
+    stats: &RunStats,
+    attribution: Option<Json>,
+) -> Json {
     let run = Json::obj()
         .with("app", Json::Str(app.name.into()))
         .with("scheme", Json::Str(scheme_name.into()))
         .with("shared_refs", Json::U64(app.shared_refs()))
         .with("shared_bytes", Json::U64(app.shared_bytes));
-    let doc = stats.to_json_document(Some(run), None, attribution);
-    let name = bench_json_name(app.name, scheme_name);
-    std::fs::write(&name, format!("{doc}\n")).expect("write bench json");
-    println!("[bench point written to {name}]");
+    stats.to_json_document(Some(run), None, attribution)
 }
 
 /// Writes `content` to `results/<name>` (creating the directory), and
@@ -145,4 +195,92 @@ pub fn write_results(name: &str, content: &str) {
     let path = dir.join(name);
     std::fs::write(&path, content).expect("write results file");
     println!("[results written to {}]", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scd_apps::{synth, SharingPattern, SynthParams};
+
+    #[test]
+    fn slug_lowercases_and_collapses_separators() {
+        assert_eq!(slug("Dir4CV4 Sparse"), "dir4cv4_sparse");
+        assert_eq!(slug("Full Vector"), "full_vector");
+        assert_eq!(slug("a - b -- c"), "a_b_c", "separator runs collapse to one _");
+    }
+
+    #[test]
+    fn slug_drops_leading_and_trailing_punctuation() {
+        assert_eq!(slug("--LU--"), "lu");
+        assert_eq!(slug("!x"), "x", "no leading underscore");
+        assert_eq!(slug("x!"), "x", "no trailing underscore");
+        assert_eq!(slug(" (Dir3 NB) "), "dir3_nb");
+    }
+
+    #[test]
+    fn slug_degenerate_inputs() {
+        assert_eq!(slug(""), "");
+        assert_eq!(slug("---"), "", "all-punctuation slugs to empty");
+        assert_eq!(slug("7"), "7");
+    }
+
+    #[test]
+    fn bench_json_name_edge_cases() {
+        assert_eq!(
+            bench_json_name("MP3D", "Dir4CV4 Sparse"),
+            "BENCH_mp3d_dir4cv4_sparse.json"
+        );
+        // An empty scheme name degrades to a trailing underscore before the
+        // extension — ugly but stable and collision-free per app.
+        assert_eq!(bench_json_name("lu", ""), "BENCH_lu_.json");
+        assert_eq!(bench_json_name("l u", "--"), "BENCH_l_u_.json");
+    }
+
+    /// §6.3's floor is per *processor*; with several processors per cluster
+    /// the old `clusters * 8` floor under-sized the scaled caches.
+    #[test]
+    fn sparse_config_floor_counts_processors_not_clusters() {
+        // A tiny data set so the floor (not the data-set ratio) decides.
+        let app = synth(
+            &SynthParams {
+                pattern: SharingPattern::Migratory,
+                blocks: 8,
+                rounds: 2,
+            },
+            8,
+            1,
+        );
+        let mut base = MachineConfig::paper_32().with_scheme(Scheme::FullVector);
+        base.clusters = 2;
+        base.procs_per_cluster = 4;
+        let cfg = sparse_config_with(base, &app, 0, 4, scd_core::Replacement::Random);
+        assert_eq!(cfg.processors(), 8);
+        assert!(
+            cfg.total_cache_blocks() >= cfg.processors() * 8,
+            "total cache {} below 8 blocks/processor",
+            cfg.total_cache_blocks()
+        );
+    }
+
+    /// With one processor per cluster (every committed baseline) the
+    /// floor change is a no-op: `clusters * 8 == processors() * 8`, so the
+    /// `BENCH_*_sparse.json` baselines are untouched by the fix.
+    #[test]
+    fn sparse_config_unchanged_for_one_proc_per_cluster() {
+        let app = synth(
+            &SynthParams {
+                pattern: SharingPattern::Migratory,
+                blocks: 8,
+                rounds: 2,
+            },
+            32,
+            1,
+        );
+        let cfg = sparse_config(&app, Scheme::dir_cv(4, 4), 2, 4, scd_core::Replacement::Random);
+        let floor = {
+            let base = MachineConfig::paper_32();
+            base.clusters * 8
+        };
+        assert_eq!(cfg.total_cache_blocks(), floor);
+    }
 }

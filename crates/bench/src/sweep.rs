@@ -1,0 +1,584 @@
+//! Deterministic parallel sweep engine.
+//!
+//! The paper's evaluation is a grid — apps × directory schemes × sparse
+//! configurations × seeds (§5–§6) — and every point is an independent,
+//! fully deterministic simulation. This module fans that grid out over a
+//! hand-rolled `std::thread` + channel job pool (the workspace builds
+//! offline, so no rayon/crossbeam):
+//!
+//! * the **reference programs** are generated once per (app, seed) pair and
+//!   shared immutably across workers (`AppRun` streams are `Arc`-backed, so
+//!   handing one to a worker is pointer-cheap);
+//! * each worker owns its `Machine` outright — no shared mutable state —
+//!   so a run's statistics are bit-identical to a serial run of the same
+//!   descriptor;
+//! * results are merged **in descriptor order**, never completion order,
+//!   so the aggregated `scd-sweep/v1` document is byte-identical for
+//!   `--jobs 1` and `--jobs N` (modulo the explicitly non-deterministic
+//!   wall-clock `timing` section, which can be omitted).
+//!
+//! `src/bin/scd-sweep.rs` is the CLI front end; `smoke`'s trajectory mode
+//! and the CI perf gate run on this engine.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use scd_apps::{dwf, locusroute, lu, mp3d, AppRun, DwfParams, LocusRouteParams, LuParams,
+    Mp3dParams};
+use scd_core::{Replacement, Scheme};
+use scd_machine::{MachineConfig, RunStats};
+use scd_trace::Json;
+
+use crate::runner::{run_app_attributed, slug, sparse_config_with};
+
+// The whole point of the engine is moving configs and reference programs
+// across worker threads; keep that property machine-checked.
+const _: () = {
+    const fn shareable<T: Send + Sync>() {}
+    shareable::<MachineConfig>();
+    shareable::<AppRun>();
+    shareable::<SweepSpec>();
+    shareable::<RunDescriptor>();
+};
+
+/// Generator keys accepted in sweep grids, in canonical order.
+pub const APP_NAMES: [&str; 4] = ["lu", "dwf", "mp3d", "locusroute"];
+
+/// Generates the reference program for one generator key, or `None` for an
+/// unknown key.
+pub fn generate_app(name: &str, procs: usize, seed: u64, scale: f64) -> Option<AppRun> {
+    Some(match name {
+        "lu" => lu(&LuParams::scaled(scale), procs, seed),
+        "dwf" => dwf(&DwfParams::scaled(scale), procs, seed),
+        "mp3d" => mp3d(&Mp3dParams::scaled(scale), procs, seed),
+        "locusroute" => locusroute(&LocusRouteParams::scaled(scale), procs, seed),
+        _ => return None,
+    })
+}
+
+/// One sparse-directory axis value: the full (complete) directory, or a
+/// §6.3 sparse directory described by size factor × associativity ×
+/// replacement policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SparseVariant {
+    /// Complete directory (no sparse organization).
+    Full,
+    /// Sparse directory: `size_factor`× the total cache blocks, `ways`-way
+    /// associative, using `policy`.
+    Sparse {
+        /// Directory size as a multiple of total cache blocks.
+        size_factor: usize,
+        /// Set associativity.
+        ways: usize,
+        /// Replacement policy.
+        policy: Replacement,
+    },
+}
+
+/// The canonical trajectory sparse point: size factor 2, 4-way, random
+/// replacement (what `BENCH_*_dir4cv4_sparse.json` tracks).
+pub const CANONICAL_SPARSE: SparseVariant = SparseVariant::Sparse {
+    size_factor: 2,
+    ways: 4,
+    policy: Replacement::Random,
+};
+
+fn policy_spec(policy: Replacement) -> &'static str {
+    match policy {
+        Replacement::Lru => "lru",
+        Replacement::Random => "rand",
+        Replacement::Lra => "lra",
+    }
+}
+
+impl SparseVariant {
+    /// Parses `full` or `<size_factor>:<ways>:<lru|rand|lra>`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if spec == "full" {
+            return Ok(SparseVariant::Full);
+        }
+        let parts: Vec<&str> = spec.split(':').collect();
+        let [factor, ways, policy] = parts.as_slice() else {
+            return Err(format!(
+                "bad sparse spec `{spec}` (want `full` or `<factor>:<ways>:<lru|rand|lra>`)"
+            ));
+        };
+        let size_factor: usize = factor
+            .parse()
+            .map_err(|_| format!("bad sparse size factor `{factor}`"))?;
+        if size_factor == 0 {
+            return Err("sparse size factor must be >= 1 (use `full` for no sparse)".into());
+        }
+        let ways: usize = ways.parse().map_err(|_| format!("bad sparse ways `{ways}`"))?;
+        if ways == 0 {
+            return Err("sparse ways must be >= 1".into());
+        }
+        let policy = match *policy {
+            "lru" => Replacement::Lru,
+            "rand" | "random" => Replacement::Random,
+            "lra" => Replacement::Lra,
+            other => return Err(format!("bad replacement policy `{other}`")),
+        };
+        Ok(SparseVariant::Sparse {
+            size_factor,
+            ways,
+            policy,
+        })
+    }
+
+    /// Round-trips to the spec syntax accepted by [`SparseVariant::parse`].
+    pub fn spec(&self) -> String {
+        match *self {
+            SparseVariant::Full => "full".into(),
+            SparseVariant::Sparse {
+                size_factor,
+                ways,
+                policy,
+            } => format!("{size_factor}:{ways}:{}", policy_spec(policy)),
+        }
+    }
+
+    /// Human/file-name suffix appended to the scheme label. The canonical
+    /// trajectory point keeps the short ` Sparse` suffix so its bench file
+    /// names (`BENCH_*_dir4cv4_sparse.json`) stay stable; other variants
+    /// spell their parameters out.
+    pub fn label_suffix(&self) -> String {
+        match *self {
+            SparseVariant::Full => String::new(),
+            v if v == CANONICAL_SPARSE => " Sparse".into(),
+            SparseVariant::Sparse {
+                size_factor,
+                ways,
+                policy,
+            } => format!(" Sparse {size_factor}x {ways}w {}", policy_spec(policy)),
+        }
+    }
+}
+
+/// A sweep grid: the cross product of apps × schemes × sparse variants ×
+/// seeds at one problem scale and machine size.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Generator keys (see [`APP_NAMES`]).
+    pub apps: Vec<String>,
+    /// Directory schemes.
+    pub schemes: Vec<Scheme>,
+    /// Sparse-directory variants ([`SparseVariant::Full`] = complete).
+    pub sparse: Vec<SparseVariant>,
+    /// Workload seeds.
+    pub seeds: Vec<u64>,
+    /// Problem scale ∈ (0, 1].
+    pub scale: f64,
+    /// Cluster count (one processor per cluster, as in the paper's runs).
+    pub clusters: usize,
+}
+
+impl SweepSpec {
+    /// The perf-trajectory grid: all four apps under `Dir4CV4`, full and
+    /// canonical sparse, the standard workload seed, 32 clusters.
+    pub fn trajectory(scale: f64) -> Self {
+        SweepSpec {
+            apps: APP_NAMES.iter().map(|s| s.to_string()).collect(),
+            schemes: vec![Scheme::dir_cv(4, 4)],
+            sparse: vec![SparseVariant::Full, CANONICAL_SPARSE],
+            seeds: vec![0xD45B],
+            scale,
+            clusters: 32,
+        }
+    }
+
+    /// The descriptor list in canonical (deterministic) order: apps outer,
+    /// then schemes, then sparse variants, then seeds.
+    pub fn descriptors(&self) -> Vec<RunDescriptor> {
+        let mut descs = Vec::new();
+        for (a, app) in self.apps.iter().enumerate() {
+            for scheme in &self.schemes {
+                for sparse in &self.sparse {
+                    for (s, &seed) in self.seeds.iter().enumerate() {
+                        let scheme_label =
+                            format!("{}{}", scheme.name(self.clusters), sparse.label_suffix());
+                        let id = format!("{app}/{}/s{seed}", slug(&scheme_label));
+                        descs.push(RunDescriptor {
+                            index: descs.len(),
+                            app_idx: a * self.seeds.len() + s,
+                            app: app.clone(),
+                            scheme: *scheme,
+                            sparse: *sparse,
+                            seed,
+                            scheme_label,
+                            id,
+                        });
+                    }
+                }
+            }
+        }
+        descs
+    }
+
+    /// Generates the shared reference-program table: one entry per
+    /// (app, seed) pair, indexed by [`RunDescriptor::app_idx`]. Programs
+    /// are generated **once** here and shared immutably by every worker.
+    ///
+    /// # Panics
+    /// On unknown generator keys — validate CLI input with
+    /// [`generate_app`] first.
+    pub fn generate_apps(&self) -> Vec<AppRun> {
+        let mut table = Vec::with_capacity(self.apps.len() * self.seeds.len());
+        for app in &self.apps {
+            for &seed in &self.seeds {
+                table.push(
+                    generate_app(app, self.clusters, seed, self.scale)
+                        .unwrap_or_else(|| panic!("unknown app `{app}`")),
+                );
+            }
+        }
+        table
+    }
+}
+
+/// One point of the grid: everything a worker needs to build and run the
+/// machine, plus a stable identifier for reports.
+#[derive(Clone, Debug)]
+pub struct RunDescriptor {
+    /// Position in the canonical descriptor order (merge key).
+    pub index: usize,
+    /// Index into the [`SweepSpec::generate_apps`] table.
+    pub app_idx: usize,
+    /// Generator key (`lu`, `dwf`, ...).
+    pub app: String,
+    /// Directory scheme.
+    pub scheme: Scheme,
+    /// Sparse-directory variant.
+    pub sparse: SparseVariant,
+    /// Workload seed.
+    pub seed: u64,
+    /// Display label, e.g. `Dir4CV4 Sparse` (drives bench file names).
+    pub scheme_label: String,
+    /// Stable run id, e.g. `lu/dir4cv4_sparse/s54363`.
+    pub id: String,
+}
+
+/// The machine configuration for one descriptor (pure function of the
+/// descriptor, the app and the grid — workers call it independently).
+pub fn build_config(desc: &RunDescriptor, app: &AppRun, spec: &SweepSpec) -> MachineConfig {
+    let mut base = MachineConfig::paper_32().with_scheme(desc.scheme);
+    base.clusters = spec.clusters;
+    match desc.sparse {
+        SparseVariant::Full => base,
+        SparseVariant::Sparse {
+            size_factor,
+            ways,
+            policy,
+        } => sparse_config_with(base, app, size_factor, ways, policy),
+    }
+}
+
+/// One finished grid point.
+pub struct SweepRun {
+    /// The descriptor this run executed.
+    pub desc: RunDescriptor,
+    /// Simulation results (bit-identical to a serial run).
+    pub stats: RunStats,
+    /// The `scd-attrib/v1` section (traffic attribution is always on for
+    /// sweep points, as in the trajectory baselines).
+    pub attribution: Option<Json>,
+    /// Wall-clock seconds this point took on its worker.
+    pub wall_seconds: f64,
+}
+
+/// A finished sweep: every grid point in descriptor order, plus timing.
+pub struct SweepOutcome {
+    /// Runs, merged in descriptor order regardless of completion order.
+    pub runs: Vec<SweepRun>,
+    /// Worker threads actually used.
+    pub jobs: usize,
+    /// Wall-clock seconds for the whole sweep (including app generation).
+    pub wall_seconds: f64,
+    /// The shared reference-program table (indexed by `app_idx`).
+    pub apps: Vec<AppRun>,
+}
+
+impl SweepOutcome {
+    /// Sum of per-run wall-clock seconds — what a serial sweep would have
+    /// cost; `serial_seconds / wall_seconds` is the measured speedup.
+    pub fn serial_seconds(&self) -> f64 {
+        self.runs.iter().map(|r| r.wall_seconds).sum()
+    }
+}
+
+fn execute(desc: RunDescriptor, apps: &[AppRun], spec: &SweepSpec) -> SweepRun {
+    let app = &apps[desc.app_idx];
+    let cfg = build_config(&desc, app, spec);
+    let t0 = Instant::now();
+    let (stats, attribution) = run_app_attributed(app, cfg);
+    SweepRun {
+        desc,
+        stats,
+        attribution,
+        wall_seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs the grid on `jobs` worker threads (clamped to the grid size;
+/// `<= 1` runs inline on the caller's thread).
+///
+/// Determinism: each worker constructs its own `Machine` from the shared,
+/// immutable spec/app table, so per-run statistics cannot depend on
+/// scheduling; the merge below is by descriptor index, so the output order
+/// cannot either.
+pub fn run_sweep(spec: &SweepSpec, jobs: usize) -> SweepOutcome {
+    let t0 = Instant::now();
+    let apps = spec.generate_apps();
+    let descs = spec.descriptors();
+    let n = descs.len();
+    let workers = jobs.max(1).min(n.max(1));
+    let mut slots: Vec<Option<SweepRun>> = (0..n).map(|_| None).collect();
+
+    if workers <= 1 {
+        for desc in descs {
+            let run = execute(desc, &apps, spec);
+            let index = run.desc.index;
+            slots[index] = Some(run);
+        }
+    } else {
+        // Job pool: descriptors are fed through a channel drained by all
+        // workers (receiver shared behind a mutex — the textbook
+        // work-queue shape without external crates); finished runs come
+        // back on a second channel and are merged by descriptor index.
+        let (job_tx, job_rx) = mpsc::channel::<RunDescriptor>();
+        for desc in descs {
+            job_tx.send(desc).expect("queue sweep job");
+        }
+        drop(job_tx);
+        let job_rx = Mutex::new(job_rx);
+        let (res_tx, res_rx) = mpsc::channel::<SweepRun>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let res_tx = res_tx.clone();
+                let (job_rx, apps, spec) = (&job_rx, &apps, spec);
+                scope.spawn(move || loop {
+                    // Take the next job while holding the lock, then run
+                    // it with the lock released.
+                    let desc = match job_rx.lock().expect("job queue poisoned").try_recv() {
+                        Ok(desc) => desc,
+                        Err(mpsc::TryRecvError::Empty | mpsc::TryRecvError::Disconnected) => {
+                            break;
+                        }
+                    };
+                    if res_tx.send(execute(desc, apps, spec)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(res_tx);
+            for run in res_rx {
+                let index = run.desc.index;
+                slots[index] = Some(run);
+            }
+        });
+    }
+
+    SweepOutcome {
+        runs: slots
+            .into_iter()
+            .map(|slot| slot.expect("worker dropped a sweep job"))
+            .collect(),
+        jobs: workers,
+        wall_seconds: t0.elapsed().as_secs_f64(),
+        apps,
+    }
+}
+
+/// Builds the aggregated `scd-sweep/v1` document.
+///
+/// Everything except the `timing` section is a pure function of the grid,
+/// so two sweeps of the same spec produce byte-identical text whatever
+/// `--jobs` was. `include_timing` adds the wall-clock section (total,
+/// serial-equivalent, speedup, per-run seconds) — inherently
+/// non-deterministic, so determinism checks pass `false` (the CLI flag is
+/// `--no-timing`).
+pub fn sweep_document(outcome: &SweepOutcome, spec: &SweepSpec, include_timing: bool) -> Json {
+    let grid = Json::obj()
+        .with(
+            "apps",
+            Json::Arr(spec.apps.iter().map(|a| Json::Str(a.clone())).collect()),
+        )
+        .with(
+            "schemes",
+            Json::Arr(
+                spec.schemes
+                    .iter()
+                    .map(|s| Json::Str(s.name(spec.clusters)))
+                    .collect(),
+            ),
+        )
+        .with(
+            "sparse",
+            Json::Arr(spec.sparse.iter().map(|v| Json::Str(v.spec())).collect()),
+        )
+        .with(
+            "seeds",
+            Json::Arr(spec.seeds.iter().map(|&s| Json::U64(s)).collect()),
+        )
+        .with("scale", Json::F64(spec.scale))
+        .with("clusters", Json::U64(spec.clusters as u64))
+        .with("runs", Json::U64(outcome.runs.len() as u64));
+
+    let runs = outcome
+        .runs
+        .iter()
+        .map(|run| {
+            let app = &outcome.apps[run.desc.app_idx];
+            let meta = Json::obj()
+                .with("id", Json::Str(run.desc.id.clone()))
+                .with("app", Json::Str(app.name.into()))
+                .with("scheme", Json::Str(run.desc.scheme_label.clone()))
+                .with("sparse", Json::Str(run.desc.sparse.spec()))
+                .with("seed", Json::U64(run.desc.seed))
+                .with("shared_refs", Json::U64(app.shared_refs()))
+                .with("shared_bytes", Json::U64(app.shared_bytes));
+            run.stats
+                .to_json_document(Some(meta), None, run.attribution.clone())
+        })
+        .collect();
+
+    let timing = if include_timing {
+        let per_run = outcome
+            .runs
+            .iter()
+            .map(|run| {
+                Json::obj()
+                    .with("id", Json::Str(run.desc.id.clone()))
+                    .with("seconds", Json::F64(run.wall_seconds))
+            })
+            .collect();
+        let serial = outcome.serial_seconds();
+        Json::obj()
+            .with("jobs", Json::U64(outcome.jobs as u64))
+            .with("wall_seconds", Json::F64(outcome.wall_seconds))
+            .with("serial_seconds", Json::F64(serial))
+            .with(
+                "speedup",
+                Json::F64(if outcome.wall_seconds > 0.0 {
+                    serial / outcome.wall_seconds
+                } else {
+                    1.0
+                }),
+            )
+            .with("runs", Json::Arr(per_run))
+    } else {
+        Json::Null
+    };
+
+    Json::obj()
+        .with("schema", Json::Str("scd-sweep/v1".into()))
+        .with("grid", grid)
+        .with("runs", Json::Arr(runs))
+        .with("timing", timing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micro_spec() -> SweepSpec {
+        SweepSpec {
+            apps: vec!["lu".into(), "mp3d".into()],
+            schemes: vec![Scheme::dir_cv(2, 2), Scheme::dir_nb(2)],
+            sparse: vec![
+                SparseVariant::Full,
+                SparseVariant::Sparse {
+                    size_factor: 2,
+                    ways: 2,
+                    policy: Replacement::Lru,
+                },
+            ],
+            seeds: vec![7],
+            scale: 0.02,
+            clusters: 4,
+        }
+    }
+
+    #[test]
+    fn sparse_variant_spec_round_trips() {
+        for spec in ["full", "2:4:rand", "1:8:lru", "4:2:lra"] {
+            let v = SparseVariant::parse(spec).unwrap();
+            assert_eq!(v.spec(), spec);
+            assert_eq!(SparseVariant::parse(&v.spec()).unwrap(), v);
+        }
+        assert!(SparseVariant::parse("0:4:rand").is_err(), "factor 0");
+        assert!(SparseVariant::parse("2:0:rand").is_err(), "ways 0");
+        assert!(SparseVariant::parse("2:4:fifo").is_err(), "bad policy");
+        assert!(SparseVariant::parse("2:4").is_err(), "missing field");
+    }
+
+    #[test]
+    fn canonical_sparse_keeps_trajectory_file_names() {
+        let label = format!(
+            "{}{}",
+            Scheme::dir_cv(4, 4).name(32),
+            CANONICAL_SPARSE.label_suffix()
+        );
+        assert_eq!(
+            crate::runner::bench_json_name("mp3d", &label),
+            "BENCH_mp3d_dir4cv4_sparse.json"
+        );
+        // Non-canonical variants must not collide with the canonical name.
+        let other = SparseVariant::Sparse {
+            size_factor: 4,
+            ways: 8,
+            policy: Replacement::Lru,
+        };
+        assert_eq!(other.label_suffix(), " Sparse 4x 8w lru");
+    }
+
+    #[test]
+    fn descriptor_order_is_canonical_and_complete() {
+        let spec = micro_spec();
+        let descs = spec.descriptors();
+        assert_eq!(
+            descs.len(),
+            spec.apps.len() * spec.schemes.len() * spec.sparse.len() * spec.seeds.len()
+        );
+        for (i, d) in descs.iter().enumerate() {
+            assert_eq!(d.index, i);
+        }
+        // Apps-outer ordering: the first half is all-LU.
+        assert!(descs[..4].iter().all(|d| d.app == "lu"));
+        assert!(descs[4..].iter().all(|d| d.app == "mp3d"));
+        assert_eq!(descs[0].id, "lu/dir2cv2/s7");
+        assert_eq!(descs[1].id, "lu/dir2cv2_sparse_2x_2w_lru/s7");
+    }
+
+    /// The engine's core promise: the aggregated document (timing aside)
+    /// is byte-identical however many workers ran the grid.
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        let spec = micro_spec();
+        let serial = run_sweep(&spec, 1);
+        let parallel = run_sweep(&spec, 3);
+        assert_eq!(serial.jobs, 1);
+        assert!(parallel.jobs > 1);
+        let a = sweep_document(&serial, &spec, false).to_string();
+        let b = sweep_document(&parallel, &spec, false).to_string();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn timing_section_reports_speedup_inputs() {
+        let spec = micro_spec();
+        let outcome = run_sweep(&spec, 2);
+        let doc = sweep_document(&outcome, &spec, true);
+        let timing = doc.get("timing").unwrap();
+        assert_eq!(timing.get("jobs").and_then(Json::as_u64), Some(2));
+        assert!(timing.get("wall_seconds").and_then(Json::as_f64).unwrap() >= 0.0);
+        assert_eq!(
+            timing.get("runs").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(outcome.runs.len())
+        );
+        // And the deterministic variant nulls the whole section out.
+        let bare = sweep_document(&outcome, &spec, false);
+        assert_eq!(bare.get("timing"), Some(&Json::Null));
+    }
+}

@@ -15,8 +15,10 @@ pub type NodeId = u16;
 /// A set of nodes, backed by a bit vector.
 ///
 /// The set has a fixed universe size (`capacity`) established at creation;
-/// inserting a node `>= capacity` panics in debug builds and is masked out
-/// of iteration in release builds.
+/// nodes `>= capacity` are outside the universe in *every* build:
+/// [`NodeSet::insert`] and [`NodeSet::remove`] ignore them (returning
+/// `false`), matching [`NodeSet::contains`], so no tail bit can ever leak
+/// into [`NodeSet::len`] or iteration as a phantom member.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct NodeSet {
     words: Vec<u64>,
@@ -68,9 +70,16 @@ impl NodeSet {
     }
 
     /// Inserts `node`; returns `true` if it was newly inserted.
+    ///
+    /// Out-of-universe nodes (`>= capacity`) are a no-op returning `false`
+    /// in all builds. Earlier versions only `debug_assert`ed here, so a
+    /// release-build `insert(70)` on a capacity-70 set would set a tail bit
+    /// that `len()` and `iter()` then reported as a phantom sharer.
     #[inline]
     pub fn insert(&mut self, node: NodeId) -> bool {
-        debug_assert!((node as usize) < self.capacity, "node out of universe");
+        if node as usize >= self.capacity {
+            return false;
+        }
         let (w, b) = (node as usize / 64, node as usize % 64);
         let had = self.words[w] & (1 << b) != 0;
         self.words[w] |= 1 << b;
@@ -78,9 +87,14 @@ impl NodeSet {
     }
 
     /// Removes `node`; returns `true` if it was present.
+    ///
+    /// Out-of-universe nodes are a no-op returning `false` in all builds,
+    /// mirroring [`NodeSet::insert`].
     #[inline]
     pub fn remove(&mut self, node: NodeId) -> bool {
-        debug_assert!((node as usize) < self.capacity, "node out of universe");
+        if node as usize >= self.capacity {
+            return false;
+        }
         let (w, b) = (node as usize / 64, node as usize % 64);
         let had = self.words[w] & (1 << b) != 0;
         self.words[w] &= !(1 << b);
@@ -261,6 +275,39 @@ mod tests {
         assert_eq!(i.iter().collect::<Vec<_>>(), vec![3, 4]);
         assert!(i.is_subset_of(&u));
         assert!(!u.is_subset_of(&i));
+    }
+
+    /// The release-semantics contract: out-of-universe inserts/removes are
+    /// ignored in every build (no `debug_assert` divergence), so `len()`,
+    /// `iter()` and word-level algebra never see a phantom member. The
+    /// capacities straddle the word boundary on purpose: 70 exercises the
+    /// partial tail word, 64 the exact-word case where there is no tail to
+    /// mask.
+    #[test]
+    fn out_of_universe_inserts_are_masked() {
+        for cap in [70usize, 64, 1] {
+            let mut s = NodeSet::new(cap);
+            assert!(!s.insert(cap as NodeId), "insert at capacity is a no-op");
+            assert!(!s.insert(cap as NodeId + 7), "insert past capacity is a no-op");
+            assert!(s.is_empty(), "cap {cap}: phantom member after oob insert");
+            assert_eq!(s.len(), 0);
+            assert_eq!(s.iter().count(), 0);
+            assert!(!s.contains(cap as NodeId));
+            assert!(!s.remove(cap as NodeId), "remove past capacity is a no-op");
+        }
+    }
+
+    #[test]
+    fn out_of_universe_bits_never_reach_set_algebra() {
+        let mut a = NodeSet::new(70);
+        a.insert(69);
+        a.insert(70); // masked
+        let mut b = NodeSet::full(70);
+        b.union_with(&a);
+        assert_eq!(b.len(), 70, "union must not resurrect a masked tail bit");
+        b.difference_with(&a);
+        assert_eq!(b.len(), 69);
+        assert!(!b.contains(69));
     }
 
     #[test]

@@ -87,8 +87,21 @@ impl<E: Eq> EventQueue<E> {
     }
 
     /// Schedules `event` to fire `delay` cycles from now.
+    ///
+    /// # Panics
+    /// If `now + delay` overflows the cycle clock. The unchecked add used
+    /// to wrap in release builds (e.g. a runaway exponential backoff), and
+    /// the wrapped time then tripped [`EventQueue::schedule_at`]'s
+    /// "scheduled in the past" panic — a misleading diagnosis for what is
+    /// really a delay-overflow bug at the call site.
     pub fn schedule(&mut self, delay: Cycle, event: E) {
-        self.schedule_at(self.now + delay, event);
+        let time = self.now.checked_add(delay).unwrap_or_else(|| {
+            panic!(
+                "event delay overflows the cycle clock (now {} + delay {delay})",
+                self.now
+            )
+        });
+        self.schedule_at(time, event);
     }
 
     /// Schedules `event` at absolute cycle `time`.
@@ -178,6 +191,18 @@ mod tests {
         q.pop();
         q.schedule(50, 'y');
         assert_eq!(q.pop(), Some((150, 'y')));
+    }
+
+    /// A huge relative delay must be diagnosed as an overflow, not as the
+    /// wrapped clock's "scheduled in the past" (release builds previously
+    /// wrapped `now + delay` silently).
+    #[test]
+    #[should_panic(expected = "overflows the cycle clock")]
+    fn overflowing_delay_panics_with_overflow_message() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, 1);
+        q.pop(); // now == 100, so u64::MAX wraps if added unchecked
+        q.schedule(u64::MAX, 2);
     }
 
     #[test]

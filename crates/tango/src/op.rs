@@ -47,23 +47,38 @@ pub trait ThreadProgram {
 }
 
 /// A canned operation sequence (useful in tests and microbenchmarks).
+///
+/// The stream is held behind an [`Arc`] so one generated program can feed
+/// any number of simulations — across threads — without deep-copying the
+/// ops (the parallel sweep engine instantiates each reference program once
+/// and shares it immutably among its workers).
 #[derive(Clone, Debug)]
 pub struct ScriptProgram {
-    ops: std::vec::IntoIter<Op>,
+    ops: std::sync::Arc<[Op]>,
+    pos: usize,
 }
 
 impl ScriptProgram {
     /// Wraps an explicit op list; `Done` is appended implicitly.
     pub fn new(ops: Vec<Op>) -> Self {
-        ScriptProgram {
-            ops: ops.into_iter(),
-        }
+        Self::shared(ops.into())
+    }
+
+    /// Wraps an already-shared op stream without copying it.
+    pub fn shared(ops: std::sync::Arc<[Op]>) -> Self {
+        ScriptProgram { ops, pos: 0 }
     }
 }
 
 impl ThreadProgram for ScriptProgram {
     fn next_op(&mut self) -> Op {
-        self.ops.next().unwrap_or(Op::Done)
+        match self.ops.get(self.pos) {
+            Some(&op) => {
+                self.pos += 1;
+                op
+            }
+            None => Op::Done,
+        }
     }
 }
 

@@ -32,7 +32,7 @@ fn main() {
     // mode interleaving is reconstructed by the machine at replay time).
     let mut rec = TraceRecorder::new(procs);
     for (p, ops) in app.programs.iter().enumerate() {
-        for &op in ops {
+        for &op in ops.iter() {
             rec.record(p, op);
         }
     }

@@ -1,0 +1,223 @@
+//! scd-sweep — deterministic parallel sweep runner.
+//!
+//! Runs a grid of apps × directory schemes × sparse configurations ×
+//! seeds on a worker pool (`bench::sweep`) and writes the aggregated
+//! `scd-sweep/v1` document. Everything except the wall-clock `timing`
+//! section is byte-identical whatever `--jobs` was, so
+//! `scd-sweep --no-timing` output can be `cmp`-ed across thread counts —
+//! the CI determinism check does exactly that.
+
+use bench::{
+    generate_app, run_sweep, sweep_document, write_bench_json_in, SparseVariant, SweepSpec,
+};
+use scd::core::Scheme;
+
+const HELP: &str = "\
+scd-sweep: run an app x scheme x sparse x seed grid on a worker pool
+
+usage: scd-sweep [options]
+
+  --jobs <n>          worker threads (default: all hardware threads)
+  --apps <a,..>       lu,dwf,mp3d,locusroute (default: all four)
+  --schemes <s,..>    full | b:I | nb:I | x:I | cv:I:R
+                      (default: full,cv:3:2,b:3,nb:3 — the paper's SS5 suite)
+  --sparse <v,..>     full | <factor>:<ways>:<lru|rand|lra>
+                      (default: full; e.g. full,2:4:rand adds the SS6.3 point)
+  --seeds <n,..>      workload seeds (default: 54363 = 0xD45B)
+  --scale <f>         problem scale in (0, 1] (default 1.0)
+  --clusters <n>      cluster count, one processor each (default 32)
+  --out <path>        write the scd-sweep/v1 document (default: stdout)
+  --bench-out <dir>   also write per-run BENCH_<app>_<scheme>.json points
+  --no-timing         omit the wall-clock timing section (byte-deterministic
+                      output for determinism checks)
+  --trajectory        shorthand for the perf-trajectory grid: all apps,
+                      cv:4:4, sparse full,2:4:rand, seed 0xD45B, 32 clusters
+  -h, --help          show this help
+";
+
+fn usage_err(msg: &str) -> ! {
+    eprintln!("scd-sweep: {msg}\n{HELP}");
+    std::process::exit(2);
+}
+
+fn parse_scheme(s: &str) -> Scheme {
+    let parts: Vec<&str> = s.split(':').collect();
+    let num = |v: &str| -> usize {
+        v.parse()
+            .unwrap_or_else(|_| usage_err(&format!("bad scheme spec `{s}`")))
+    };
+    match parts.as_slice() {
+        ["full"] => Scheme::FullVector,
+        ["b", i] => Scheme::dir_b(num(i)),
+        ["nb", i] => Scheme::dir_nb(num(i)),
+        ["x", i] => Scheme::dir_x(num(i)),
+        ["cv", i, r] => Scheme::dir_cv(num(i), num(r)),
+        _ => usage_err(&format!("bad scheme spec `{s}`")),
+    }
+}
+
+fn parse_seed(s: &str) -> u64 {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.unwrap_or_else(|_| usage_err(&format!("bad seed `{s}`")))
+}
+
+fn split_list(s: &str) -> Vec<&str> {
+    s.split(',').map(str::trim).filter(|p| !p.is_empty()).collect()
+}
+
+fn main() {
+    let mut jobs: Option<usize> = None;
+    let mut spec = SweepSpec {
+        apps: bench::APP_NAMES.iter().map(|s| s.to_string()).collect(),
+        schemes: vec![
+            Scheme::FullVector,
+            Scheme::dir_cv(3, 2),
+            Scheme::dir_b(3),
+            Scheme::dir_nb(3),
+        ],
+        sparse: vec![SparseVariant::Full],
+        seeds: vec![0xD45B],
+        scale: 1.0,
+        clusters: 32,
+    };
+    let mut out: Option<String> = None;
+    let mut bench_out: Option<String> = None;
+    let mut timing = true;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = || {
+            args.next()
+                .unwrap_or_else(|| usage_err(&format!("{arg} needs a value")))
+        };
+        match arg.as_str() {
+            "--jobs" => {
+                let v = val();
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = Some(n),
+                    _ => usage_err(&format!("bad --jobs `{v}` (want an integer >= 1)")),
+                }
+            }
+            "--apps" => {
+                spec.apps = split_list(&val()).iter().map(|s| s.to_string()).collect();
+            }
+            "--schemes" => {
+                spec.schemes = split_list(&val()).iter().map(|s| parse_scheme(s)).collect();
+            }
+            "--sparse" => {
+                spec.sparse = split_list(&val())
+                    .iter()
+                    .map(|s| SparseVariant::parse(s).unwrap_or_else(|e| usage_err(&e)))
+                    .collect();
+            }
+            "--seeds" => {
+                spec.seeds = split_list(&val()).iter().map(|s| parse_seed(s)).collect();
+            }
+            "--scale" => {
+                let v = val();
+                match v.parse::<f64>() {
+                    Ok(f) if f > 0.0 && f <= 1.0 => spec.scale = f,
+                    _ => usage_err(&format!("bad --scale `{v}` (want 0 < f <= 1)")),
+                }
+            }
+            "--clusters" => {
+                let v = val();
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 2 => spec.clusters = n,
+                    _ => usage_err(&format!("bad --clusters `{v}`")),
+                }
+            }
+            "--out" => out = Some(val()),
+            "--bench-out" => bench_out = Some(val()),
+            "--no-timing" => timing = false,
+            "--trajectory" => {
+                let scale = spec.scale;
+                spec = SweepSpec::trajectory(scale);
+                spec.sparse = vec![SparseVariant::Full, bench::CANONICAL_SPARSE];
+            }
+            "-h" | "--help" => {
+                print!("{HELP}");
+                return;
+            }
+            other => usage_err(&format!("unknown flag {other}")),
+        }
+    }
+
+    for field in [
+        ("apps", spec.apps.is_empty()),
+        ("schemes", spec.schemes.is_empty()),
+        ("sparse", spec.sparse.is_empty()),
+        ("seeds", spec.seeds.is_empty()),
+    ] {
+        if field.1 {
+            usage_err(&format!("--{} list is empty", field.0));
+        }
+    }
+    for app in &spec.apps {
+        if generate_app(app, 2, 0, 0.01).is_none() {
+            usage_err(&format!(
+                "unknown app `{app}` (want one of {})",
+                bench::APP_NAMES.join(",")
+            ));
+        }
+    }
+
+    let jobs = jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    });
+    let points = spec.apps.len() * spec.schemes.len() * spec.sparse.len() * spec.seeds.len();
+    eprintln!(
+        "[scd-sweep] {points} grid points ({} apps x {} schemes x {} sparse x {} seeds), \
+         {jobs} jobs",
+        spec.apps.len(),
+        spec.schemes.len(),
+        spec.sparse.len(),
+        spec.seeds.len()
+    );
+
+    let outcome = run_sweep(&spec, jobs);
+
+    for run in &outcome.runs {
+        eprintln!(
+            "[scd-sweep] {:<40} cycles={:>10} {:>6.2}s",
+            run.desc.id, run.stats.cycles, run.wall_seconds
+        );
+    }
+    eprintln!(
+        "[scd-sweep] {} runs in {:.2}s wall on {} jobs ({:.2}s serial-equivalent, {:.2}x)",
+        outcome.runs.len(),
+        outcome.wall_seconds,
+        outcome.jobs,
+        outcome.serial_seconds(),
+        outcome.serial_seconds() / outcome.wall_seconds.max(f64::MIN_POSITIVE)
+    );
+
+    if let Some(dir) = bench_out {
+        let dir = std::path::Path::new(&dir);
+        for run in &outcome.runs {
+            let app = &outcome.apps[run.desc.app_idx];
+            write_bench_json_in(
+                dir,
+                app,
+                &run.desc.scheme_label,
+                &run.stats,
+                run.attribution.clone(),
+            );
+        }
+    }
+
+    let doc = sweep_document(&outcome, &spec, timing);
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, format!("{doc}\n")) {
+                eprintln!("scd-sweep: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("[scd-sweep] document written to {path}");
+        }
+        None => println!("{doc}"),
+    }
+}

@@ -10,7 +10,7 @@ use scd::tango::{ThreadProgram, Trace, TraceRecorder};
 fn capture(app: &scd::apps::AppRun) -> Trace {
     let mut rec = TraceRecorder::new(app.programs.len());
     for (p, ops) in app.programs.iter().enumerate() {
-        for &op in ops {
+        for &op in ops.iter() {
             rec.record(p, op);
         }
     }
