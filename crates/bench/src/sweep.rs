@@ -444,16 +444,34 @@ pub fn sweep_document(outcome: &SweepOutcome, spec: &SweepSpec, include_timing: 
         .collect();
 
     let timing = if include_timing {
+        // Host-side throughput: simulated work (shared references issued,
+        // simulator events processed) per second of worker wall-clock.
+        // These live in the timing section — not in the per-run stats
+        // documents — precisely because they are host-dependent; the rest
+        // of the document stays a pure function of the grid.
+        let rate = |count: u64, secs: f64| {
+            Json::F64(if secs > 0.0 { count as f64 / secs } else { 0.0 })
+        };
         let per_run = outcome
             .runs
             .iter()
             .map(|run| {
+                let refs = outcome.apps[run.desc.app_idx].shared_refs();
+                let events = run.stats.events_delivered;
                 Json::obj()
                     .with("id", Json::Str(run.desc.id.clone()))
                     .with("seconds", Json::F64(run.wall_seconds))
+                    .with("refs_per_sec", rate(refs, run.wall_seconds))
+                    .with("events_per_sec", rate(events, run.wall_seconds))
             })
             .collect();
         let serial = outcome.serial_seconds();
+        let total_refs: u64 = outcome
+            .runs
+            .iter()
+            .map(|run| outcome.apps[run.desc.app_idx].shared_refs())
+            .sum();
+        let total_events: u64 = outcome.runs.iter().map(|run| run.stats.events_delivered).sum();
         Json::obj()
             .with("jobs", Json::U64(outcome.jobs as u64))
             .with("wall_seconds", Json::F64(outcome.wall_seconds))
@@ -466,6 +484,8 @@ pub fn sweep_document(outcome: &SweepOutcome, spec: &SweepSpec, include_timing: 
                     1.0
                 }),
             )
+            .with("refs_per_sec", rate(total_refs, serial))
+            .with("events_per_sec", rate(total_events, serial))
             .with("runs", Json::Arr(per_run))
     } else {
         Json::Null
@@ -577,6 +597,14 @@ mod tests {
             timing.get("runs").and_then(Json::as_arr).map(<[Json]>::len),
             Some(outcome.runs.len())
         );
+        // Throughput rates: present in aggregate and per run, and positive
+        // (every grid point issues shared references and pops events).
+        assert!(timing.get("refs_per_sec").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(timing.get("events_per_sec").and_then(Json::as_f64).unwrap() > 0.0);
+        for run in timing.get("runs").and_then(Json::as_arr).unwrap() {
+            assert!(run.get("refs_per_sec").and_then(Json::as_f64).unwrap() > 0.0);
+            assert!(run.get("events_per_sec").and_then(Json::as_f64).unwrap() > 0.0);
+        }
         // And the deterministic variant nulls the whole section out.
         let bare = sweep_document(&outcome, &spec, false);
         assert_eq!(bare.get("timing"), Some(&Json::Null));

@@ -176,6 +176,74 @@ impl NodeSet {
             current: self.words.first().copied().unwrap_or(0),
         }
     }
+
+    /// The raw 64-bit words backing the set, low nodes first. Tail bits
+    /// beyond `capacity` are always zero (the masking invariant), so
+    /// word-level consumers need no edge handling.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Word-at-a-time traversal of the members in ascending order.
+    ///
+    /// Semantically identical to `for n in set.iter() { f(n) }` but without
+    /// iterator state in the loop — this is what the machine's
+    /// invalidation/flush fanout uses, where the set is walked once and
+    /// immediately consumed.
+    #[inline]
+    pub fn for_each_member(&self, mut f: impl FnMut(NodeId)) {
+        for (i, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                f((i * 64 + bit) as NodeId);
+            }
+        }
+    }
+
+    /// Number of members strictly below `node` (the classical bitset
+    /// *rank*). `rank(capacity)` — or any out-of-universe node — is the
+    /// total membership, consistent with out-of-universe ids never being
+    /// members.
+    #[inline]
+    pub fn rank(&self, node: NodeId) -> usize {
+        let n = (node as usize).min(self.capacity);
+        let (full, bit) = (n / 64, n % 64);
+        let mut count = self.words[..full.min(self.words.len())]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        if bit != 0 {
+            if let Some(&w) = self.words.get(full) {
+                count += (w & ((1u64 << bit) - 1)).count_ones() as usize;
+            }
+        }
+        count
+    }
+
+    /// The `k`-th smallest member (0-based *select*), or `None` when the
+    /// set has `k` or fewer members. `select(0) == first()`, and
+    /// `rank(select(k)) == k` for every valid `k`.
+    #[inline]
+    pub fn select(&self, k: usize) -> Option<NodeId> {
+        let mut remaining = k;
+        for (i, &word) in self.words.iter().enumerate() {
+            let pop = word.count_ones() as usize;
+            if remaining < pop {
+                // Drop the `remaining` lowest set bits, then the lowest
+                // survivor is the answer.
+                let mut w = word;
+                for _ in 0..remaining {
+                    w &= w - 1;
+                }
+                return Some((i * 64 + w.trailing_zeros() as usize) as NodeId);
+            }
+            remaining -= pop;
+        }
+        None
+    }
 }
 
 impl std::fmt::Debug for NodeSet {
@@ -314,5 +382,48 @@ mod tests {
     fn first_finds_lowest() {
         let s = NodeSet::from_iter(128, [90, 17, 65]);
         assert_eq!(s.first(), Some(17));
+    }
+
+    #[test]
+    fn words_expose_masked_tail() {
+        let mut s = NodeSet::new(70);
+        s.insert(0);
+        s.insert(69);
+        s.insert(70); // masked
+        assert_eq!(s.words().len(), 2);
+        assert_eq!(s.words()[0], 1);
+        assert_eq!(s.words()[1], 1 << 5);
+    }
+
+    #[test]
+    fn for_each_member_matches_iter() {
+        let s = NodeSet::from_iter(200, [5, 199, 63, 64, 0]);
+        let mut v = Vec::new();
+        s.for_each_member(|n| v.push(n));
+        assert_eq!(v, s.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rank_counts_members_below() {
+        let s = NodeSet::from_iter(130, [0, 5, 63, 64, 129]);
+        assert_eq!(s.rank(0), 0);
+        assert_eq!(s.rank(1), 1);
+        assert_eq!(s.rank(64), 3);
+        assert_eq!(s.rank(65), 4);
+        assert_eq!(s.rank(129), 4);
+        assert_eq!(s.rank(130), 5, "rank at capacity is the full count");
+        assert_eq!(s.rank(300), 5, "out-of-universe rank clamps");
+    }
+
+    #[test]
+    fn select_is_rank_inverse() {
+        let members = [0u16, 5, 63, 64, 129];
+        let s = NodeSet::from_iter(130, members);
+        for (k, &m) in members.iter().enumerate() {
+            assert_eq!(s.select(k), Some(m));
+            assert_eq!(s.rank(m), k);
+        }
+        assert_eq!(s.select(5), None);
+        assert_eq!(NodeSet::new(64).select(0), None);
     }
 }

@@ -199,3 +199,86 @@ proptest! {
         prop_assert!(r2.total_bits <= r1.total_bits, "more sparsity, less memory");
     }
 }
+
+// ---------------------------------------------------------------------------
+// NodeSet word-level helpers vs a bit-by-bit `contains()` oracle.
+//
+// The machine's fanout loops moved from per-bit iteration to the word-level
+// `for_each_member`/`rank`/`select` helpers, so these must agree with the
+// naive scan on arbitrary universes — including the out-of-universe masking
+// semantics (ids >= capacity are never members, in debug and release).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn node_set_word_iteration_matches_contains_scan(
+        capacity in 1usize..=256,
+        // Draw ids past the universe on purpose: they must be masked.
+        inserts in prop::collection::vec(0u16..300, 0..120),
+        removes in prop::collection::vec(0u16..300, 0..40),
+    ) {
+        let mut s = NodeSet::new(capacity);
+        for &n in &inserts {
+            s.insert(n);
+        }
+        for &n in &removes {
+            s.remove(n);
+        }
+
+        // Oracle: the member list according to bit-by-bit `contains`,
+        // scanned well past the universe to catch phantom tail bits.
+        let mut oracle = Vec::new();
+        for n in 0..(capacity as u16 + 70) {
+            if s.contains(n) {
+                oracle.push(n);
+            }
+        }
+        prop_assert!(oracle.iter().all(|&n| (n as usize) < capacity));
+
+        let via_iter: Vec<u16> = s.iter().collect();
+        prop_assert_eq!(&via_iter, &oracle);
+
+        let mut via_words = Vec::new();
+        s.for_each_member(|n| via_words.push(n));
+        prop_assert_eq!(&via_words, &oracle);
+
+        // Raw words: tail bits beyond capacity are always zero.
+        let rebuilt: Vec<u16> = s
+            .words()
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &w)| (0..64).filter(move |b| w & (1 << b) != 0).map(move |b| (i * 64 + b) as u16))
+            .collect();
+        prop_assert_eq!(&rebuilt, &oracle);
+
+        prop_assert_eq!(s.len(), oracle.len());
+    }
+
+    #[test]
+    fn node_set_rank_select_match_contains_scan(
+        capacity in 1usize..=256,
+        inserts in prop::collection::vec(0u16..300, 0..120),
+    ) {
+        let mut s = NodeSet::new(capacity);
+        for &n in &inserts {
+            s.insert(n);
+        }
+        let oracle: Vec<u16> =
+            (0..capacity as u16).filter(|&n| s.contains(n)).collect();
+
+        // rank(n) == |{m in set : m < n}| for every probe, in and out of
+        // the universe.
+        for probe in 0..(capacity as u16 + 70) {
+            let expect = oracle.iter().filter(|&&m| m < probe).count();
+            prop_assert_eq!(s.rank(probe), expect, "rank({}) wrong", probe);
+        }
+
+        // select is the inverse of rank on the member list.
+        for (k, &m) in oracle.iter().enumerate() {
+            prop_assert_eq!(s.select(k), Some(m));
+            prop_assert_eq!(s.rank(m), k);
+        }
+        prop_assert_eq!(s.select(oracle.len()), None);
+        prop_assert_eq!(s.first(), oracle.first().copied());
+    }
+}

@@ -31,12 +31,12 @@
 
 use std::collections::HashMap;
 
-use scd_core::{DirState, EntryAccess, NodeId};
+use scd_core::{DirState, EntryAccess, NodeId, NodeSet};
 use scd_mem::{CacheHierarchy, ClusterCaches, HitLevel, LineState};
 use scd_noc::{FaultPlan, Network};
 use scd_protocol::{
     BarrierManager, BusyReason, EarlyKind, HomeSerializer, LockManager, LockOutcome, Msg,
-    MsgKind, Rac, UnlockOutcome,
+    MsgArena, MsgKind, MsgRef, Rac, UnlockOutcome,
 };
 use scd_protocol::rac::{MshrKind, StartOutcome};
 use scd_sim::{Cycle, EventQueue, RingLog, SimRng};
@@ -51,7 +51,9 @@ use crate::config::MachineConfig;
 use crate::error::{BlockedProc, ClusterDiag, PostMortem, SimError};
 use crate::stats::{FaultCounters, ProtocolCounters, RunStats, StallBreakdown};
 
-/// Simulator events.
+/// Simulator events. The hot variant, `Deliver`, carries an 8-byte
+/// [`MsgRef`] into the message arena rather than the ~40-byte [`Msg`]
+/// itself, so the event queue's ring buckets shuffle two words per event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Ev {
     /// Processor fetches and executes its next operation.
@@ -59,11 +61,33 @@ enum Ev {
     /// Processor re-executes its pending operation (e.g. after a merged
     /// transaction completed with insufficient rights).
     ProcRetry(usize),
-    /// A protocol message reaches its destination cluster.
-    Deliver(Msg),
+    /// A protocol message reaches its destination cluster (payload parked
+    /// in the machine's [`MsgArena`]).
+    Deliver(MsgRef),
     /// The home directory replays one parked request for `block` (requests
     /// that queued behind an in-flight transaction re-occupy the directory
     /// one at a time, `dir_lookup` apart).
+    Replay {
+        /// The home cluster.
+        home: usize,
+        /// The block whose queue is draining.
+        block: u64,
+    },
+}
+
+/// The event-log mirror of [`Ev`]: identical variants, but `Deliver`
+/// carries the resolved [`Msg`] so post-mortem rendering never chases a
+/// handle into an arena slot that was freed (and possibly reused) long
+/// after the event was logged.
+#[derive(Clone, Copy, Debug)]
+enum EvLog {
+    /// See [`Ev::ProcNext`].
+    ProcNext(usize),
+    /// See [`Ev::ProcRetry`].
+    ProcRetry(usize),
+    /// See [`Ev::Deliver`] — payload resolved at pop time.
+    Deliver(Msg),
+    /// See [`Ev::Replay`].
     Replay {
         /// The home cluster.
         home: usize,
@@ -137,12 +161,12 @@ enum DirAction {
     SelfOwned,
     Forward { owner: usize },
     Supply { nb_evict: Option<usize> },
-    Grant { inval_targets: Vec<usize> },
+    Grant { inval_targets: NodeSet },
 }
 
 struct ReplacementWork {
     victim_key: u64,
-    targets: Vec<usize>,
+    targets: NodeSet,
     /// The victim entry's recorded dirty owner, if any.
     dirty_owner: Option<usize>,
 }
@@ -181,6 +205,8 @@ pub(crate) type ClusterView<'a> = (
 pub struct Machine {
     cfg: MachineConfig,
     queue: EventQueue<Ev>,
+    /// Slab of in-flight message payloads; `Ev::Deliver` holds handles.
+    arena: MsgArena,
     clusters: Vec<ClusterNode>,
     network: Network,
     traffic: Traffic,
@@ -210,7 +236,7 @@ pub struct Machine {
     /// Cycle of the last retired operation (forward-progress watchdog).
     last_progress: Cycle,
     /// Recently processed events, kept for failure post-mortems.
-    event_log: RingLog<(Cycle, Ev)>,
+    event_log: RingLog<(Cycle, EvLog)>,
     /// Resolved trace configuration (inert when `cfg.trace` is `None`).
     trace_cfg: TraceConfig,
     /// Pre-computed `trace_cfg.is_active()`: like `fault_active`, an inert
@@ -306,6 +332,7 @@ impl Machine {
         }
         Machine {
             queue: EventQueue::new(),
+            arena: MsgArena::new(),
             clusters,
             network,
             traffic: Traffic::new(),
@@ -445,7 +472,8 @@ impl Machine {
                 return self.faulty_schedule(ready_at + lat, msg);
             }
         }
-        self.queue.schedule_at(ready_at + lat, Ev::Deliver(msg));
+        let r = self.arena.alloc(msg);
+        self.queue.schedule_at(ready_at + lat, Ev::Deliver(r));
     }
 
     /// Applies the fault plan to one inter-cluster delivery: latency spikes
@@ -490,7 +518,8 @@ impl Machine {
             deliver_at = deliver_at.max(*clamp);
             *clamp = deliver_at;
         }
-        self.queue.schedule_at(deliver_at, Ev::Deliver(msg));
+        let r = self.arena.alloc(msg);
+        self.queue.schedule_at(deliver_at, Ev::Deliver(r));
         if matches!(msg.kind, MsgKind::ReadReq { .. })
             && plan.dup_prob > 0.0
             && self.fault_rng.chance(plan.dup_prob)
@@ -498,9 +527,11 @@ impl Machine {
             // At-least-once delivery, reads only: re-servicing a read is
             // idempotent (sharer registration is superset-safe and the
             // stray reply is dropped at the RAC), while re-servicing a
-            // write would record a second ownership grant.
+            // write would record a second ownership grant. The duplicate
+            // gets its own arena slot: each handle is taken exactly once.
             let gap = self.fault_rng.range(1, self.cfg.timing.bus_memory.max(1) + 1);
-            self.queue.schedule_at(deliver_at + gap, Ev::Deliver(msg));
+            let dup = self.arena.alloc(msg);
+            self.queue.schedule_at(deliver_at + gap, Ev::Deliver(dup));
             self.faults.duplicates += 1;
         }
     }
@@ -839,9 +870,33 @@ impl Machine {
             if self.trace_active && self.trace_cfg.interval > 0 {
                 self.trace_intervals(t);
             }
+            // Resolve the hot handle into its payload *before* logging, so
+            // the post-mortem ring holds the message itself, not a handle
+            // into a slot that the arena's free list will recycle.
+            let ev = match ev {
+                Ev::ProcNext(p) => EvLog::ProcNext(p),
+                Ev::ProcRetry(p) => EvLog::ProcRetry(p),
+                Ev::Replay { home, block } => EvLog::Replay { home, block },
+                Ev::Deliver(r) => match self.arena.take(r) {
+                    Some(msg) => EvLog::Deliver(msg),
+                    None => {
+                        // Every alloc is taken exactly once (duplicated
+                        // deliveries get their own slot), so a stale handle
+                        // here means the arena bookkeeping is broken.
+                        let detail = format!(
+                            "delivery of stale message handle (slot {}, generation {})",
+                            r.index(),
+                            r.generation()
+                        );
+                        return Err(SimError::InvariantViolation(
+                            self.post_mortem(t, detail),
+                        ));
+                    }
+                },
+            };
             self.event_log.push((t, ev));
             match ev {
-                Ev::ProcNext(p) => {
+                EvLog::ProcNext(p) => {
                     if self.procs[p].status == ProcStatus::Done {
                         continue;
                     }
@@ -858,7 +913,7 @@ impl Machine {
                     }
                     self.execute(t, p, op);
                 }
-                Ev::ProcRetry(p) => {
+                EvLog::ProcRetry(p) => {
                     let Some(op) = self.procs[p].pending else {
                         let detail = format!("retry of processor {p} with no pending op");
                         return Err(SimError::InvariantViolation(
@@ -867,7 +922,7 @@ impl Machine {
                     };
                     self.execute(t, p, op);
                 }
-                Ev::Deliver(msg) => {
+                EvLog::Deliver(msg) => {
                     if let Some(tb) = self.cfg.trace_block {
                         if msg.kind.block() == Some(tb) {
                             eprintln!("[{t:>8}] {:?}", msg);
@@ -875,7 +930,7 @@ impl Machine {
                     }
                     self.deliver(t, msg);
                 }
-                Ev::Replay { home, block } => {
+                EvLog::Replay { home, block } => {
                     if let Some(req) = self.clusters[home].ser.pop_ready(block) {
                         self.home_request(t, home, req.requester, req.block, req.is_write);
                     }
@@ -894,6 +949,18 @@ impl Machine {
                 self.running
             );
             return Err(SimError::Deadlock(
+                self.post_mortem(self.queue.now(), detail),
+            ));
+        }
+        if !self.arena.is_empty() {
+            // Every scheduled delivery takes its payload out of the arena;
+            // a drained queue with parked messages means a Deliver event
+            // was lost (or a payload leaked).
+            let detail = format!(
+                "{} message(s) still parked in the arena after the event queue drained",
+                self.arena.live()
+            );
+            return Err(SimError::InvariantViolation(
                 self.post_mortem(self.queue.now(), detail),
             ));
         }
@@ -1018,6 +1085,7 @@ impl Machine {
             protocol: self.counters,
             faults: self.faults,
             versions_assigned: self.versions_assigned,
+            events_delivered: self.queue.delivered(),
             stalls: StallBreakdown {
                 mem_stall: self.procs.iter().map(|p| p.mem_stall).collect(),
                 sync_stall: self.procs.iter().map(|p| p.sync_stall).collect(),
@@ -1925,7 +1993,7 @@ impl Machine {
                     // stays busy; the requester gets its ownership reply
                     // only after the chain completes.
                     let mut targets: std::collections::VecDeque<usize> =
-                        inval_targets.into_iter().collect();
+                        inval_targets.iter().map(|n| n as usize).collect();
                     let first = targets.pop_front().expect("non-empty");
                     self.clusters[home]
                         .serial_chains
@@ -1953,16 +2021,16 @@ impl Machine {
                         .mark_busy(block, BusyReason::AwaitHomeWrite);
                 }
                 let n = inval_targets.len() as u32;
-                for c in inval_targets {
+                inval_targets.for_each_member(|c| {
                     self.send(
                         t + tm.bus_memory,
                         Msg {
                             src: home,
-                            dst: c,
+                            dst: c as usize,
                             kind: MsgKind::Inval { block, requester },
                         },
                     );
-                }
+                });
                 self.send(
                     t + tm.bus_memory,
                     Msg {
@@ -2002,7 +2070,8 @@ impl Machine {
         }
         let epoch = self.memory_version(home, rep.victim_key);
         let n = rep.targets.len() as u32;
-        for c in rep.targets {
+        rep.targets.for_each_member(|c| {
+            let c = c as usize;
             self.send(
                 t + tm.bus_memory,
                 Msg {
@@ -2015,7 +2084,7 @@ impl Machine {
                     },
                 },
             );
-        }
+        });
         self.clusters[home].rac.start_replacement(rep.victim_key, n);
         self.clusters[home]
             .ser
@@ -2025,12 +2094,8 @@ impl Machine {
     /// Converts a displaced entry into replacement work (targets exclude
     /// the home cluster, whose copies are bus-tracked).
     fn replacement_work(&self, home: usize, victim_block: u64, victim: &scd_core::DirEntry) -> ReplacementWork {
-        let mut targets: Vec<usize> = victim
-            .sharer_superset()
-            .iter()
-            .map(|n| n as usize)
-            .collect();
-        targets.retain(|&c| c != home);
+        let mut targets = victim.sharer_superset();
+        targets.remove(home as NodeId);
         ReplacementWork {
             victim_key: victim_block,
             targets,
@@ -2105,12 +2170,8 @@ impl Machine {
                 victim,
                 entry,
             } => {
-                let mut targets: Vec<usize> = victim
-                    .sharer_superset()
-                    .iter()
-                    .map(|n| n as usize)
-                    .collect();
-                targets.retain(|&c| c != home);
+                let mut targets = victim.sharer_superset();
+                targets.remove(home as NodeId);
                 replacement = Some(ReplacementWork {
                     victim_key: victim_key * clusters + home as u64,
                     targets,
@@ -2135,12 +2196,8 @@ impl Machine {
             }
             _ => {
                 if is_write {
-                    let mut targets: Vec<usize> = entry
-                        .invalidation_targets(requester as NodeId)
-                        .iter()
-                        .map(|n| n as usize)
-                        .collect();
-                    targets.retain(|&c| c != home);
+                    let mut targets = entry.invalidation_targets(requester as NodeId);
+                    targets.remove(home as NodeId);
                     if requester == home {
                         // The home cluster's ownership is tracked by its bus
                         // snoop, not the directory.

@@ -113,6 +113,11 @@ pub struct RunStats {
     /// `track_versions` is off). Every write transaction that reaches a
     /// home directory creates one.
     pub versions_assigned: u64,
+    /// Simulator events popped off the event queue over the whole run
+    /// (processor steps, deliveries, replays). A host-side throughput
+    /// denominator — deliberately NOT part of [`RunStats::to_json`]'s
+    /// published schema, which records simulated behaviour only.
+    pub events_delivered: u64,
     /// Per-processor time anatomy.
     pub stalls: StallBreakdown,
 }

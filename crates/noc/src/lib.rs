@@ -19,5 +19,5 @@ pub mod mesh;
 pub mod network;
 
 pub use fault::FaultPlan;
-pub use mesh::Mesh;
+pub use mesh::{Mesh, RouteIter};
 pub use network::{LatencyModel, LinkCounters, Network, NetworkStats};

@@ -65,21 +65,21 @@ impl Mesh {
 
     /// The dimension-ordered route from `a` to `b`, as the sequence of
     /// intermediate+final nodes traversed (empty when `a == b`).
-    pub fn route(&self, a: usize, b: usize) -> Vec<usize> {
+    ///
+    /// Returns an allocation-free iterator: the route used to materialize
+    /// a `Vec<usize>` on every call, which made every simulated message
+    /// (contention walk + per-link traffic counters) pay a heap
+    /// allocation. Call sites that want a vector can still `.collect()`.
+    pub fn route(&self, a: usize, b: usize) -> RouteIter {
         let (ax, ay) = self.coords(a);
         let (bx, by) = self.coords(b);
-        let mut out = Vec::with_capacity(self.distance(a, b));
-        let mut x = ax;
-        while x != bx {
-            x = if bx > x { x + 1 } else { x - 1 };
-            out.push(self.node_at(x, ay));
+        RouteIter {
+            mesh: *self,
+            x: ax,
+            y: ay,
+            bx,
+            by,
         }
-        let mut y = ay;
-        while y != by {
-            y = if by > y { y + 1 } else { y - 1 };
-            out.push(self.node_at(x, y));
-        }
-        out
     }
 
     /// Network diameter (longest shortest path).
@@ -100,6 +100,44 @@ impl Mesh {
             }
         }
         total as f64 / (n * (n - 1)) as f64
+    }
+}
+
+/// Allocation-free dimension-ordered route walk: X-moves toward the
+/// target column, then Y-moves toward the target row, yielding each node
+/// entered (see [`Mesh::route`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RouteIter {
+    mesh: Mesh,
+    x: usize,
+    y: usize,
+    bx: usize,
+    by: usize,
+}
+
+impl Iterator for RouteIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.x != self.bx {
+            self.x = if self.bx > self.x { self.x + 1 } else { self.x - 1 };
+        } else if self.y != self.by {
+            self.y = if self.by > self.y { self.y + 1 } else { self.y - 1 };
+        } else {
+            return None;
+        }
+        Some(self.mesh.node_at(self.x, self.y))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.len();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RouteIter {
+    fn len(&self) -> usize {
+        self.x.abs_diff(self.bx) + self.y.abs_diff(self.by)
     }
 }
 
@@ -146,7 +184,8 @@ mod tests {
         let m = Mesh::new(8, 4);
         for a in 0..m.nodes() {
             for b in 0..m.nodes() {
-                let r = m.route(a, b);
+                assert_eq!(m.route(a, b).len(), m.distance(a, b), "{a}->{b}");
+                let r: Vec<usize> = m.route(a, b).collect();
                 assert_eq!(r.len(), m.distance(a, b), "{a}->{b}");
                 if a != b {
                     assert_eq!(*r.last().unwrap(), b);
@@ -165,7 +204,23 @@ mod tests {
     fn route_is_x_first() {
         let m = Mesh::new(4, 4);
         // 0 (0,0) -> 10 (2,2): expect x-moves 1,2 then y-moves 6,10.
-        assert_eq!(m.route(0, 10), vec![1, 2, 6, 10]);
+        assert_eq!(m.route(0, 10).collect::<Vec<_>>(), vec![1, 2, 6, 10]);
+    }
+
+    /// The iterator's size_hint is exact at every step (callers size
+    /// latency math off it).
+    #[test]
+    fn route_iter_is_exact_size() {
+        let m = Mesh::new(8, 4);
+        let mut it = m.route(0, 30);
+        let mut expect = m.distance(0, 30);
+        assert_eq!(it.len(), expect);
+        while it.next().is_some() {
+            expect -= 1;
+            assert_eq!(it.len(), expect);
+            assert_eq!(it.size_hint(), (expect, Some(expect)));
+        }
+        assert_eq!(expect, 0);
     }
 
     #[test]

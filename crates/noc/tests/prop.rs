@@ -11,7 +11,7 @@ proptest! {
         let m = Mesh::new(w, h);
         let a = a_s as usize % m.nodes();
         let b = b_s as usize % m.nodes();
-        let route = m.route(a, b);
+        let route: Vec<usize> = m.route(a, b).collect();
         prop_assert_eq!(route.len(), m.distance(a, b));
         let mut prev = a;
         for &n in &route {

@@ -6,6 +6,10 @@
 //! * [`msg`] — the protocol message vocabulary and its mapping onto the
 //!   paper's four traffic classes (request / reply / invalidation /
 //!   acknowledgement);
+//! * [`arena`] — the generational slab arena in-flight messages are parked
+//!   in while they traverse the simulated network (8-byte [`MsgRef`]
+//!   handles in the event queue instead of whole messages, with
+//!   use-after-free detection via slot generations);
 //! * [`rac`] — the Remote Access Cache: per-cluster bookkeeping of
 //!   outstanding requests (MSHRs) and expected invalidation
 //!   acknowledgements, including the replacement acknowledgements a sparse
@@ -23,11 +27,13 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod msg;
 pub mod rac;
 pub mod serializer;
 pub mod sync;
 
+pub use arena::{MsgArena, MsgRef};
 pub use msg::{Msg, MsgKind};
 pub use rac::{Mshr, MshrKind, Rac};
 pub use serializer::{BusyReason, EarlyKind, HomeSerializer, QueuedReq};

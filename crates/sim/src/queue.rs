@@ -1,34 +1,57 @@
 //! Time-ordered event queue with FIFO tie-breaking.
+//!
+//! Implemented as a **hierarchical timing wheel** rather than a comparison
+//! heap: the near future lives in a power-of-two ring of buckets indexed by
+//! `cycle & WHEEL_MASK`, and everything beyond the current window sits in a
+//! far-future overflow level that is cascaded into the ring when the wheel
+//! catches up. `schedule`/`pop` are O(1) amortized (the heap paid O(log n)
+//! comparisons per operation), which matters because every simulated
+//! message, processor step and replay goes through this queue.
+//!
+//! # Why delivery order is bit-identical to the old heap
+//!
+//! The heap ordered events by `(time, seq)` where `seq` was a global
+//! schedule counter — time order with FIFO tie-breaking. The wheel
+//! reproduces that order *structurally*:
+//!
+//! * The ring window is always `WHEEL_SLOTS` cycles and aligned to a
+//!   multiple of `WHEEL_SLOTS`, so within one window a bucket holds events
+//!   of exactly **one** cycle value — scanning buckets upward from `now`'s
+//!   slot enumerates pending times in increasing order.
+//! * Within a bucket, events are only ever **appended**: direct schedules
+//!   arrive in increasing `seq` by construction, and an overflow cascade
+//!   happens only when the ring is completely empty, moving events in
+//!   their original (seq-sorted, because the overflow level is itself
+//!   append-only) order before any later — hence larger-`seq` — schedule
+//!   can target the same bucket. Popping from the front is therefore FIFO
+//!   per cycle, exactly the heap's tie-break.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 /// Simulation time, in processor cycles.
 pub type Cycle = u64;
 
-#[derive(PartialEq, Eq)]
+/// log2 of the near-future ring size.
+const WHEEL_BITS: u32 = 10;
+/// Near-future ring size: the wheel covers `[wheel_base, wheel_base + 1024)`.
+const WHEEL_SLOTS: usize = 1 << WHEEL_BITS;
+/// Slot index mask (`cycle & WHEEL_MASK` is the bucket of `cycle`).
+const WHEEL_MASK: u64 = (WHEEL_SLOTS as u64) - 1;
+/// Words in the bucket-occupancy bitmap.
+const WHEEL_WORDS: usize = WHEEL_SLOTS / 64;
+
 struct Scheduled<E> {
     time: Cycle,
+    /// Global schedule order, kept for debug-time FIFO verification (the
+    /// delivery order itself is structural; see module docs).
     seq: u64,
     event: E,
-}
-
-impl<E: Eq> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
-impl<E: Eq> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// A deterministic discrete-event queue.
 ///
 /// Events scheduled for the same cycle are delivered in the order they were
-/// scheduled, so simulations are reproducible regardless of heap internals.
+/// scheduled, so simulations are reproducible regardless of queue internals.
 ///
 /// ```
 /// use scd_sim::EventQueue;
@@ -42,24 +65,41 @@ impl<E: Eq> PartialOrd for Scheduled<E> {
 /// assert_eq!(q.now(), 5);
 /// assert_eq!(q.pop(), Some((10, "late")));
 /// ```
-pub struct EventQueue<E: Eq> {
-    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+pub struct EventQueue<E> {
+    /// Near-future ring; bucket `i` holds the events of the unique cycle
+    /// `t` in the current window with `t & WHEEL_MASK == i`.
+    slots: Box<[VecDeque<Scheduled<E>>]>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupied: [u64; WHEEL_WORDS],
+    /// Events at or beyond `wheel_base + WHEEL_SLOTS`, in schedule order.
+    overflow: Vec<Scheduled<E>>,
+    /// Minimum time in `overflow` (`u64::MAX` when empty).
+    overflow_min: Cycle,
+    /// Start of the ring's window; always a multiple of `WHEEL_SLOTS`.
+    wheel_base: Cycle,
+    /// Events currently in the ring (as opposed to the overflow level).
+    in_wheel: usize,
     now: Cycle,
     seq: u64,
     delivered: u64,
 }
 
-impl<E: Eq> Default for EventQueue<E> {
+impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E: Eq> EventQueue<E> {
+impl<E> EventQueue<E> {
     /// Creates an empty queue at cycle 0.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            slots: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
+            occupied: [0; WHEEL_WORDS],
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+            wheel_base: 0,
+            in_wheel: 0,
             now: 0,
             seq: 0,
             delivered: 0,
@@ -78,12 +118,31 @@ impl<E: Eq> EventQueue<E> {
 
     /// Number of events still pending.
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.in_wheel + self.overflow.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.pending() == 0
+    }
+
+    /// Whether `time` falls inside the ring's current window. Written as a
+    /// subtraction so the window that ends at `u64::MAX` needs no special
+    /// case.
+    fn in_window(&self, time: Cycle) -> bool {
+        time >= self.wheel_base && time - self.wheel_base <= WHEEL_MASK
+    }
+
+    fn bucket_push(slots: &mut [VecDeque<Scheduled<E>>], occupied: &mut [u64; WHEEL_WORDS], s: Scheduled<E>) {
+        let slot = (s.time & WHEEL_MASK) as usize;
+        debug_assert!(
+            slots[slot].back().is_none_or(|prev| {
+                prev.time == s.time && prev.seq < s.seq
+            }),
+            "bucket append out of (time, seq) order"
+        );
+        slots[slot].push_back(s);
+        occupied[slot / 64] |= 1 << (slot % 64);
     }
 
     /// Schedules `event` to fire `delay` cycles from now.
@@ -114,17 +173,81 @@ impl<E: Eq> EventQueue<E> {
             "event scheduled in the past ({time} < {})",
             self.now
         );
-        self.heap.push(Reverse(Scheduled {
+        let s = Scheduled {
             time,
             seq: self.seq,
             event,
-        }));
+        };
         self.seq += 1;
+        if self.in_window(time) {
+            Self::bucket_push(&mut self.slots, &mut self.occupied, s);
+            self.in_wheel += 1;
+        } else {
+            self.overflow_min = self.overflow_min.min(time);
+            self.overflow.push(s);
+        }
+    }
+
+    /// First occupied bucket at or after `start` in wrapped slot order.
+    /// Only called while the ring holds at least one event.
+    fn next_occupied(&self, start: usize) -> usize {
+        debug_assert!(self.in_wheel > 0);
+        let mut word = start / 64;
+        let masked = self.occupied[word] & (!0u64 << (start % 64));
+        if masked != 0 {
+            return word * 64 + masked.trailing_zeros() as usize;
+        }
+        loop {
+            word = (word + 1) % WHEEL_WORDS;
+            if self.occupied[word] != 0 {
+                return word * 64 + self.occupied[word].trailing_zeros() as usize;
+            }
+        }
+    }
+
+    /// Advances the window to the one containing the earliest overflow
+    /// event and cascades every overflow event that now fits into the ring.
+    /// Only called when the ring is empty and the overflow level is not —
+    /// which is what makes cascaded bucket appends precede any later
+    /// (larger-seq) direct schedule of the same cycle.
+    fn cascade(&mut self) {
+        debug_assert_eq!(self.in_wheel, 0);
+        debug_assert!(!self.overflow.is_empty());
+        let base = self.overflow_min & !WHEEL_MASK;
+        debug_assert!(base > self.wheel_base);
+        self.wheel_base = base;
+        self.overflow_min = u64::MAX;
+        // `overflow` is in schedule order; moving a subsequence into the
+        // (empty) buckets and keeping the rest both preserve that order.
+        let pending = std::mem::take(&mut self.overflow);
+        for s in pending {
+            if self.in_window(s.time) {
+                Self::bucket_push(&mut self.slots, &mut self.occupied, s);
+                self.in_wheel += 1;
+            } else {
+                self.overflow_min = self.overflow_min.min(s.time);
+                self.overflow.push(s);
+            }
+        }
+        debug_assert!(self.in_wheel > 0, "cascade must land the minimum");
     }
 
     /// Delivers the next event, advancing the clock to its time.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let Reverse(s) = self.heap.pop()?;
+        if self.in_wheel == 0 {
+            if self.overflow.is_empty() {
+                return None;
+            }
+            self.cascade();
+        }
+        let start = (self.now.max(self.wheel_base) & WHEEL_MASK) as usize;
+        let slot = self.next_occupied(start);
+        let bucket = &mut self.slots[slot];
+        let s = bucket.pop_front().expect("occupancy bit set on empty bucket");
+        if bucket.is_empty() {
+            self.occupied[slot / 64] &= !(1 << (slot % 64));
+        }
+        self.in_wheel -= 1;
         debug_assert!(s.time >= self.now);
         self.now = s.time;
         self.delivered += 1;
@@ -133,7 +256,12 @@ impl<E: Eq> EventQueue<E> {
 
     /// Delivery time of the next event without consuming it.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|Reverse(s)| s.time)
+        if self.in_wheel == 0 {
+            return (!self.overflow.is_empty()).then_some(self.overflow_min);
+        }
+        let start = (self.now.max(self.wheel_base) & WHEEL_MASK) as usize;
+        let slot = self.next_occupied(start);
+        self.slots[slot].front().map(|s| s.time)
     }
 }
 
@@ -215,5 +343,87 @@ mod tests {
         assert_eq!(q.peek_time(), Some(1));
         q.pop();
         assert!(!q.is_empty());
+    }
+
+    /// Events straddling a window boundary (multiples of the wheel size)
+    /// still come out in time order.
+    #[test]
+    fn wheel_wrap_boundary_is_seamless() {
+        let mut q = EventQueue::new();
+        let w = WHEEL_SLOTS as u64;
+        for &t in &[w + 1, w - 1, w, 2 * w + 3, 1] {
+            q.schedule_at(t, t);
+        }
+        let mut last = 0;
+        let mut n = 0;
+        while let Some((t, e)) = q.pop() {
+            assert_eq!(t, e);
+            assert!(t >= last);
+            last = t;
+            n += 1;
+        }
+        assert_eq!(n, 5);
+    }
+
+    /// Overflow events cascade into the ring ahead of any later schedule
+    /// for the same cycle, preserving FIFO by global schedule order.
+    #[test]
+    fn cascade_preserves_fifo_against_direct_schedules() {
+        let mut q = EventQueue::new();
+        let far = 5 * WHEEL_SLOTS as u64 + 17;
+        q.schedule_at(far, "overflowed-first");
+        q.schedule_at(1, "near");
+        assert_eq!(q.pop(), Some((1, "near")));
+        // Still in the first window: `far` is overflow, this pop cascades.
+        q.schedule_at(far, "scheduled-later");
+        assert_eq!(q.pop(), Some((far, "overflowed-first")));
+        assert_eq!(q.pop(), Some((far, "scheduled-later")));
+    }
+
+    /// Far-future events (many windows ahead) are reached directly, not by
+    /// stepping the wheel through empty windows.
+    #[test]
+    fn sparse_far_future_events_are_reached() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10_000_000, 'z');
+        q.schedule_at(u64::MAX, 'w');
+        assert_eq!(q.peek_time(), Some(10_000_000));
+        assert_eq!(q.pop(), Some((10_000_000, 'z')));
+        assert_eq!(q.pop(), Some((u64::MAX, 'w')));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Interleaved schedule/pop churn with mixed near/far delays matches a
+    /// simple sorted-model expectation (time order, FIFO ties).
+    #[test]
+    fn churn_keeps_time_and_fifo_order() {
+        let mut q = EventQueue::new();
+        let mut id = 0u64;
+        let mut popped: Vec<(u64, u64)> = Vec::new();
+        let delays = [0u64, 1, 7, 1023, 1024, 1025, 4096, 70_000];
+        for round in 0..500u64 {
+            for (i, &d) in delays.iter().enumerate() {
+                if !(round + i as u64).is_multiple_of(3) {
+                    q.schedule(d, id);
+                    id += 1;
+                }
+            }
+            if let Some((t, e)) = q.pop() {
+                popped.push((t, e));
+            }
+        }
+        while let Some((t, e)) = q.pop() {
+            popped.push((t, e));
+        }
+        assert_eq!(popped.len() as u64, id);
+        for w in popped.windows(2) {
+            assert!(w[0].0 <= w[1].0, "time order violated: {w:?}");
+        }
+        // FIFO among same-time events: ids strictly increase within a tie.
+        for w in popped.windows(2) {
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "FIFO tie-break violated: {w:?}");
+            }
+        }
     }
 }

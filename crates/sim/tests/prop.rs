@@ -2,6 +2,77 @@
 
 use proptest::prelude::*;
 use scd_sim::{EventQueue, SimRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The reference model: exactly the `BinaryHeap<Reverse<(time, seq)>>`
+/// structure the timing wheel replaced. Kept deliberately naive — its
+/// correctness is obvious, so agreement transfers confidence to the wheel.
+struct HeapModel {
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    now: u64,
+    seq: u64,
+}
+
+impl HeapModel {
+    fn new() -> Self {
+        HeapModel {
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+        }
+    }
+
+    fn schedule(&mut self, delay: u64, event: usize) {
+        let time = self
+            .now
+            .checked_add(delay)
+            .expect("model delays never overflow in these tests");
+        self.schedule_at(time, event);
+    }
+
+    fn schedule_at(&mut self, time: u64, event: usize) {
+        assert!(time >= self.now);
+        self.heap.push(Reverse((time, self.seq, event)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(u64, usize)> {
+        let Reverse((time, _, event)) = self.heap.pop()?;
+        self.now = time;
+        Some((time, event))
+    }
+
+    fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+}
+
+/// The `checked_add` overflow diagnosis from PR 4 must survive the wheel
+/// rewrite: a delay that would wrap the clock panics with the overflow
+/// message, not with "scheduled in the past" or a silent wrap.
+#[test]
+fn overflow_panic_message_survives_the_wheel() {
+    let err = std::panic::catch_unwind(|| {
+        let mut q = EventQueue::new();
+        q.schedule_at(7, 0u8);
+        q.pop();
+        q.schedule(u64::MAX, 1u8);
+    })
+    .expect_err("wrapping delay must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()).unwrap());
+    assert!(
+        msg.contains("overflows the cycle clock"),
+        "wrong diagnosis: {msg}"
+    );
+}
 
 proptest! {
     #[test]
@@ -57,6 +128,69 @@ proptest! {
         for _ in 0..100 {
             prop_assert!(r.below(bound) < bound);
         }
+    }
+
+    /// The timing wheel must be observationally identical to the naive
+    /// comparison-heap it replaced: same `(time, FIFO)` pop order under
+    /// arbitrary schedule/pop interleavings. Delays are drawn to straddle
+    /// every interesting regime — zero (same-cycle ties), within the
+    /// near-future ring, exactly at and around the ring-size boundary
+    /// (wheel wrap), and far-future values that exercise the overflow
+    /// cascade.
+    #[test]
+    fn wheel_matches_binary_heap_model(
+        script in prop::collection::vec(
+            (
+                prop_oneof![
+                    Just(0u64),
+                    0u64..8,
+                    1000u64..1100,      // straddles the 1024-slot boundary
+                    4000u64..100_000,   // overflow level, multiple windows out
+                ],
+                0usize..3, // pops attempted after this schedule
+            ),
+            1..200,
+        )
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut model = HeapModel::new();
+        for (id, &(delay, pops)) in script.iter().enumerate() {
+            wheel.schedule(delay, id);
+            model.schedule(delay, id);
+            for _ in 0..pops {
+                prop_assert_eq!(wheel.pop(), model.pop());
+                prop_assert_eq!(wheel.now(), model.now);
+                prop_assert_eq!(wheel.pending(), model.pending());
+                prop_assert_eq!(wheel.peek_time(), model.peek_time());
+            }
+        }
+        loop {
+            let (w, m) = (wheel.pop(), model.pop());
+            prop_assert_eq!(w, m);
+            if w.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(wheel.delivered(), script.len() as u64);
+    }
+
+    /// Same-cycle bursts at a wheel-wrap boundary: many events for the
+    /// same few cycles right around a multiple of the ring size must pop
+    /// in global schedule order within each cycle.
+    #[test]
+    fn wheel_fifo_ties_at_wrap_boundary(
+        offsets in prop::collection::vec(1022u64..1027, 1..120)
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut model = HeapModel::new();
+        for (id, &t) in offsets.iter().enumerate() {
+            wheel.schedule_at(t, id);
+            model.schedule_at(t, id);
+        }
+        for _ in 0..offsets.len() {
+            prop_assert_eq!(wheel.pop(), model.pop());
+        }
+        prop_assert_eq!(wheel.pop(), None);
     }
 
     #[test]

@@ -309,13 +309,25 @@ impl Parser<'_> {
                         _ => return Err(format!("bad escape `\\{}`", esc as char)),
                     }
                 }
+                _ if b < 0x80 => out.push(b as char),
                 _ => {
-                    // Re-decode UTF-8 from the byte stream: back up and take
-                    // the full character.
+                    // Multi-byte UTF-8: back up and decode just this
+                    // character (at most 4 bytes). Validating the whole
+                    // remaining input here instead makes parsing quadratic
+                    // in document size.
                     self.pos -= 1;
-                    let rest =
-                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
-                    let c = rest.chars().next().ok_or("empty string tail")?;
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let chunk = &self.bytes[self.pos..end];
+                    let valid = match std::str::from_utf8(chunk) {
+                        Ok(s) => s,
+                        // The window may clip a *following* character;
+                        // everything up to the error is still decodable.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&chunk[..e.valid_up_to()]).unwrap()
+                        }
+                        Err(e) => return Err(e.to_string()),
+                    };
+                    let c = valid.chars().next().ok_or("empty string tail")?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -438,6 +450,17 @@ mod tests {
         j.set("a", Json::U64(2));
         assert_eq!(j.get("a").and_then(Json::as_u64), Some(2));
         assert_eq!(j.field_map().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn parses_multibyte_strings() {
+        // Adjacent multi-byte chars (the 4-byte decode window clips the
+        // second one — valid_up_to handling), a 4-byte char at the very
+        // end of input, and mixed ASCII.
+        for s in ["héllo", "αβγδ", "日本語", "🦀", "a🦀b", "x\u{10FFFF}"] {
+            let text = format!("\"{s}\"");
+            assert_eq!(Json::parse(&text).unwrap(), Json::Str(s.into()), "{s:?}");
+        }
     }
 
     #[test]

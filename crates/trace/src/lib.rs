@@ -44,6 +44,9 @@ pub use json::Json;
 pub use metrics::{IntervalSnapshot, MetricsRegistry, TxnTimeline, LATENCY_BUCKET_CAP};
 pub use perfetto::{to_perfetto, validate_perfetto, PerfettoSummary};
 pub use replay::{validate_stats_json, validate_trace, TraceSummary};
-pub use report::{compare_docs, doc_label, tracked_metrics, Comparison, ReportMetric};
+pub use report::{
+    compare_docs, compare_throughput, doc_label, throughput_rates, tracked_metrics, Comparison,
+    ReportMetric, ThroughputComparison, ThroughputMetric,
+};
 pub use span::{MsgSpan, PhaseSpan, SpanTree, TxnSpan};
 pub use tracer::{TraceConfig, Tracer};

@@ -167,3 +167,41 @@ fn usage_errors_exit_two() {
         assert_eq!(run(&args).status.code(), Some(2), "{case}");
     }
 }
+
+/// Golden gate for the committed perf-trajectory baselines: regenerate
+/// the LU and MP3D scale-0.25 points **in-process** (same spec the
+/// `BENCH_*.json` files were produced with) and require the rendered
+/// documents to be byte-identical to the files in the repository root.
+///
+/// This is the determinism contract at its sharpest: the timing-wheel
+/// event queue, the message arena, and the NodeSet fanout paths must
+/// reproduce the exact delivery order — and therefore the exact stats —
+/// of every committed baseline, byte for byte.
+#[test]
+fn trajectory_points_regenerate_byte_identically() {
+    use bench::{bench_json_name, bench_point_document, run_sweep, SweepSpec};
+
+    let mut spec = SweepSpec::trajectory(0.25);
+    // LU and MP3D cover both trajectory shapes (compute-bound and
+    // traffic-bound); the full four-app grid runs in CI's perf job.
+    spec.apps = vec!["lu".into(), "mp3d".into()];
+    let outcome = run_sweep(&spec, 2);
+    assert_eq!(outcome.runs.len(), 4, "2 apps x full+sparse");
+
+    let repo = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    for run in &outcome.runs {
+        let app = &outcome.apps[run.desc.app_idx];
+        let doc =
+            bench_point_document(app, &run.desc.scheme_label, &run.stats, run.attribution.clone());
+        let fresh = format!("{doc}\n");
+        let name = bench_json_name(app.name, &run.desc.scheme_label);
+        let committed = std::fs::read_to_string(repo.join(&name))
+            .unwrap_or_else(|e| panic!("missing committed baseline {name}: {e}"));
+        assert_eq!(
+            fresh, committed,
+            "{name}: regenerated point is not byte-identical to the committed baseline \
+             (if the change is intentional, regenerate with \
+             `scd-sweep --trajectory --scale 0.25 --bench-out .`)"
+        );
+    }
+}
