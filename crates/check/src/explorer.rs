@@ -1,0 +1,373 @@
+//! Explicit-state exploration over the machine's branching API.
+//!
+//! [`explore`] performs a depth-first search over every interleaving (and,
+//! with a fault budget, every fault placement) a machine can exhibit,
+//! deduplicating states by canonical digest and asserting the per-state
+//! coherence invariants at each one. Leaves (drained machines) get the
+//! full quiescent validation a production run ends with. A violation —
+//! invariant failure, simulation error, or protocol panic — is returned
+//! as a [`Counterexample`]: the exact choice sequence that reproduces it.
+//!
+//! [`minimize`] shortens a counterexample by iterative deepening;
+//! [`random_walk`] drives a seeded random path through the same choice
+//! space (the cross-check that the simulator's nondeterminism is a subset
+//! of the model checker's); [`replay_trace`] re-runs a counterexample on
+//! a trace-enabled machine and emits standard `scd-trace` JSONL.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use scd_machine::machine::explore::{Choice, FaultEdges};
+use scd_machine::Machine;
+
+/// Exploration bounds and fault options.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Which fault edges to enumerate.
+    pub faults: FaultEdges,
+    /// Maximum injected faults along any one path.
+    pub fault_budget: u32,
+    /// Maximum path length before a branch is truncated.
+    pub max_depth: usize,
+    /// Maximum distinct states to visit before giving up.
+    pub max_states: u64,
+    /// Assert the per-state invariants at every visited state (on by
+    /// default; off leaves only the leaf-state quiescent checks).
+    pub check_each_step: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            faults: FaultEdges::none(),
+            fault_budget: 0,
+            max_depth: 4096,
+            max_states: 200_000,
+            check_each_step: true,
+        }
+    }
+}
+
+/// A reproducible invariant violation: the choice path that reaches it.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// What failed (invariant violation, simulation error, or panic).
+    pub error: String,
+    /// The choice sequence from the initial state to the failure.
+    pub choices: Vec<Choice>,
+}
+
+/// Result of one exploration.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Distinct states visited (post-deduplication).
+    pub visited: u64,
+    /// Drained leaf states validated quiescently.
+    pub leaves: u64,
+    /// True if a depth or state bound cut the search short.
+    pub truncated: bool,
+    /// The first violation found, if any.
+    pub violation: Option<Counterexample>,
+    /// Digests of every state visited (for subset cross-checks).
+    pub digests: HashSet<u64>,
+}
+
+/// Result of one random walk.
+#[derive(Debug, Default)]
+pub struct WalkOutcome {
+    /// Steps actually taken.
+    pub steps: usize,
+    /// Digest of every state passed through, in order.
+    pub digests: Vec<u64>,
+    /// A violation hit along the walk, if any.
+    pub violation: Option<Counterexample>,
+}
+
+/// Runs `f`, converting a panic into its message without letting the
+/// default hook spam stderr (protocol `assert!`s double as invariant
+/// checks during exploration, so panics here are *expected* findings).
+fn quiet_catch<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    use std::cell::Cell;
+    use std::sync::Once;
+    thread_local! {
+        static CAPTURING: Cell<bool> = const { Cell::new(false) };
+    }
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !CAPTURING.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+    CAPTURING.with(|c| c.set(true));
+    let r = catch_unwind(AssertUnwindSafe(f));
+    CAPTURING.with(|c| c.set(false));
+    r.map_err(|p| {
+        if let Some(s) = p.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = p.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
+struct Frame {
+    machine: Machine,
+    path: Vec<Choice>,
+    faults_used: u32,
+}
+
+/// Exhaustively explores every interleaving of the machine `build`
+/// produces, within the configured bounds.
+///
+/// `build` is a constructor rather than a machine so counterexamples can
+/// later be replayed against fresh instances (exploration consumes its
+/// machines).
+pub fn explore(build: &dyn Fn() -> Machine, cfg: &ExploreConfig) -> Outcome {
+    let mut out = Outcome::default();
+    let mut root = build();
+    if cfg.faults.any() {
+        root.tolerate_faults();
+    }
+    root.begin_exploration();
+    // Digest -> shallowest depth seen. Re-expanding a known state reached
+    // by a *shorter* path keeps depth-limited searches complete, which
+    // `minimize`'s iterative deepening relies on.
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    let mut stack = vec![Frame {
+        machine: root,
+        path: Vec::new(),
+        faults_used: 0,
+    }];
+    while let Some(frame) = stack.pop() {
+        let depth = frame.path.len();
+        let digest = frame.machine.state_digest();
+        match seen.entry(digest) {
+            Entry::Occupied(mut e) => {
+                if *e.get() <= depth {
+                    continue;
+                }
+                e.insert(depth);
+            }
+            Entry::Vacant(e) => {
+                e.insert(depth);
+                out.visited += 1;
+            }
+        }
+        if out.visited > cfg.max_states {
+            out.truncated = true;
+            break;
+        }
+        if cfg.check_each_step {
+            if let Err(v) = frame.machine.check_step_invariants() {
+                out.violation = Some(Counterexample {
+                    error: v.to_string(),
+                    choices: frame.path,
+                });
+                break;
+            }
+        }
+        let mut machine = frame.machine;
+        let choices = machine.exploration_choices(&cfg.faults);
+        if choices.is_empty() {
+            out.leaves += 1;
+            match quiet_catch(AssertUnwindSafe(|| machine.finalize_exploration())) {
+                Ok(Ok(_)) => {}
+                Ok(Err(e)) => {
+                    out.violation = Some(Counterexample {
+                        error: e.to_string(),
+                        choices: frame.path,
+                    });
+                    break;
+                }
+                Err(msg) => {
+                    out.violation = Some(Counterexample {
+                        error: format!("panic: {msg}"),
+                        choices: frame.path,
+                    });
+                    break;
+                }
+            }
+            continue;
+        }
+        if depth >= cfg.max_depth {
+            out.truncated = true;
+            continue;
+        }
+        // Reverse push so choice 0 is explored first: counterexamples come
+        // out in a stable, reproducible DFS order.
+        for &ch in choices.iter().rev() {
+            if ch.is_fault() && frame.faults_used >= cfg.fault_budget {
+                continue;
+            }
+            let mut child = machine.clone();
+            let mut path = frame.path.clone();
+            path.push(ch);
+            match quiet_catch(AssertUnwindSafe(|| child.step_explore(ch))) {
+                Ok(Ok(())) => stack.push(Frame {
+                    machine: child,
+                    path,
+                    faults_used: frame.faults_used + u32::from(ch.is_fault()),
+                }),
+                Ok(Err(e)) => {
+                    out.violation = Some(Counterexample {
+                        error: e.to_string(),
+                        choices: path,
+                    });
+                    break;
+                }
+                Err(msg) => {
+                    out.violation = Some(Counterexample {
+                        error: format!("panic: {msg}"),
+                        choices: path,
+                    });
+                    break;
+                }
+            }
+        }
+        if out.violation.is_some() {
+            break;
+        }
+    }
+    out.digests = seen.into_keys().collect();
+    out
+}
+
+/// Shrinks a counterexample to minimal depth by iterative deepening: the
+/// first depth limit at which *any* violation appears is, by construction,
+/// the length of a shortest violating path.
+pub fn minimize(
+    build: &dyn Fn() -> Machine,
+    cfg: &ExploreConfig,
+    upper: usize,
+) -> Option<Counterexample> {
+    for limit in 1..=upper {
+        let mut bounded = cfg.clone();
+        bounded.max_depth = limit;
+        let o = explore(build, &bounded);
+        if o.violation.is_some() {
+            return o.violation;
+        }
+    }
+    None
+}
+
+/// Drives one seeded random path through the exploration choice space.
+///
+/// Uses an inline xorshift64* generator so walks are reproducible from the
+/// seed alone. The visited digests let tests assert the walk stays inside
+/// the exhaustively-explored state set.
+pub fn random_walk(
+    build: &dyn Fn() -> Machine,
+    cfg: &ExploreConfig,
+    seed: u64,
+    max_steps: usize,
+) -> WalkOutcome {
+    let mut out = WalkOutcome::default();
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    let mut m = build();
+    if cfg.faults.any() {
+        m.tolerate_faults();
+    }
+    m.begin_exploration();
+    out.digests.push(m.state_digest());
+    let mut faults_used = 0u32;
+    for _ in 0..max_steps {
+        let choices: Vec<Choice> = m
+            .exploration_choices(&cfg.faults)
+            .into_iter()
+            .filter(|c| !c.is_fault() || faults_used < cfg.fault_budget)
+            .collect();
+        if choices.is_empty() {
+            match quiet_catch(AssertUnwindSafe(|| m.finalize_exploration())) {
+                Ok(Ok(_)) => {}
+                Ok(Err(e)) => {
+                    out.violation = Some(Counterexample {
+                        error: e.to_string(),
+                        choices: Vec::new(),
+                    });
+                }
+                Err(msg) => {
+                    out.violation = Some(Counterexample {
+                        error: format!("panic: {msg}"),
+                        choices: Vec::new(),
+                    });
+                }
+            }
+            break;
+        }
+        let ch = choices[(next() % choices.len() as u64) as usize];
+        faults_used += u32::from(ch.is_fault());
+        match quiet_catch(AssertUnwindSafe(|| m.step_explore(ch))) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                out.violation = Some(Counterexample {
+                    error: e.to_string(),
+                    choices: Vec::new(),
+                });
+                break;
+            }
+            Err(msg) => {
+                out.violation = Some(Counterexample {
+                    error: format!("panic: {msg}"),
+                    choices: Vec::new(),
+                });
+                break;
+            }
+        }
+        out.steps += 1;
+        out.digests.push(m.state_digest());
+    }
+    out
+}
+
+/// Replays a counterexample on a freshly built (ideally trace-enabled)
+/// machine, returning the `scd-trace` JSONL of everything up to the
+/// failure plus a human-readable step listing.
+///
+/// The JSONL is the standard envelope (`seq`, `cycle`, `cluster`,
+/// `type`), so `scd-validate` and the Perfetto exporter consume it
+/// directly.
+pub fn replay_trace(
+    build: &dyn Fn() -> Machine,
+    cfg: &ExploreConfig,
+    choices: &[Choice],
+) -> (String, Vec<String>) {
+    let mut m = build();
+    if cfg.faults.any() {
+        m.tolerate_faults();
+    }
+    m.begin_exploration();
+    let mut steps = Vec::with_capacity(choices.len());
+    for &ch in choices {
+        steps.push(m.describe_choice(ch));
+        match quiet_catch(AssertUnwindSafe(|| m.step_explore(ch))) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                steps.push(format!("=> {e}"));
+                break;
+            }
+            Err(msg) => {
+                steps.push(format!("=> panic: {msg}"));
+                break;
+            }
+        }
+    }
+    let mut jsonl = String::new();
+    for ev in m.trace_events() {
+        jsonl.push_str(&ev.to_json().to_string());
+        jsonl.push('\n');
+    }
+    (jsonl, steps)
+}

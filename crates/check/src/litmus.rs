@@ -1,0 +1,332 @@
+//! The litmus corpus: tiny adversarial workloads, each designed to drive
+//! the protocol through one hazardous region, instantiated across every
+//! directory scheme × organization combination.
+//!
+//! Every test is small enough for exhaustive interleaving exploration:
+//! 2–3 single-processor clusters touching a handful of blocks. Addresses
+//! are chosen against the `MachineConfig::tiny` geometry (16-byte blocks,
+//! 4-block direct-mapped L1, 16-block 2-way L2 — so blocks congruent
+//! mod 4 collide in L1 and mod 8 in L2; homes interleave block mod
+//! clusters).
+
+use scd_core::{Organization, Replacement, Scheme};
+use scd_machine::machine::explore::{FaultEdges, Mutation};
+use scd_machine::{Machine, MachineConfig};
+use scd_tango::{Op, ScriptProgram, ThreadProgram};
+use scd_trace::TraceConfig;
+
+/// One litmus test: named programs plus the fault edges it wants explored.
+#[derive(Clone, Debug)]
+pub struct Litmus {
+    /// Corpus-unique name (CLI `--litmus` selector).
+    pub name: &'static str,
+    /// One-line description of the hazard it probes.
+    pub summary: &'static str,
+    /// Cluster count (one processor each).
+    pub clusters: usize,
+    /// Per-processor op streams.
+    pub programs: Vec<Vec<Op>>,
+    /// Fault edges to enumerate while exploring this test.
+    pub faults: FaultEdges,
+    /// Maximum injected faults along any one explored path.
+    pub fault_budget: u32,
+}
+
+/// One directory configuration a litmus test is instantiated against.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Display label, e.g. `dense/complete`.
+    pub label: String,
+    /// Directory entry format.
+    pub scheme: Scheme,
+    /// Directory organization.
+    pub organization: Organization,
+}
+
+/// Byte address of block `b` under the 16-byte-block tiny geometry.
+fn a(b: u64) -> u64 {
+    b * 16
+}
+
+/// The full litmus corpus.
+///
+/// Two structural rules make these effective:
+///
+/// * **Neutral homes.** A copy held *by* a block's home cluster is
+///   bus-tracked, not directory-tracked, so writes that should exercise
+///   the directory fan-out use blocks homed away from the sharers.
+/// * **Staged timing.** Latencies are deterministic; the explorer's
+///   nondeterminism is same-cycle ordering plus fault edges. `Compute`
+///   paddings place the hazardous operations in each other's windows
+///   (a write landing while sharers hold copies, an invalidation landing
+///   around an eviction) instead of trivially before or after them.
+pub fn corpus() -> Vec<Litmus> {
+    use Op::{Compute, Read, Write};
+    vec![
+        Litmus {
+            name: "store-buffering",
+            summary: "two clusters write each other's block then read back (SB)",
+            clusters: 2,
+            // x = block 0 (home 0), y = block 1 (home 1). The delay edge
+            // lets either write's request slip past the other cluster's
+            // read, covering the orders fixed latencies would pin down.
+            programs: vec![
+                vec![Write(a(0)), Read(a(1))],
+                vec![Write(a(1)), Read(a(0))],
+            ],
+            faults: FaultEdges {
+                nack: false,
+                delay: Some(7),
+                dup: None,
+            },
+            fault_budget: 1,
+        },
+        Litmus {
+            name: "message-passing",
+            summary: "writer publishes data then flag; reader polls flag then data (MP)",
+            clusters: 3,
+            // data = block 2, flag = block 5 — both homed at otherwise-idle
+            // cluster 2, so every copy the writer must invalidate is
+            // directory-tracked. The reader's first poll caches the stale
+            // flag before the writer's fan-out reaches it.
+            programs: vec![
+                vec![Write(a(2)), Write(a(5))],
+                vec![Read(a(5)), Read(a(2)), Read(a(5))],
+                vec![],
+            ],
+            faults: FaultEdges::none(),
+            fault_budget: 0,
+        },
+        Litmus {
+            name: "inval-replacement-race",
+            summary: "invalidation crosses a silent conflict-miss eviction of the same line",
+            clusters: 2,
+            // Blocks 0, 8, 16 collide in L1 (mod 4) and L2 (mod 8), all
+            // homed at cluster 0. Cluster 1 fills block 0 (remote sharer)
+            // then silently evicts it by touching the conflicting blocks;
+            // cluster 0's staged writes land in that window, so the
+            // invalidation can cross the eviction in flight.
+            programs: vec![
+                vec![Compute(90), Write(a(0)), Write(a(0))],
+                vec![Read(a(0)), Read(a(8)), Read(a(16))],
+            ],
+            faults: FaultEdges {
+                nack: false,
+                delay: Some(11),
+                dup: None,
+            },
+            fault_budget: 1,
+        },
+        Litmus {
+            name: "sparse-eviction-during-fanout",
+            summary: "sparse directory entry evicted while its block is mid-write-fanout",
+            clusters: 3,
+            // Blocks 0, 3, 6 share home cluster 0 (mod 3) and, under the
+            // sparse scenarios, compete for the same tiny directory set.
+            // Cluster 2 becomes a remote sharer of block 0; cluster 1's
+            // staged write fans out an invalidation right as cluster 0's
+            // reads of blocks 3 and 6 displace block 0's directory entry.
+            programs: vec![
+                vec![Compute(80), Read(a(3)), Read(a(6))],
+                vec![Compute(60), Write(a(0))],
+                vec![Read(a(0))],
+            ],
+            faults: FaultEdges::none(),
+            fault_budget: 0,
+        },
+        Litmus {
+            name: "nack-retry-livelock",
+            summary: "two writers race on one block under adversarial NACK placement",
+            clusters: 2,
+            // Block 1 is homed at cluster 1, so cluster 0's writes go
+            // remote; NACK fault edges force backoff/retry at the worst
+            // moments. A livelock shows up as an unexpectedly unbounded
+            // path / deadlocked leaf.
+            programs: vec![
+                vec![Write(a(1)), Read(a(1))],
+                vec![Write(a(1))],
+            ],
+            faults: FaultEdges {
+                nack: true,
+                delay: None,
+                dup: None,
+            },
+            fault_budget: 2,
+        },
+        Litmus {
+            name: "broadcast-overflow",
+            summary: "limited-pointer entry overflows to broadcast/coarse mode mid-race",
+            clusters: 3,
+            // Block 1 is homed at cluster 1. Clusters 0 and 2 read it
+            // first (two remote sharers overflow any 1-pointer entry);
+            // the home's staged write then fans out through whatever
+            // overflowed representation resulted — it must reach every
+            // sharer. The duplicate edge re-sends a read request so
+            // at-most-once directory recording is exercised too.
+            programs: vec![
+                vec![Read(a(1))],
+                vec![Compute(150), Write(a(1))],
+                vec![Read(a(1)), Read(a(1))],
+            ],
+            faults: FaultEdges {
+                nack: false,
+                delay: None,
+                dup: Some(9),
+            },
+            fault_budget: 1,
+        },
+    ]
+}
+
+/// Every scheme × organization combination the corpus is checked under:
+/// dense (full-vector), 1-pointer broadcast / no-broadcast / superset,
+/// coarse-vector — each over a complete and a deliberately tiny sparse
+/// directory — plus the overflow organization (which fixes its own
+/// pointer scheme).
+pub fn scenarios() -> Vec<Scenario> {
+    let schemes: [(&str, Scheme); 5] = [
+        ("dense", Scheme::FullVector),
+        ("dir1b", Scheme::dir_b(1)),
+        ("dir1nb", Scheme::dir_nb(1)),
+        ("dir1x", Scheme::dir_x(1)),
+        ("dir1cv2", Scheme::dir_cv(1, 2)),
+    ];
+    let orgs: [(&str, Organization); 2] = [
+        ("complete", Organization::Complete),
+        (
+            "sparse",
+            Organization::Sparse {
+                entries: 4,
+                ways: 2,
+                policy: Replacement::Lru,
+            },
+        ),
+    ];
+    let mut out = Vec::new();
+    for (sn, scheme) in schemes {
+        for (on, org) in &orgs {
+            out.push(Scenario {
+                label: format!("{sn}/{on}"),
+                scheme,
+                organization: org.clone(),
+            });
+        }
+    }
+    out.push(Scenario {
+        label: "dir1nb/overflow".to_string(),
+        scheme: Scheme::dir_nb(1),
+        organization: Organization::Overflow {
+            i: 1,
+            wide_entries: 2,
+            wide_ways: 1,
+            policy: Replacement::Lru,
+        },
+    });
+    out
+}
+
+/// Looks up corpus entries by name (`all` selects the whole corpus).
+pub fn select(names: &str) -> Result<Vec<Litmus>, String> {
+    let all = corpus();
+    if names == "all" {
+        return Ok(all);
+    }
+    let mut out = Vec::new();
+    for want in names.split(',') {
+        let want = want.trim();
+        match all.iter().find(|l| l.name == want) {
+            Some(l) => out.push(l.clone()),
+            None => {
+                return Err(format!(
+                    "unknown litmus `{want}` (known: {})",
+                    all.iter()
+                        .map(|l| l.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl Litmus {
+    /// Builds a machine running this litmus under `scenario`, optionally
+    /// mutated and/or trace-enabled (for counterexample emission).
+    pub fn build(
+        &self,
+        scenario: &Scenario,
+        mutation: Option<Mutation>,
+        trace: bool,
+    ) -> Machine {
+        let mut cfg = MachineConfig::tiny(self.clusters);
+        match &scenario.organization {
+            &Organization::Overflow {
+                i,
+                wide_entries,
+                wide_ways,
+                policy,
+            } => {
+                cfg = cfg.with_overflow(i, wide_entries, wide_ways, policy);
+            }
+            org => {
+                cfg.scheme = scenario.scheme;
+                cfg.organization = org.clone();
+            }
+        }
+        if trace {
+            cfg = cfg.with_trace(TraceConfig::full(16 * 1024));
+        }
+        let programs: Vec<Box<dyn ThreadProgram>> = self
+            .programs
+            .iter()
+            .map(|ops| Box::new(ScriptProgram::new(ops.clone())) as Box<dyn ThreadProgram>)
+            .collect();
+        let mut m = Machine::new(cfg, programs);
+        if let Some(mu) = mutation {
+            m.arm_mutation(mu);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_names_are_unique_and_selectable() {
+        let all = corpus();
+        for l in &all {
+            let got = select(l.name).unwrap();
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].name, l.name);
+            assert_eq!(l.programs.len(), l.clusters, "{}: one program per cluster", l.name);
+        }
+        assert_eq!(select("all").unwrap().len(), all.len());
+        assert!(select("no-such-test").is_err());
+    }
+
+    #[test]
+    fn scenario_matrix_covers_schemes_and_orgs() {
+        let s = scenarios();
+        assert_eq!(s.len(), 11);
+        assert!(s.iter().any(|x| x.label == "dense/complete"));
+        assert!(s.iter().any(|x| x.label == "dir1cv2/sparse"));
+        assert!(s.iter().any(|x| x.label.ends_with("/overflow")));
+    }
+
+    #[test]
+    fn litmus_machines_run_clean_on_the_default_path() {
+        // Every (litmus, scenario) pair must at minimum survive the
+        // deterministic (non-exploring) run with invariants on.
+        for l in corpus() {
+            for sc in scenarios() {
+                let mut m = l.build(&sc, None, false);
+                if let Err(e) = m.try_run() {
+                    panic!("{} under {}: {e}", l.name, sc.label);
+                }
+            }
+        }
+    }
+}

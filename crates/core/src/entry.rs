@@ -44,7 +44,7 @@ pub enum AddSharer {
 
 /// Inline fixed-capacity pointer array (FIFO order preserved for the
 /// `Dir_i NB` oldest-victim policy).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 struct Pointers {
     slots: [NodeId; MAX_POINTERS],
     len: u8,
@@ -101,7 +101,7 @@ impl Pointers {
 
 /// Sharer-set representation; which variants are reachable depends on the
 /// scheme.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 enum Repr {
     /// Precise bit vector (`Dir_N` only).
     Full(NodeSet),
@@ -117,7 +117,11 @@ enum Repr {
 }
 
 /// A directory entry: dirty bit + sharer representation for one memory block.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `Hash` covers the full observable state (dirty bit, representation,
+/// rotation counter), so model-checking state digests can hash entries
+/// directly.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct DirEntry {
     scheme: Scheme,
     /// Number of clusters in the machine.

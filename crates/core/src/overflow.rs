@@ -60,6 +60,7 @@ pub struct OverflowStats {
 
 /// One home node's overflow directory: per-block small entries plus a wide
 /// overflow cache.
+#[derive(Clone)]
 pub struct OverflowDirectory {
     small_scheme: Scheme,
     clusters: usize,
@@ -227,6 +228,26 @@ impl OverflowDirectory {
     /// broadcast/mode bits — plus dirty and a promoted flag).
     pub fn small_bits_per_block(i: usize, clusters: usize) -> usize {
         i * ptr_bits(clusters) + 1 /* dirty */ + 1 /* promoted */
+    }
+
+    /// Hashes the protocol-visible state (small entries in key order, then
+    /// the wide cache via [`SparseDirectory::fingerprint`]) into `h` for
+    /// model-checking state digests; promotion/demotion counters excluded.
+    pub fn fingerprint<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        let mut keys: Vec<u64> = self
+            .small
+            .iter()
+            .filter(|(_, e)| !e.is_empty())
+            .map(|(&k, _)| k)
+            .collect();
+        keys.sort_unstable();
+        for k in keys {
+            k.hash(h);
+            self.small[&k].hash(h);
+        }
+        0xa3u8.hash(h); // section separator
+        self.wide.fingerprint(h);
     }
 }
 

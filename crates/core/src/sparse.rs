@@ -83,6 +83,7 @@ pub enum Allocation<'a> {
 /// block indices). Indexing is `key % num_sets` — tags in a real sparse
 /// directory are only a few bits because it holds a large fraction of memory
 /// blocks (paper §4.2).
+#[derive(Clone)]
 pub struct SparseDirectory {
     scheme: Scheme,
     clusters: usize,
@@ -331,6 +332,47 @@ impl SparseDirectory {
             .iter()
             .filter(|s| s.valid && !s.entry.is_empty())
             .count()
+    }
+
+    /// Hashes the directory's protocol-visible state into `h` for
+    /// model-checking state digests.
+    ///
+    /// Slot *position* is hashed (set/way placement determines future
+    /// victims), but absolute `last_use` / `allocated` times are reduced to
+    /// their rank within the set: victim selection only ever compares these
+    /// times against each other inside one set, so two states whose
+    /// recency *orders* agree behave identically even if the clocks differ.
+    /// The hit/replacement counters are excluded; `rng_state` is included
+    /// because the random policy's future choices depend on it.
+    pub fn fingerprint<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        let rank_of = |times: &[u64], t: u64| times.iter().filter(|&&x| x < t).count();
+        for set in 0..self.sets {
+            let range = set * self.ways..(set + 1) * self.ways;
+            let uses: Vec<u64> = self.slots[range.clone()]
+                .iter()
+                .filter(|s| s.valid)
+                .map(|s| s.last_use)
+                .collect();
+            let allocs: Vec<u64> = self.slots[range.clone()]
+                .iter()
+                .filter(|s| s.valid)
+                .map(|s| s.allocated)
+                .collect();
+            for (way, slot) in self.slots[range].iter().enumerate() {
+                if !slot.valid {
+                    (way, false).hash(h);
+                    continue;
+                }
+                (way, true, slot.key).hash(h);
+                slot.entry.hash(h);
+                rank_of(&uses, slot.last_use).hash(h);
+                rank_of(&allocs, slot.allocated).hash(h);
+            }
+        }
+        if self.policy == Replacement::Random {
+            self.rng_state.hash(h);
+        }
     }
 }
 

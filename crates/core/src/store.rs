@@ -92,12 +92,14 @@ pub enum EntryAccess<'a> {
 }
 
 /// Directory storage for one home node.
+#[derive(Clone)]
 pub struct DirectoryStore {
     scheme: Scheme,
     clusters: usize,
     backing: Backing,
 }
 
+#[derive(Clone)]
 enum Backing {
     Complete(HashMap<u64, DirEntry>),
     Sparse(SparseDirectory),
@@ -291,6 +293,39 @@ impl DirectoryStore {
             Backing::Complete(map) => map.values().filter(|e| !e.is_empty()).count(),
             Backing::Sparse(sd) => sd.live_entries(),
             Backing::Overflow(od) => od.live_entries(),
+        }
+    }
+
+    /// Hashes the directory's protocol-visible state into `h` in a
+    /// canonical order for model-checking state digests. Empty entries of a
+    /// complete directory hash like absent ones, so lazily-materialized and
+    /// never-touched blocks are indistinguishable; sparse/overflow backings
+    /// additionally canonicalize their recency bookkeeping (see
+    /// [`SparseDirectory::fingerprint`]).
+    pub fn fingerprint<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        match &self.backing {
+            Backing::Complete(map) => {
+                0u8.hash(h);
+                let mut keys: Vec<u64> = map
+                    .iter()
+                    .filter(|(_, e)| !e.is_empty())
+                    .map(|(&k, _)| k)
+                    .collect();
+                keys.sort_unstable();
+                for k in keys {
+                    k.hash(h);
+                    map[&k].hash(h);
+                }
+            }
+            Backing::Sparse(sd) => {
+                1u8.hash(h);
+                sd.fingerprint(h);
+            }
+            Backing::Overflow(od) => {
+                2u8.hash(h);
+                od.fingerprint(h);
+            }
         }
     }
 }

@@ -1,23 +1,87 @@
-//! Coherence invariant verification on a quiescent machine.
+//! Coherence invariant verification.
 //!
-//! After a run drains (no processors running, no messages in flight), the
-//! following must hold for every block cached anywhere:
+//! Two entry points:
 //!
-//! 1. **Single writer**: at most one cluster holds the block dirty.
-//! 2. **Owner tracking**: if a *non-home* cluster holds the block dirty,
-//!    the home directory entry is dirty and names that cluster as owner.
-//! 3. **Superset tracking**: every non-home cluster holding any copy is
-//!    covered by the home entry's sharer superset (stale coverage of
-//!    silently-evicted copies is allowed; *missing* coverage never is).
-//! 4. No home block is left busy, and the home cluster itself is never
-//!    recorded in its own directory.
+//! * [`verify_quiescent`] — after a run drains (no processors running, no
+//!   messages in flight), the following must hold for every block cached
+//!   anywhere:
+//!
+//!   1. **Single writer**: at most one cluster holds the block dirty.
+//!   2. **Owner tracking**: if a *non-home* cluster holds the block dirty,
+//!      the home directory entry is dirty and names that cluster as owner.
+//!   3. **Superset tracking**: every non-home cluster holding any copy is
+//!      covered by the home entry's sharer superset (stale coverage of
+//!      silently-evicted copies is allowed; *missing* coverage never is).
+//!   4. No home block is left busy, and the home cluster itself is never
+//!      recorded in its own directory.
+//!
+//! * [`verify_step`] — the subset that holds at *every* reachable state,
+//!   transient ones included, which the exploration API checks after each
+//!   transition: at most one dirty holder, and a dirty copy is exclusive
+//!   machine-wide. (Directory agreement is deliberately *not* checked
+//!   mid-flight: entries legitimately lead or trail the caches while
+//!   requests, invalidations, and writebacks are in the air.)
+//!
+//! Violations are reported as a structured [`Violation`] carrying the
+//! offending cluster and block so tooling — `scd-check` counterexamples,
+//! post-mortems — can locate the fault without parsing prose.
 
 use scd_mem::LineState;
 
 use crate::machine::Machine;
 
-/// Verifies the invariants; returns a description of the first violation.
-pub fn verify_quiescent(machine: &Machine) -> Result<(), String> {
+/// One invariant violation, locating the fault when known.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The offending cluster, when the invariant is about one cluster.
+    pub cluster: Option<usize>,
+    /// The offending block address, when the invariant is about one block.
+    pub block: Option<u64>,
+    /// Human-readable description of what went wrong.
+    pub detail: String,
+}
+
+impl Violation {
+    fn for_cluster(cluster: usize, detail: String) -> Self {
+        Violation {
+            cluster: Some(cluster),
+            block: None,
+            detail,
+        }
+    }
+
+    fn for_block(block: u64, detail: String) -> Self {
+        Violation {
+            cluster: None,
+            block: Some(block),
+            detail,
+        }
+    }
+
+    fn locate(cluster: usize, block: u64, detail: String) -> Self {
+        Violation {
+            cluster: Some(cluster),
+            block: Some(block),
+            detail,
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.cluster, self.block) {
+            (Some(c), Some(b)) => write!(f, "cluster {c}, block {b}: {}", self.detail),
+            (Some(c), None) => write!(f, "cluster {c}: {}", self.detail),
+            (None, Some(b)) => write!(f, "block {b}: {}", self.detail),
+            (None, None) => f.write_str(&self.detail),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Verifies the quiescent invariants; returns the first violation found.
+pub fn verify_quiescent(machine: &Machine) -> Result<(), Violation> {
     let (cfg, views) = machine.checker_view();
 
     // Gather machine-wide residency: block -> (dirty holders, all holders).
@@ -35,17 +99,25 @@ pub fn verify_quiescent(machine: &Machine) -> Result<(), String> {
 
     for (cl, (_, _, ser)) in views.iter().enumerate() {
         if ser.busy_blocks() != 0 {
-            return Err(format!(
-                "cluster {cl} still has {} busy blocks after quiesce",
-                ser.busy_blocks()
+            return Err(Violation::for_cluster(
+                cl,
+                format!(
+                    "still has {} busy blocks after quiesce",
+                    ser.busy_blocks()
+                ),
             ));
         }
     }
 
-    for (&block, (dirty, holders)) in &residency {
+    // Deterministic reporting order, independent of hash-map iteration.
+    let mut blocks: Vec<u64> = residency.keys().copied().collect();
+    blocks.sort_unstable();
+    for block in blocks {
+        let (dirty, holders) = &residency[&block];
         if dirty.len() > 1 {
-            return Err(format!(
-                "block {block}: multiple dirty holders {dirty:?}"
+            return Err(Violation::for_block(
+                block,
+                format!("multiple dirty holders {dirty:?}"),
             ));
         }
         let home = cfg.home_of(block);
@@ -58,8 +130,10 @@ pub fn verify_quiescent(machine: &Machine) -> Result<(), String> {
             // incidentally, which is fine (the home strips itself from
             // invalidation targets).
             if e.is_precise() && e.covers(home as u16) {
-                return Err(format!(
-                    "block {block}: home cluster {home} recorded in its own directory"
+                return Err(Violation::locate(
+                    home,
+                    block,
+                    format!("home cluster {home} recorded in its own directory"),
                 ));
             }
         }
@@ -68,16 +142,22 @@ pub fn verify_quiescent(machine: &Machine) -> Result<(), String> {
             if owner != home {
                 match entry {
                     None => {
-                        return Err(format!(
-                            "block {block}: cluster {owner} dirty but home {home} has no entry"
+                        return Err(Violation::locate(
+                            owner,
+                            block,
+                            format!("cluster {owner} dirty but home {home} has no entry"),
                         ));
                     }
                     Some(e) => {
                         if !e.is_dirty() || e.owner() != Some(owner as u16) {
-                            return Err(format!(
-                                "block {block}: cluster {owner} dirty but entry says {:?}/{:?}",
-                                e.state(),
-                                e.owner()
+                            return Err(Violation::locate(
+                                owner,
+                                block,
+                                format!(
+                                    "cluster {owner} dirty but entry says {:?}/{:?}",
+                                    e.state(),
+                                    e.owner()
+                                ),
                             ));
                         }
                     }
@@ -91,19 +171,71 @@ pub fn verify_quiescent(machine: &Machine) -> Result<(), String> {
             }
             match entry {
                 None => {
-                    return Err(format!(
-                        "block {block}: cluster {h} holds a copy but home {home} has no entry"
+                    return Err(Violation::locate(
+                        h,
+                        block,
+                        format!("cluster {h} holds a copy but home {home} has no entry"),
                     ));
                 }
                 Some(e) => {
                     if !e.covers(h as u16) {
-                        return Err(format!(
-                            "block {block}: cluster {h} holds a copy not covered by the entry \
-                             (superset {:?})",
-                            e.sharer_superset()
+                        return Err(Violation::locate(
+                            h,
+                            block,
+                            format!(
+                                "cluster {h} holds a copy not covered by the entry \
+                                 (superset {:?})",
+                                e.sharer_superset()
+                            ),
                         ));
                     }
                 }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verifies the every-state invariants: at most one dirty holder per block,
+/// and a dirty copy is exclusive (no other cluster caches the block at
+/// all). Safe to call at any point during a run or exploration.
+pub fn verify_step(machine: &Machine) -> Result<(), Violation> {
+    let (_, views) = machine.checker_view();
+
+    let mut residency: std::collections::HashMap<u64, (Vec<usize>, Vec<usize>)> =
+        std::collections::HashMap::new();
+    for (cl, (resident, _, _)) in views.iter().enumerate() {
+        for (&block, &state) in resident {
+            let e = residency.entry(block).or_default();
+            if state == LineState::Dirty {
+                e.0.push(cl);
+            }
+            e.1.push(cl);
+        }
+    }
+
+    let mut blocks: Vec<u64> = residency.keys().copied().collect();
+    blocks.sort_unstable();
+    for block in blocks {
+        let (dirty, holders) = &residency[&block];
+        if dirty.len() > 1 {
+            return Err(Violation::for_block(
+                block,
+                format!("multiple dirty holders {dirty:?}"),
+            ));
+        }
+        if let Some(&owner) = dirty.first() {
+            if holders.len() > 1 {
+                let others: Vec<usize> =
+                    holders.iter().copied().filter(|&h| h != owner).collect();
+                return Err(Violation::locate(
+                    owner,
+                    block,
+                    format!(
+                        "cluster {owner} holds the block dirty while clusters {others:?} \
+                         still hold copies (dirty implies exclusive)"
+                    ),
+                ));
             }
         }
     }

@@ -29,7 +29,9 @@ pub mod error;
 pub mod machine;
 pub mod stats;
 
+pub use checker::Violation;
 pub use config::{MachineConfig, Timing};
 pub use error::{PostMortem, SimError};
+pub use machine::explore::{Choice, FaultEdges, Mutation};
 pub use machine::Machine;
 pub use stats::{FaultCounters, RunStats};

@@ -51,6 +51,8 @@ use crate::config::MachineConfig;
 use crate::error::{BlockedProc, ClusterDiag, PostMortem, SimError};
 use crate::stats::{FaultCounters, ProtocolCounters, RunStats, StallBreakdown};
 
+pub mod explore;
+
 /// Simulator events. The hot variant, `Deliver`, carries an 8-byte
 /// [`MsgRef`] into the message arena rather than the ~40-byte [`Msg`]
 /// itself, so the event queue's ring buckets shuffle two words per event.
@@ -99,7 +101,7 @@ enum EvLog {
 /// Per-cluster lock bookkeeping: which local processor holds the lock,
 /// which are queued behind it, and whether the cluster has a request
 /// outstanding at the lock's home.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct ClusterLock {
     holder: Option<usize>,
     waiters: std::collections::VecDeque<usize>,
@@ -107,6 +109,7 @@ struct ClusterLock {
 }
 
 /// One processing node.
+#[derive(Clone)]
 struct ClusterNode {
     caches: ClusterCaches,
     dir: scd_core::DirectoryStore,
@@ -154,6 +157,24 @@ struct ProcState {
     finish: Cycle,
 }
 
+impl Clone for ProcState {
+    /// Clones via [`ThreadProgram::fork`] — the one field a derive cannot
+    /// copy. This is what lets a whole [`Machine`] be cloned for
+    /// exploration branching.
+    fn clone(&self) -> Self {
+        ProcState {
+            program: self.program.fork(),
+            pending: self.pending,
+            status: self.status,
+            blocked_since: self.blocked_since,
+            blocked_on_sync: self.blocked_on_sync,
+            mem_stall: self.mem_stall,
+            sync_stall: self.sync_stall,
+            finish: self.finish,
+        }
+    }
+}
+
 /// Result of the home directory's decision for one request (plain data, so
 /// the caller can send messages without fighting the borrow checker).
 enum DirAction {
@@ -174,6 +195,7 @@ struct ReplacementWork {
 /// One in-flight traced coherence transaction. Keyed by (requester
 /// cluster, block), which is unique because the RAC holds one MSHR per
 /// cluster/block pair; merged waiters join the existing transaction.
+#[derive(Clone)]
 struct TxnLive {
     id: u64,
     issue: Cycle,
@@ -185,7 +207,7 @@ struct TxnLive {
 
 /// Counter baselines at the last interval boundary, so each
 /// [`IntervalSnapshot`] reports per-window deltas.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct IntervalBase {
     messages: u64,
     retries: u64,
@@ -202,6 +224,11 @@ pub(crate) type ClusterView<'a> = (
 );
 
 /// A configured DASH machine ready to run a workload.
+///
+/// `Clone` produces an independent machine mid-run (thread programs are
+/// forked at their current position) — the substrate of the model
+/// checker's state branching; see [`explore`](crate::machine::explore).
+#[derive(Clone)]
 pub struct Machine {
     cfg: MachineConfig,
     queue: EventQueue<Ev>,
@@ -262,6 +289,9 @@ pub struct Machine {
     interval_start: Cycle,
     /// Counter baselines at the last interval boundary.
     interval_base: IntervalBase,
+    /// Armed test-only protocol mutation (see [`explore::Mutation`]); used
+    /// to validate that the model checker actually catches protocol bugs.
+    mutation: Option<explore::Mutation>,
 }
 
 impl Machine {
@@ -364,6 +394,7 @@ impl Machine {
             metrics: MetricsRegistry::new(),
             txn_live: HashMap::new(),
             txn_next: 0,
+            mutation: None,
             cfg,
         }
     }
@@ -846,10 +877,29 @@ impl Machine {
     /// [`SimError`] — carrying a [`PostMortem`] of the stuck machine —
     /// instead of panicking when the run cannot complete.
     pub fn try_run(&mut self) -> Result<RunStats, SimError> {
+        self.start();
+        while let Some((t, ev)) = self.queue.pop() {
+            self.process_event(t, ev)?;
+        }
+        self.finalize()
+    }
+
+    /// Seeds the event queue with every processor's first fetch. Separated
+    /// from [`Machine::try_run`] so the exploration API can drive the same
+    /// machine one chosen event at a time.
+    fn start(&mut self) {
         for p in 0..self.procs.len() {
             self.queue.schedule_at(0, Ev::ProcNext(p));
         }
-        while let Some((t, ev)) = self.queue.pop() {
+    }
+
+    /// Processes one popped event: runaway/watchdog guards, event-log
+    /// recording, and dispatch to the processor/protocol handlers. This is
+    /// the entire body of the run loop; [`Machine::try_run`] and the
+    /// exploration stepper share it so a checked interleaving exercises
+    /// exactly the code a production run does.
+    fn process_event(&mut self, t: Cycle, ev: Ev) -> Result<(), SimError> {
+        {
             if self.cfg.max_cycles > 0 && t > self.cfg.max_cycles {
                 let detail = format!(
                     "exceeded max_cycles={} ({} procs still running)",
@@ -898,7 +948,7 @@ impl Machine {
             match ev {
                 EvLog::ProcNext(p) => {
                     if self.procs[p].status == ProcStatus::Done {
-                        continue;
+                        return Ok(());
                     }
                     // Fetching the next operation means the previous one
                     // retired: forward progress for the watchdog.
@@ -943,6 +993,13 @@ impl Machine {
                 // and invariants can be checked.
             }
         }
+        Ok(())
+    }
+
+    /// Post-drain validation: every processor retired, no leaked arena
+    /// payloads, and (when configured) the quiescent coherence invariants.
+    /// Shared by [`Machine::try_run`] and the exploration API's leaf check.
+    fn finalize(&mut self) -> Result<RunStats, SimError> {
         if self.running != 0 {
             let detail = format!(
                 "{} processors blocked with an empty event queue",
@@ -967,7 +1024,7 @@ impl Machine {
         if self.cfg.check_invariants {
             if let Err(e) = crate::checker::verify_quiescent(self) {
                 return Err(SimError::InvariantViolation(
-                    self.post_mortem(self.queue.now(), e),
+                    self.post_mortem(self.queue.now(), e.to_string()),
                 ));
             }
         }
@@ -2020,17 +2077,28 @@ impl Machine {
                         .ser
                         .mark_busy(block, BusyReason::AwaitHomeWrite);
                 }
-                let n = inval_targets.len() as u32;
-                inval_targets.for_each_member(|c| {
+                let mut members: Vec<usize> = Vec::new();
+                inval_targets.for_each_member(|c| members.push(c as usize));
+                if self.mutation == Some(explore::Mutation::SkipInval) {
+                    // Test-only protocol bug: silently forget one sharer.
+                    // The ack count is lowered to match so the write still
+                    // completes — leaving a coherence violation (a stale
+                    // copy outliving the new ownership epoch) rather than a
+                    // deadlock, which is the class of bug the model checker
+                    // exists to catch.
+                    members.pop();
+                }
+                let n = members.len() as u32;
+                for c in members {
                     self.send(
                         t + tm.bus_memory,
                         Msg {
                             src: home,
-                            dst: c as usize,
+                            dst: c,
                             kind: MsgKind::Inval { block, requester },
                         },
                     );
-                });
+                }
                 self.send(
                     t + tm.bus_memory,
                     Msg {

@@ -1,0 +1,433 @@
+//! Bounded-step exploration of a [`Machine`]: the substrate `scd-check`
+//! builds its exhaustive model checker on.
+//!
+//! A normal run ([`Machine::try_run`]) pops events in deterministic
+//! `(time, schedule-order)` sequence. The physical machine, however, only
+//! guarantees that order *per (src, dst) channel* — events that fall on
+//! the same cycle on different channels (or processor-local events) are
+//! races the protocol must tolerate in any order. Exploration makes that
+//! nondeterminism explicit:
+//!
+//! * [`Machine::exploration_choices`] enumerates the legal next
+//!   transitions out of the current state: every ready-set event whose
+//!   delivery would not overtake an earlier same-cycle message on its own
+//!   FIFO channel, plus — when enabled — *fault edges* mirroring the
+//!   random fault modes of `scd-noc`'s `FaultPlan` (NACK a coherence
+//!   request, delay it, duplicate a read request) as explicit branches.
+//! * [`Machine::step_explore`] takes one of those choices, running the
+//!   exact event-processing code a production run uses.
+//! * [`Machine::state_digest`] canonically fingerprints the reached state
+//!   (metrics excluded, times made relative) so a checker can deduplicate
+//!   states across interleavings.
+//! * `Machine: Clone` (thread programs fork at their current position)
+//!   provides the branching itself.
+//!
+//! The digest's time-relativity assumes latencies depend only on the
+//! (src, dst) pair. Under link contention (`cfg.link_occupancy`) the
+//! network carries absolute busy times, so the digest then includes the
+//! current cycle — merging is suppressed rather than made unsound.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+use scd_protocol::{Msg, MsgKind};
+use scd_sim::Cycle;
+
+use super::{Ev, EvLog, Machine, ProcStatus};
+use crate::error::SimError;
+use crate::stats::RunStats;
+
+/// Intentional protocol mutations, armed via [`Machine::arm_mutation`].
+///
+/// These exist to validate the *checker*: a mutated machine must produce a
+/// counterexample. They are test-only in purpose but live in the public
+/// API so `scd-check --mutate` can reach them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// On every write fan-out, skip one invalidation target *and* lower
+    /// the acknowledgement count to match. The write completes normally,
+    /// leaving a stale shared copy that outlives the new ownership epoch —
+    /// a silent coherence violation (not a deadlock), exactly the class of
+    /// bug only an invariant checker can see.
+    SkipInval,
+}
+
+/// Which fault edges [`Machine::exploration_choices`] enumerates, mirroring
+/// the modes of `scd_noc::FaultPlan` as nondeterministic transitions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultEdges {
+    /// NACK coherence requests at delivery (plan: `nack_prob`).
+    pub nack: bool,
+    /// Delay a coherence request by this many cycles (plan: `reorder`
+    /// jitter, which is channel-clamp-exempt). `None` disables.
+    pub delay: Option<u64>,
+    /// Duplicate a read request, the copy arriving this many cycles later
+    /// (plan: `dup_prob`). `None` disables.
+    pub dup: Option<u64>,
+}
+
+impl FaultEdges {
+    /// No fault edges: explore only delivery-order nondeterminism.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True if any fault edge is enabled.
+    pub fn any(&self) -> bool {
+        self.nack || self.delay.is_some() || self.dup.is_some()
+    }
+}
+
+/// One enabled transition out of the current state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Choice {
+    /// Deliver the `idx`-th ready-set event normally.
+    Ready {
+        /// Index into the current ready set (FIFO order).
+        idx: usize,
+    },
+    /// Refuse the `idx`-th ready-set event — a coherence request — with a
+    /// NACK, exactly as the fault plan's `nack_prob` mode would.
+    Nack {
+        /// Index into the current ready set.
+        idx: usize,
+    },
+    /// Push the `idx`-th ready-set event (a coherence request) `delta`
+    /// cycles into the future instead of delivering it.
+    Delay {
+        /// Index into the current ready set.
+        idx: usize,
+        /// Cycles of added latency.
+        delta: u64,
+    },
+    /// Deliver the `idx`-th ready-set event (a read request) *and*
+    /// schedule an identical duplicate `gap` cycles later.
+    Dup {
+        /// Index into the current ready set.
+        idx: usize,
+        /// Cycles until the duplicate arrives.
+        gap: u64,
+    },
+}
+
+impl Choice {
+    /// The ready-set index this choice acts on.
+    pub fn idx(&self) -> usize {
+        match *self {
+            Choice::Ready { idx }
+            | Choice::Nack { idx }
+            | Choice::Delay { idx, .. }
+            | Choice::Dup { idx, .. } => idx,
+        }
+    }
+
+    /// Whether this choice is a fault edge (costs fault budget).
+    pub fn is_fault(&self) -> bool {
+        !matches!(self, Choice::Ready { .. })
+    }
+}
+
+/// True for the message kinds the fault model may NACK or delay: plain
+/// coherence requests, which the protocol absorbs via serializer queueing
+/// and RAC retry. Everything else (replies, invalidations, acks, forwards)
+/// rides ordering assumptions that faults must not break — mirroring
+/// `Machine::faulty_schedule`.
+fn is_coherence_request(kind: MsgKind) -> bool {
+    matches!(kind, MsgKind::ReadReq { .. } | MsgKind::WriteReq { .. })
+}
+
+impl Machine {
+    /// Arms a deliberate protocol bug (see [`Mutation`]). Survives
+    /// cloning, so every explored branch carries the mutation.
+    pub fn arm_mutation(&mut self, m: Mutation) {
+        self.mutation = Some(m);
+    }
+
+    /// Seeds the event queue with each processor's first fetch, as
+    /// [`Machine::try_run`] would. Call once before stepping.
+    pub fn begin_exploration(&mut self) {
+        self.start();
+    }
+
+    /// Switches the machine into fault-tolerant delivery mode — stray
+    /// replies dropped at the RAC, requests from a recorded owner NACKed
+    /// instead of parked — exactly as a configured `FaultPlan` would,
+    /// but without any random injection. Explorers MUST call this before
+    /// stepping when fault edges are enabled: the tolerance paths are the
+    /// protocol's contract for absorbing NACKed, delayed, and duplicated
+    /// requests, and without them an injected duplicate's second reply is
+    /// (correctly) reported as a protocol violation.
+    pub fn tolerate_faults(&mut self) {
+        self.fault_active = true;
+    }
+
+    /// True when no events are pending — the state is a leaf; validate it
+    /// with [`Machine::finalize_exploration`].
+    pub fn exploration_done(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The current simulation cycle.
+    pub fn now(&self) -> Cycle {
+        self.queue.now()
+    }
+
+    /// Enumerates the legal transitions out of the current state.
+    ///
+    /// All ready-set (earliest-cycle) events are candidates, except that
+    /// among same-channel `Deliver`s only the *first* is enabled — a
+    /// (src, dst) channel is FIFO, so delivering a later message first
+    /// would model a reordering the interconnect guarantees away. Fault
+    /// edges per `faults` ride on deliverable coherence requests.
+    ///
+    /// An empty result means the state is a leaf (see
+    /// [`Machine::exploration_done`]).
+    pub fn exploration_choices(&mut self, faults: &FaultEdges) -> Vec<Choice> {
+        let ready: Vec<Ev> = match self.queue.ready_set() {
+            Some((_, evs)) => evs.into_iter().copied().collect(),
+            None => return Vec::new(),
+        };
+        let mut seen_channels: HashSet<(usize, usize)> = HashSet::new();
+        let mut out = Vec::new();
+        for (idx, ev) in ready.iter().enumerate() {
+            let Ev::Deliver(r) = ev else {
+                out.push(Choice::Ready { idx });
+                continue;
+            };
+            let Some(&msg) = self.arena.get(*r) else {
+                // Stale handle: let `step_explore` surface the invariant
+                // violation through the normal path.
+                out.push(Choice::Ready { idx });
+                continue;
+            };
+            if !seen_channels.insert((msg.src, msg.dst)) {
+                continue; // blocked behind an earlier same-channel message
+            }
+            out.push(Choice::Ready { idx });
+            if is_coherence_request(msg.kind) && msg.src != msg.dst {
+                if faults.nack {
+                    out.push(Choice::Nack { idx });
+                }
+                if let Some(delta) = faults.delay {
+                    out.push(Choice::Delay { idx, delta });
+                }
+                if let Some(gap) = faults.dup {
+                    if matches!(msg.kind, MsgKind::ReadReq { .. }) {
+                        out.push(Choice::Dup { idx, gap });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a choice for counterexample listings, resolving message
+    /// payloads. Must be called *before* stepping the choice.
+    pub fn describe_choice(&mut self, choice: Choice) -> String {
+        let ev = self
+            .queue
+            .ready_set()
+            .and_then(|(_, evs)| evs.get(choice.idx()).map(|e| **e));
+        let rendered = match ev {
+            Some(Ev::Deliver(r)) => match self.arena.get(r) {
+                Some(msg) => format!("{msg:?}"),
+                None => format!("stale handle {r:?}"),
+            },
+            Some(other) => format!("{other:?}"),
+            None => "out-of-range".to_string(),
+        };
+        match choice {
+            Choice::Ready { .. } => rendered,
+            Choice::Nack { .. } => format!("NACK {rendered}"),
+            Choice::Delay { delta, .. } => format!("DELAY+{delta} {rendered}"),
+            Choice::Dup { gap, .. } => format!("DUP+{gap} {rendered}"),
+        }
+    }
+
+    /// Takes one transition: pops the chosen ready event and either
+    /// processes it (through the exact code path [`Machine::try_run`]
+    /// uses) or applies the fault edge.
+    ///
+    /// # Panics
+    /// If `choice` does not name a currently-enabled transition (an
+    /// explorer bug, not a machine state) — including fault edges on
+    /// non-request events. May also propagate protocol panics (version
+    /// oracle, internal asserts); explorers catch those as violations.
+    pub fn step_explore(&mut self, choice: Choice) -> Result<(), SimError> {
+        let (t, ev) = self
+            .queue
+            .pop_ready(choice.idx())
+            .expect("exploration choice out of range");
+        match choice {
+            Choice::Ready { .. } => self.process_event(t, ev),
+            Choice::Nack { .. } => {
+                let Ev::Deliver(r) = ev else {
+                    panic!("NACK edge on non-delivery event {ev:?}");
+                };
+                let msg = self.arena.take(r).expect("NACK edge on stale handle");
+                let (block, was_write) = match msg.kind {
+                    MsgKind::ReadReq { block } => (block, false),
+                    MsgKind::WriteReq { block } => (block, true),
+                    k => panic!("NACK edge on non-request {k:?}"),
+                };
+                // Mirror the fault plan's NACK: refused at delivery, no
+                // home state touched, requester backs off and retries.
+                self.event_log.push((t, EvLog::Deliver(msg)));
+                self.faults.nacks += 1;
+                self.send(
+                    t + self.cfg.timing.dir_lookup,
+                    Msg {
+                        src: msg.dst,
+                        dst: msg.src,
+                        kind: MsgKind::Nack { block, was_write },
+                    },
+                );
+                Ok(())
+            }
+            Choice::Delay { delta, .. } => {
+                // Clamp-exempt reorder jitter: the request may now land
+                // behind traffic sent after it.
+                debug_assert!(matches!(ev, Ev::Deliver(_)));
+                self.faults.reorders += 1;
+                self.queue.schedule_at(t + delta.max(1), ev);
+                Ok(())
+            }
+            Choice::Dup { gap, .. } => {
+                let Ev::Deliver(r) = ev else {
+                    panic!("DUP edge on non-delivery event {ev:?}");
+                };
+                let msg = *self.arena.get(r).expect("DUP edge on stale handle");
+                debug_assert!(matches!(msg.kind, MsgKind::ReadReq { .. }));
+                // The duplicate gets its own arena slot: every handle is
+                // taken exactly once.
+                let dup = self.arena.alloc(msg);
+                self.queue.schedule_at(t + gap.max(1), Ev::Deliver(dup));
+                self.faults.duplicates += 1;
+                self.process_event(t, ev)
+            }
+        }
+    }
+
+    /// Leaf validation: the drained machine must have every processor
+    /// retired, an empty arena, and (when configured) pass the quiescent
+    /// coherence invariants — the same checks a production run ends with.
+    pub fn finalize_exploration(&mut self) -> Result<RunStats, SimError> {
+        self.finalize()
+    }
+
+    /// Runs the per-state coherence invariants (single writer,
+    /// dirty-implies-exclusive); see `crate::checker::verify_step`.
+    pub fn check_step_invariants(&self) -> Result<(), crate::checker::Violation> {
+        crate::checker::verify_step(self)
+    }
+
+    /// Canonical fingerprint of the machine's protocol-visible state.
+    ///
+    /// Two states with equal digests behave identically under every
+    /// future choice sequence, so a checker may explore just one of them.
+    /// Guaranteed by construction: every behavior-steering component is
+    /// hashed (pending events with payloads resolved, processor status and
+    /// program positions, caches, directories, RACs, serializers, locks,
+    /// barriers, version oracle), while run *metrics* — counters,
+    /// histograms, stall accounting, high-water marks — are excluded,
+    /// since they differ between paths that reach the same protocol state.
+    /// Event times are hashed relative to the current cycle; recency state
+    /// (cache LRU, sparse-directory replacement) is reduced to ranks.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        let now = self.queue.now();
+        // Pending events, in delivery order, payloads resolved.
+        self.queue.for_each_pending(|t, ev| {
+            (t - now).hash(&mut h);
+            match *ev {
+                Ev::ProcNext(p) => (0u8, p).hash(&mut h),
+                Ev::ProcRetry(p) => (1u8, p).hash(&mut h),
+                Ev::Replay { home, block } => (2u8, home, block).hash(&mut h),
+                Ev::Deliver(r) => match self.arena.get(r) {
+                    Some(msg) => (3u8, msg).hash(&mut h),
+                    None => 4u8.hash(&mut h),
+                },
+            }
+        });
+        0xE0u8.hash(&mut h);
+        // Processors: status, pending op, and the forkable program cursor.
+        for st in &self.procs {
+            (st.status == ProcStatus::Running, st.status == ProcStatus::Done).hash(&mut h);
+            st.pending.hash(&mut h);
+            st.blocked_on_sync.hash(&mut h);
+            st.program.cursor_digest().hash(&mut h);
+        }
+        self.running.hash(&mut h);
+        0xE1u8.hash(&mut h);
+        // Clusters: every protocol-state component.
+        for c in &self.clusters {
+            c.caches.fingerprint(&mut h);
+            c.dir.fingerprint(&mut h);
+            c.rac.fingerprint(&mut h);
+            c.ser.fingerprint(&mut h);
+            c.locks.fingerprint(&mut h);
+            c.barriers.fingerprint(&mut h);
+            let mut locks: Vec<u32> = c.lock_state.keys().copied().collect();
+            locks.sort_unstable();
+            for l in locks {
+                let ls = &c.lock_state[&l];
+                (l, ls.holder, &ls.waiters, ls.requested).hash(&mut h);
+            }
+            let mut barriers: Vec<u32> = c.barrier_local.keys().copied().collect();
+            barriers.sort_unstable();
+            for b in barriers {
+                (b, &c.barrier_local[&b]).hash(&mut h);
+            }
+            let mut chains: Vec<u64> = c.serial_chains.keys().copied().collect();
+            chains.sort_unstable();
+            for b in chains {
+                let (targets, requester, version) = &c.serial_chains[&b];
+                (b, targets, requester, version).hash(&mut h);
+            }
+            let mut versions: Vec<(u64, u64)> =
+                c.cur_version.iter().map(|(&b, &v)| (b, v)).collect();
+            versions.sort_unstable();
+            versions.hash(&mut h);
+            // Line versions only matter for blocks actually resident.
+            let resident = c.caches.cluster_resident();
+            let mut lines: Vec<(u64, u64)> = c
+                .line_version
+                .iter()
+                .filter(|(b, _)| resident.contains_key(b))
+                .map(|(&b, &v)| (b, v))
+                .collect();
+            lines.sort_unstable();
+            lines.hash(&mut h);
+            let mut epochs: Vec<(u64, u64)> =
+                c.last_owner_epoch.iter().map(|(&b, &v)| (b, v)).collect();
+            epochs.sort_unstable();
+            epochs.hash(&mut h);
+            let mut bumps: Vec<u64> = c.pending_write_bump.iter().copied().collect();
+            bumps.sort_unstable();
+            bumps.hash(&mut h);
+        }
+        0xE2u8.hash(&mut h);
+        // Version-oracle observations steer future assertions.
+        let mut observed: Vec<((usize, u64), u64)> =
+            self.observed.iter().map(|(&k, &v)| (k, v)).collect();
+        observed.sort_unstable();
+        observed.hash(&mut h);
+        // Channel clamps still in the future constrain deliveries.
+        let mut clamps: Vec<(usize, usize, u64)> = self
+            .chan_clamp
+            .iter()
+            .filter(|(_, &c)| c > now)
+            .map(|(&(s, d), &c)| (s, d, c - now))
+            .collect();
+        clamps.sort_unstable();
+        clamps.hash(&mut h);
+        self.mutation.is_some().hash(&mut h);
+        // Contention carries absolute link-busy times in the network;
+        // include the clock so states at different times never merge.
+        if self.cfg.link_occupancy.is_some() {
+            now.hash(&mut h);
+        }
+        h.finish()
+    }
+}

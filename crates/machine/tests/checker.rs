@@ -27,7 +27,7 @@ fn pristine_machine_verifies() {
 fn busy_serializer_block_is_reported() {
     let mut m = idle_machine();
     testing::mark_busy(&mut m, 2, 6);
-    let err = verify_quiescent(&m).unwrap_err();
+    let err = verify_quiescent(&m).unwrap_err().to_string();
     assert!(err.contains("busy blocks"), "{err}");
     assert!(err.contains("cluster 2"), "{err}");
 }
@@ -39,7 +39,7 @@ fn multiple_dirty_holders_are_reported() {
     testing::fill_line(&mut m, 0, 0, 2, true);
     testing::fill_line(&mut m, 1, 0, 2, true);
     testing::force_dirty_entry(&mut m, 2, 2, 0);
-    let err = verify_quiescent(&m).unwrap_err();
+    let err = verify_quiescent(&m).unwrap_err().to_string();
     assert!(err.contains("multiple dirty holders"), "{err}");
 }
 
@@ -48,7 +48,7 @@ fn dirty_copy_without_a_home_entry_is_reported() {
     let mut m = idle_machine();
     // Cluster 0 holds block 1 dirty but its home (cluster 1) lost the entry.
     testing::fill_line(&mut m, 0, 0, 1, true);
-    let err = verify_quiescent(&m).unwrap_err();
+    let err = verify_quiescent(&m).unwrap_err().to_string();
     assert!(err.contains("dirty but home 1 has no entry"), "{err}");
 }
 
@@ -58,14 +58,14 @@ fn dirty_copy_with_a_mismatched_entry_is_reported() {
     testing::fill_line(&mut m, 0, 0, 1, true);
     // The entry exists but says Shared — a downgrade the owner never saw.
     testing::force_shared_entry(&mut m, 1, 1, &[0]);
-    let err = verify_quiescent(&m).unwrap_err();
+    let err = verify_quiescent(&m).unwrap_err().to_string();
     assert!(err.contains("entry says"), "{err}");
 
     let mut m = idle_machine();
     testing::fill_line(&mut m, 0, 0, 1, true);
     // Dirty, but the recorded owner is a different cluster.
     testing::force_dirty_entry(&mut m, 1, 1, 3);
-    let err = verify_quiescent(&m).unwrap_err();
+    let err = verify_quiescent(&m).unwrap_err().to_string();
     assert!(err.contains("entry says"), "{err}");
 }
 
@@ -75,7 +75,7 @@ fn home_recorded_in_its_own_directory_is_reported() {
     testing::fill_line(&mut m, 0, 0, 1, false);
     // A precise entry must never cover its own home cluster (1).
     testing::force_shared_entry(&mut m, 1, 1, &[0, 1]);
-    let err = verify_quiescent(&m).unwrap_err();
+    let err = verify_quiescent(&m).unwrap_err().to_string();
     assert!(err.contains("recorded in its own directory"), "{err}");
 }
 
@@ -83,7 +83,7 @@ fn home_recorded_in_its_own_directory_is_reported() {
 fn shared_copy_without_a_home_entry_is_reported() {
     let mut m = idle_machine();
     testing::fill_line(&mut m, 0, 0, 1, false);
-    let err = verify_quiescent(&m).unwrap_err();
+    let err = verify_quiescent(&m).unwrap_err().to_string();
     assert!(err.contains("holds a copy but home 1 has no entry"), "{err}");
 }
 
@@ -94,7 +94,7 @@ fn uncovered_sharer_is_reported() {
     testing::fill_line(&mut m, 2, 0, 1, false);
     // The entry only covers cluster 0; cluster 2's copy is untracked.
     testing::force_shared_entry(&mut m, 1, 1, &[0]);
-    let err = verify_quiescent(&m).unwrap_err();
+    let err = verify_quiescent(&m).unwrap_err().to_string();
     assert!(err.contains("not covered"), "{err}");
     assert!(err.contains("cluster 2"), "{err}");
 }

@@ -208,6 +208,32 @@ impl Cache {
             .filter(|l| l.valid)
             .map(|l| (l.block, l.state))
     }
+
+    /// Hashes the cache's protocol-visible state into `h` for
+    /// model-checking state digests. Slot position and (block, state) are
+    /// hashed directly; absolute `last_use` times are reduced to their rank
+    /// within the set — LRU victim selection only ever compares them inside
+    /// one set, so recency *order* is the behaviorally relevant part.
+    /// Hit/miss counters are excluded.
+    pub fn fingerprint<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        for set in 0..self.sets {
+            let range = set * self.ways..(set + 1) * self.ways;
+            let uses: Vec<u64> = self.lines[range.clone()]
+                .iter()
+                .filter(|l| l.valid)
+                .map(|l| l.last_use)
+                .collect();
+            for (way, line) in self.lines[range].iter().enumerate() {
+                if !line.valid {
+                    (way, false).hash(h);
+                    continue;
+                }
+                (way, true, line.block, line.state).hash(h);
+                uses.iter().filter(|&&x| x < line.last_use).count().hash(h);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

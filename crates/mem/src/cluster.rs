@@ -142,6 +142,14 @@ impl ClusterCaches {
         }
         out
     }
+
+    /// Hashes every processor's hierarchy into `h`, in processor order,
+    /// for model-checking state digests.
+    pub fn fingerprint<H: std::hash::Hasher>(&self, h: &mut H) {
+        for hier in &self.procs {
+            hier.fingerprint(h);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -138,6 +138,13 @@ impl CacheHierarchy {
         self.l2.stats()
     }
 
+    /// Hashes both levels' protocol-visible state into `h` for
+    /// model-checking state digests (see [`Cache::fingerprint`]).
+    pub fn fingerprint<H: std::hash::Hasher>(&self, h: &mut H) {
+        self.l1.fingerprint(h);
+        self.l2.fingerprint(h);
+    }
+
     /// All blocks resident at the coherence point (L2).
     pub fn resident(&self) -> impl Iterator<Item = (Block, LineState)> + '_ {
         self.l2.resident()

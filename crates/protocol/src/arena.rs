@@ -42,6 +42,7 @@ impl MsgRef {
     }
 }
 
+#[derive(Clone)]
 struct Slot {
     /// Bumped on every free; a handle is live iff its generation matches.
     generation: u32,
@@ -51,7 +52,7 @@ struct Slot {
 
 /// A slab of in-flight messages with free-list reuse and generational
 /// use-after-free detection. See the module docs.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct MsgArena {
     slots: Vec<Slot>,
     free: Vec<u32>,

@@ -12,7 +12,7 @@ pub type Cluster = usize;
 /// Field conventions: `requester` is the cluster whose processor started the
 /// transaction (acknowledgements are sent to it, per §2: "invalidation
 /// acknowledgement messages are sent to the local cluster").
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MsgKind {
     // ----- cache -> home requests -----
     /// Read miss: local cluster asks the home for a shared copy.
@@ -289,7 +289,7 @@ impl MsgKind {
 }
 
 /// A message in flight between two clusters.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Msg {
     /// Sending cluster.
     pub src: Cluster,

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use crate::msg::Block;
 
 /// What kind of access an MSHR represents.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MshrKind {
     /// Waiting for a shared copy.
     Read,
@@ -21,7 +21,7 @@ pub enum MshrKind {
 }
 
 /// One outstanding transaction of a cluster.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct Mshr {
     /// Read or write.
     pub kind: MshrKind,
@@ -83,7 +83,7 @@ pub enum StartOutcome {
 }
 
 /// Per-cluster transaction bookkeeping.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Rac {
     outstanding: HashMap<Block, Mshr>,
     /// Home-side: flush acks still owed per replaced block.
@@ -329,6 +329,27 @@ impl Rac {
             .get_mut(&block)
             .expect("defer_flush without MSHR")
             .flush_pending = true;
+    }
+
+    /// Hashes the RAC's observable state into `h` in a canonical (sorted)
+    /// order, for model-checking state digests. Covers every field — all
+    /// of them steer protocol behavior.
+    pub fn fingerprint<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        let mut blocks: Vec<Block> = self.outstanding.keys().copied().collect();
+        blocks.sort_unstable();
+        for b in blocks {
+            b.hash(h);
+            self.outstanding[&b].hash(h);
+        }
+        0xa1u8.hash(h); // section separator
+        let mut repl: Vec<(Block, u32)> =
+            self.replacements.iter().map(|(&b, &n)| (b, n)).collect();
+        repl.sort_unstable();
+        repl.hash(h);
+        let mut wb: Vec<Block> = self.writeback_in_flight.iter().copied().collect();
+        wb.sort_unstable();
+        wb.hash(h);
     }
 }
 

@@ -27,7 +27,7 @@ use std::collections::{HashMap, VecDeque};
 use crate::msg::{Block, Cluster};
 
 /// Why a block is busy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BusyReason {
     /// A forwarded transaction awaits its closing message.
     AwaitClose,
@@ -45,7 +45,7 @@ pub enum BusyReason {
 /// What a cluster did to its copy while the block's transaction was still
 /// in flight (the corresponding protocol message arrived "early", before
 /// the message that would make it applicable).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum EarlyKind {
     /// The cluster evicted its dirty copy (writeback): the epoch ends with
     /// the block uncached.
@@ -56,7 +56,7 @@ pub enum EarlyKind {
 }
 
 /// A request parked at the home.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct QueuedReq {
     /// The requesting cluster.
     pub requester: Cluster,
@@ -69,7 +69,7 @@ pub struct QueuedReq {
 }
 
 /// The home-side serialization state.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct HomeSerializer {
     busy: HashMap<Block, BusyReason>,
     pending: HashMap<Block, VecDeque<QueuedReq>>,
@@ -265,6 +265,45 @@ impl HomeSerializer {
             .iter()
             .map(|(&b, &r)| (b, r, self.pending.get(&b).map_or(0, |q| q.len())))
             .collect()
+    }
+
+    /// Hashes the serializer's protocol-visible state into `h` in a
+    /// canonical (block-sorted) order for model-checking state digests.
+    /// Queue *order* within a block is preserved — it determines the next
+    /// grant — while the `max_queue_depth` / `total_queued` ablation
+    /// metrics are deliberately excluded (they differ between paths that
+    /// reach the same protocol state and would defeat state deduplication).
+    pub fn fingerprint<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        let mut busy: Vec<(Block, BusyReason)> =
+            self.busy.iter().map(|(&b, &r)| (b, r)).collect();
+        busy.sort_unstable_by_key(|e| e.0);
+        busy.hash(h);
+        let mut blocks: Vec<Block> = self
+            .pending
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&b, _)| b)
+            .collect();
+        blocks.sort_unstable();
+        for b in blocks {
+            b.hash(h);
+            for req in &self.pending[&b] {
+                req.hash(h);
+            }
+        }
+        0xa2u8.hash(h); // section separator
+        let mut early: Vec<Block> = self
+            .early
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(&b, _)| b)
+            .collect();
+        early.sort_unstable();
+        for b in early {
+            b.hash(h);
+            self.early[&b].hash(h);
+        }
     }
 }
 

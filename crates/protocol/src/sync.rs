@@ -42,14 +42,14 @@ pub enum UnlockOutcome {
     RetryRegion(Vec<Cluster>),
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct LockState {
     holder: Option<Cluster>,
     waiters: DirEntry,
 }
 
 /// Per-home lock bookkeeping.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct LockManager {
     scheme: Scheme,
     clusters: usize,
@@ -148,10 +148,29 @@ impl LockManager {
     pub fn metrics(&self) -> (u64, u64) {
         (self.grants, self.retries)
     }
+
+    /// Hashes holder and waiter state into `h` in canonical (lock-sorted)
+    /// order for model-checking state digests; the grant/retry metrics are
+    /// excluded so equal protocol states reached by different paths merge.
+    pub fn fingerprint<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        let mut ids: Vec<u32> = self
+            .locks
+            .iter()
+            .filter(|(_, s)| s.holder.is_some() || !s.waiters.is_empty())
+            .map(|(&l, _)| l)
+            .collect();
+        ids.sort_unstable();
+        for l in ids {
+            let st = &self.locks[&l];
+            (l, st.holder).hash(h);
+            st.waiters.hash(h);
+        }
+    }
 }
 
 /// A centralized barrier counter at the barrier's home cluster.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct BarrierManager {
     arrivals: HashMap<u32, Vec<Cluster>>,
 }
@@ -186,6 +205,24 @@ impl BarrierManager {
     /// Clusters currently parked at `barrier`.
     pub fn waiting(&self, barrier: u32) -> usize {
         self.arrivals.get(&barrier).map_or(0, Vec::len)
+    }
+
+    /// Hashes arrival state into `h` in canonical (barrier-sorted) order
+    /// for model-checking state digests. Arrival *order* within a barrier
+    /// is preserved — it fixes the release-message order.
+    pub fn fingerprint<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        let mut ids: Vec<u32> = self
+            .arrivals
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(&b, _)| b)
+            .collect();
+        ids.sort_unstable();
+        for b in ids {
+            b.hash(h);
+            self.arrivals[&b].hash(h);
+        }
     }
 }
 

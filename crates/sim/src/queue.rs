@@ -40,6 +40,7 @@ const WHEEL_MASK: u64 = (WHEEL_SLOTS as u64) - 1;
 /// Words in the bucket-occupancy bitmap.
 const WHEEL_WORDS: usize = WHEEL_SLOTS / 64;
 
+#[derive(Clone)]
 struct Scheduled<E> {
     time: Cycle,
     /// Global schedule order, kept for debug-time FIFO verification (the
@@ -65,6 +66,7 @@ struct Scheduled<E> {
 /// assert_eq!(q.now(), 5);
 /// assert_eq!(q.pop(), Some((10, "late")));
 /// ```
+#[derive(Clone)]
 pub struct EventQueue<E> {
     /// Near-future ring; bucket `i` holds the events of the unique cycle
     /// `t` in the current window with `t & WHEEL_MASK == i`.
@@ -254,6 +256,69 @@ impl<E> EventQueue<E> {
         Some((s.time, s.event))
     }
 
+    /// Bucket index of the earliest pending event, cascading the overflow
+    /// level into the ring first if necessary. `None` when empty.
+    fn front_slot(&mut self) -> Option<usize> {
+        if self.in_wheel == 0 {
+            if self.overflow.is_empty() {
+                return None;
+            }
+            self.cascade();
+        }
+        let start = (self.now.max(self.wheel_base) & WHEEL_MASK) as usize;
+        Some(self.next_occupied(start))
+    }
+
+    /// The **ready set**: every event scheduled for the earliest pending
+    /// cycle, in FIFO (schedule) order, without consuming any of them.
+    ///
+    /// Because a ring bucket holds events of exactly one cycle value (see
+    /// module docs), the ready set is simply the earliest occupied bucket;
+    /// this cascades the far-future level first when the ring is empty.
+    /// Exploration tooling uses this to enumerate the same-cycle delivery
+    /// choices a run could make.
+    pub fn ready_set(&mut self) -> Option<(Cycle, Vec<&E>)> {
+        let slot = self.front_slot()?;
+        let bucket = &self.slots[slot];
+        let time = bucket.front().expect("occupancy bit set on empty bucket").time;
+        Some((time, bucket.iter().map(|s| &s.event).collect()))
+    }
+
+    /// Delivers the `idx`-th event of the ready set (FIFO order within the
+    /// earliest cycle), advancing the clock to its time. `pop_ready(0)` is
+    /// exactly [`EventQueue::pop`]; larger indices let an explorer branch
+    /// over alternative same-cycle delivery orders. Returns `None` if the
+    /// queue is empty or `idx` is out of range.
+    pub fn pop_ready(&mut self, idx: usize) -> Option<(Cycle, E)> {
+        let slot = self.front_slot()?;
+        let bucket = &mut self.slots[slot];
+        let s = bucket.remove(idx)?;
+        if bucket.is_empty() {
+            self.occupied[slot / 64] &= !(1 << (slot % 64));
+        }
+        self.in_wheel -= 1;
+        debug_assert!(s.time >= self.now);
+        self.now = s.time;
+        self.delivered += 1;
+        Some((s.time, s.event))
+    }
+
+    /// Visits every pending event in delivery order (time-sorted, FIFO
+    /// within a cycle) as `(time, &event)`. Intended for state inspection
+    /// and canonical fingerprinting; O(n log n), so keep it off hot paths.
+    pub fn for_each_pending(&self, mut f: impl FnMut(Cycle, &E)) {
+        let mut all: Vec<&Scheduled<E>> = self
+            .slots
+            .iter()
+            .flat_map(|b| b.iter())
+            .chain(self.overflow.iter())
+            .collect();
+        all.sort_by_key(|s| (s.time, s.seq));
+        for s in all {
+            f(s.time, &s.event);
+        }
+    }
+
     /// Delivery time of the next event without consuming it.
     pub fn peek_time(&self) -> Option<Cycle> {
         if self.in_wheel == 0 {
@@ -391,6 +456,60 @@ mod tests {
         assert_eq!(q.pop(), Some((10_000_000, 'z')));
         assert_eq!(q.pop(), Some((u64::MAX, 'w')));
         assert_eq!(q.pop(), None);
+    }
+
+    /// The ready set is the full same-cycle FIFO bucket, and `pop_ready`
+    /// can deliver it in any order while later cycles stay untouched.
+    #[test]
+    fn ready_set_exposes_same_cycle_choices() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5, 'a');
+        q.schedule_at(5, 'b');
+        q.schedule_at(5, 'c');
+        q.schedule_at(9, 'z');
+        let (t, ready) = q.ready_set().unwrap();
+        assert_eq!(t, 5);
+        assert_eq!(ready, vec![&'a', &'b', &'c']);
+        assert_eq!(q.pop_ready(1), Some((5, 'b')));
+        assert_eq!(q.pop_ready(1), Some((5, 'c')));
+        assert_eq!(q.pop_ready(0), Some((5, 'a')));
+        let (t, ready) = q.ready_set().unwrap();
+        assert_eq!((t, ready), (9, vec![&'z']));
+        assert_eq!(q.pop_ready(3), None); // out of range leaves the queue intact
+        assert_eq!(q.pop(), Some((9, 'z')));
+        assert_eq!(q.ready_set(), None::<(u64, Vec<&char>)>);
+    }
+
+    /// `ready_set` cascades the far-future level, and a cloned queue
+    /// replays identically to the original.
+    #[test]
+    fn ready_set_cascades_and_clone_replays() {
+        let mut q = EventQueue::new();
+        let far = 3 * WHEEL_SLOTS as u64 + 11;
+        q.schedule_at(far, 1u32);
+        q.schedule_at(far, 2u32);
+        let mut dup = q.clone();
+        let (t, ready) = q.ready_set().unwrap();
+        assert_eq!((t, ready.len()), (far, 2));
+        assert_eq!(q.pop_ready(1), Some((far, 2)));
+        assert_eq!(dup.pop(), Some((far, 1)));
+        assert_eq!(dup.pop(), Some((far, 2)));
+        assert_eq!(q.pop(), Some((far, 1)));
+    }
+
+    /// `for_each_pending` visits events in delivery order across the ring
+    /// and the overflow level.
+    #[test]
+    fn pending_iteration_is_delivery_ordered() {
+        let mut q = EventQueue::new();
+        let far = 2 * WHEEL_SLOTS as u64;
+        q.schedule_at(far, 30);
+        q.schedule_at(4, 10);
+        q.schedule_at(4, 11);
+        q.schedule_at(9, 20);
+        let mut seen = Vec::new();
+        q.for_each_pending(|t, &e| seen.push((t, e)));
+        assert_eq!(seen, vec![(4, 10), (4, 11), (9, 20), (far, 30)]);
     }
 
     /// Interleaved schedule/pop churn with mixed near/far delays matches a

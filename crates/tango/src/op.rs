@@ -6,7 +6,7 @@
 /// synchronization events such as lock and unlock"; everything between two
 /// global events is private computation, summarized here as [`Op::Compute`]
 /// cycles.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Op {
     /// Read the shared word at this byte address.
     Read(u64),
@@ -44,6 +44,26 @@ impl Op {
 pub trait ThreadProgram {
     /// Produce the next operation. Must eventually return [`Op::Done`].
     fn next_op(&mut self) -> Op;
+
+    /// An independent copy of this program, resumed at the current
+    /// position. Exploration tooling uses this to branch a machine into
+    /// several futures; a program that cannot be meaningfully copied may
+    /// panic, which simply makes it unusable for exploration.
+    fn fork(&self) -> Box<dyn ThreadProgram>;
+
+    /// A digest of the remaining op stream, for state fingerprinting:
+    /// programs with equal digests must produce identical op sequences
+    /// from this point on.
+    fn cursor_digest(&self) -> u64;
+}
+
+/// Digest helper shared by the in-repo programs: hashes an explicit
+/// remaining-op slice.
+pub(crate) fn digest_ops(ops: &[Op]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    ops.hash(&mut h);
+    h.finish()
 }
 
 /// A canned operation sequence (useful in tests and microbenchmarks).
@@ -79,6 +99,14 @@ impl ThreadProgram for ScriptProgram {
             }
             None => Op::Done,
         }
+    }
+
+    fn fork(&self) -> Box<dyn ThreadProgram> {
+        Box::new(self.clone())
+    }
+
+    fn cursor_digest(&self) -> u64 {
+        digest_ops(&self.ops[self.pos.min(self.ops.len())..])
     }
 }
 

@@ -146,6 +146,14 @@ impl ThreadProgram for ReplayProgram {
     fn next_op(&mut self) -> Op {
         self.ops.next().unwrap_or(Op::Done)
     }
+
+    fn fork(&self) -> Box<dyn ThreadProgram> {
+        Box::new(self.clone())
+    }
+
+    fn cursor_digest(&self) -> u64 {
+        crate::op::digest_ops(self.ops.as_slice())
+    }
 }
 
 // ----- encoding helpers -----

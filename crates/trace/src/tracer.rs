@@ -87,7 +87,7 @@ impl TraceConfig {
 /// cycle order (ties broken by recording sequence, which is itself a
 /// valid causal order: the simulator records effects after causes within
 /// a cycle).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Tracer {
     rings: Vec<RingLog<TraceEvent>>,
     seq: u64,

@@ -21,6 +21,7 @@
 //! | [`apps`] | `scd-apps` | LU, DWF, MP3D, LocusRoute workload generators |
 //! | [`stats`] | `scd-stats` | traffic counters, histograms, table rendering |
 //! | [`trace`] | `scd-trace` | transaction tracing, metrics registry, JSON telemetry |
+//! | [`check`] | `scd-check` | exhaustive small-config model checker and litmus corpus |
 //!
 //! ## Quickstart
 //!
@@ -39,6 +40,7 @@
 //! ```
 
 pub use scd_apps as apps;
+pub use scd_check as check;
 pub use scd_core as core;
 pub use scd_machine as machine;
 pub use scd_mem as mem;

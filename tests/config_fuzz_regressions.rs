@@ -1,0 +1,255 @@
+//! Named deterministic tests promoted from `config_fuzz.proptest-regressions`.
+//!
+//! Each test pins one configuration that the fuzzer once minimized to a
+//! failure (or near-miss) and runs it on every `cargo test`, so the exact
+//! machine shapes that historically broke the protocol are exercised
+//! without depending on proptest replaying its regression file. Each
+//! config runs twice: the run itself enforces deadlock-freedom, the
+//! version oracle, and the quiescent coherence checks, and the two runs
+//! must agree bit-for-bit (the fuzzer's determinism property).
+
+mod fuzz_common;
+
+use fuzz_common::{build_and_run, FuzzConfig};
+use scd::core::Scheme;
+
+fn check(fz: FuzzConfig) {
+    let a = build_and_run(&fz);
+    assert!(a.cycles > 0);
+    assert_eq!(a.shared_refs(), a.shared_reads + a.shared_writes);
+    let b = build_and_run(&fz);
+    assert_eq!(a.cycles, b.cycles, "cycle count must be deterministic");
+    assert_eq!(a.traffic, b.traffic, "traffic must be deterministic");
+    assert_eq!(a.invalidations, b.invalidations);
+    assert_eq!(a.versions_assigned, b.versions_assigned);
+}
+
+/// Superset pointers over a sparse directory on a mesh, read-mostly
+/// workload with replacement hints — tiny 4-block L2 forces constant
+/// eviction traffic through the sparse entry allocator.
+#[test]
+fn seed_superset2_sparse_mesh_hints_tiny_l2() {
+    check(FuzzConfig {
+        clusters: 5,
+        ppc: 3,
+        l2_blocks: 4,
+        l2_ways: 1,
+        scheme: Scheme::dir_x(2),
+        org: 1,
+        mesh: true,
+        contention: None,
+        hints: true,
+        serial: false,
+        blocks: 27,
+        write_ratio: 0.06849477692323262,
+        locks: false,
+        seed: 17114011222844064151,
+    });
+}
+
+/// Full-vector, complete directory under link contention with serial
+/// invalidations and locks on a 7-block hot set — write-heavy, so the
+/// serializer and the lock protocol interleave with invalidation fan-out.
+#[test]
+fn seed_full_vector_contended_serial_locks() {
+    check(FuzzConfig {
+        clusters: 6,
+        ppc: 3,
+        l2_blocks: 16,
+        l2_ways: 1,
+        scheme: Scheme::FullVector,
+        org: 0,
+        mesh: false,
+        contention: Some(11),
+        hints: false,
+        serial: true,
+        blocks: 7,
+        write_ratio: 0.5949096374820023,
+        locks: true,
+        seed: 3645110212503573719,
+    });
+}
+
+/// Minimal shrink: single-proc clusters, 4 blocks, almost no writes,
+/// lock ops dominating — stresses lock acquire/release with barely any
+/// coherence traffic in between.
+#[test]
+fn seed_lock_dominated_read_only_minimum() {
+    check(FuzzConfig {
+        clusters: 5,
+        ppc: 1,
+        l2_blocks: 4,
+        l2_ways: 1,
+        scheme: Scheme::FullVector,
+        org: 0,
+        mesh: false,
+        contention: None,
+        hints: false,
+        serial: false,
+        blocks: 4,
+        write_ratio: 0.05,
+        locks: true,
+        seed: 14109001270786819268,
+    });
+}
+
+/// One-pointer broadcast scheme over the overflow organization with
+/// contention and hints: broad sharing of 44 blocks keeps entries
+/// bouncing between narrow and wide stores mid-invalidation.
+#[test]
+fn seed_dir1b_overflow_contended_hints() {
+    check(FuzzConfig {
+        clusters: 8,
+        ppc: 3,
+        l2_blocks: 16,
+        l2_ways: 1,
+        scheme: Scheme::dir_b(1),
+        org: 2,
+        mesh: false,
+        contention: Some(12),
+        hints: true,
+        serial: false,
+        blocks: 44,
+        write_ratio: 0.4112594822070164,
+        locks: false,
+        seed: 7791479649118663505,
+    });
+}
+
+/// Superset pointers at the largest cluster count with contention, hints
+/// and a tiny L2 — supersets over-invalidate, so every write fans out to
+/// the pessimistic sharer estimate under link backpressure.
+#[test]
+fn seed_superset3_contended_hints_tiny_l2() {
+    check(FuzzConfig {
+        clusters: 8,
+        ppc: 3,
+        l2_blocks: 4,
+        l2_ways: 1,
+        scheme: Scheme::dir_x(3),
+        org: 0,
+        mesh: false,
+        contention: Some(9),
+        hints: true,
+        serial: false,
+        blocks: 19,
+        write_ratio: 0.47757603855844055,
+        locks: false,
+        seed: 5982762415688879811,
+    });
+}
+
+/// One-pointer broadcast over a sparse directory with heavy contention
+/// and a write-heavy 39-block working set: broadcasts and sparse-entry
+/// evictions compete for the same congested links.
+#[test]
+fn seed_dir1b_sparse_contended_write_heavy() {
+    check(FuzzConfig {
+        clusters: 4,
+        ppc: 3,
+        l2_blocks: 4,
+        l2_ways: 1,
+        scheme: Scheme::dir_b(1),
+        org: 1,
+        mesh: false,
+        contention: Some(14),
+        hints: false,
+        serial: false,
+        blocks: 39,
+        write_ratio: 0.5846947734837652,
+        locks: false,
+        seed: 6392775501340527192,
+    });
+}
+
+/// Coarse-vector (4 pointers, region size 1) over a sparse directory on
+/// a mesh with serial invalidations — the coarse fan-out path plus the
+/// invalidation serializer, with mesh hop latencies skewing arrivals.
+#[test]
+fn seed_coarse_vector_sparse_mesh_serial() {
+    check(FuzzConfig {
+        clusters: 6,
+        ppc: 2,
+        l2_blocks: 16,
+        l2_ways: 2,
+        scheme: Scheme::dir_cv(4, 1),
+        org: 1,
+        mesh: true,
+        contention: None,
+        hints: false,
+        serial: true,
+        blocks: 36,
+        write_ratio: 0.3986106464270243,
+        locks: true,
+        seed: 16371884772654924965,
+    });
+}
+
+/// Small 3-cluster machine on a mesh with contention, hints and locks:
+/// a write-heavy 10-block hot set where lock handoff and invalidations
+/// share congested mesh links.
+#[test]
+fn seed_small_mesh_contended_locks_hints() {
+    check(FuzzConfig {
+        clusters: 3,
+        ppc: 2,
+        l2_blocks: 4,
+        l2_ways: 1,
+        scheme: Scheme::FullVector,
+        org: 0,
+        mesh: true,
+        contention: Some(9),
+        hints: true,
+        serial: false,
+        blocks: 10,
+        write_ratio: 0.5802121203538556,
+        locks: true,
+        seed: 8136425472475046196,
+    });
+}
+
+/// One-pointer no-broadcast (oldest-victim) over a sparse directory on a
+/// mesh with serial invalidations and locks — pointer replacement
+/// invalidations, sparse evictions and the serializer all at once.
+#[test]
+fn seed_dir1nb_sparse_mesh_serial_locks() {
+    check(FuzzConfig {
+        clusters: 5,
+        ppc: 3,
+        l2_blocks: 16,
+        l2_ways: 2,
+        scheme: Scheme::dir_nb(1),
+        org: 1,
+        mesh: true,
+        contention: None,
+        hints: false,
+        serial: true,
+        blocks: 25,
+        write_ratio: 0.3313107020433257,
+        locks: true,
+        seed: 15278458527390006806,
+    });
+}
+
+/// Full-vector over a sparse directory at max cluster count with heavy
+/// contention and a wide 47-block footprint: sparse sets thrash while
+/// invalidation fan-outs queue behind occupied links.
+#[test]
+fn seed_full_vector_sparse_contended_wide_footprint() {
+    check(FuzzConfig {
+        clusters: 8,
+        ppc: 2,
+        l2_blocks: 16,
+        l2_ways: 1,
+        scheme: Scheme::FullVector,
+        org: 1,
+        mesh: false,
+        contention: Some(15),
+        hints: true,
+        serial: false,
+        blocks: 47,
+        write_ratio: 0.40201341480675723,
+        locks: false,
+        seed: 16550262067087568811,
+    });
+}
