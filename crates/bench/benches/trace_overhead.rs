@@ -1,11 +1,14 @@
 //! Guard for the observability overhead contract: with tracing disabled,
 //! a full machine run must cost within 2% of a configuration that never
-//! mentions tracing at all (`cfg.trace = None`).
+//! mentions tracing at all (`cfg.trace = None`). The streaming pipeline
+//! rides on the same contract: a machine with no sink attached (the
+//! default — `StreamState::inert`) adds one boolean test per hook site
+//! and must stay under the same guard.
 //!
-//! Both configurations take the inert path — an `Option` unwrap at
+//! All configurations take the inert path — an `Option` unwrap at
 //! construction and one boolean test per hook site — so the honest
 //! expectation is ~0% overhead. The guard compares min-of-N wall times
-//! with the two variants interleaved (so clock drift and frequency
+//! with the variants interleaved (so clock drift and frequency
 //! scaling hit both equally) and fails loudly if the contract is broken.
 
 use criterion::{black_box, criterion_group, Criterion};
@@ -33,6 +36,15 @@ fn run_once(app: &AppRun, trace: Option<TraceConfig>) -> u64 {
     Machine::new(cfg, app.boxed_programs()).run().cycles
 }
 
+/// The streaming-disabled path: a machine that never had a sink attached.
+/// Goes through `try_run` (the streaming hook sites live in its event
+/// loop) after asserting the stream really is inert.
+fn run_once_unstreamed(app: &AppRun) -> u64 {
+    let mut machine = Machine::new(MachineConfig::paper_32(), app.boxed_programs());
+    assert!(!machine.stream_active(), "no sink was ever attached");
+    machine.try_run().expect("run must quiesce").cycles
+}
+
 fn bench_disabled_path(c: &mut Criterion) {
     let app = test_app();
     let mut g = c.benchmark_group("machine/trace_overhead");
@@ -42,6 +54,9 @@ fn bench_disabled_path(c: &mut Criterion) {
     g.bench_function("trace-config-none", |b| {
         b.iter(|| black_box(run_once(&app, Some(TraceConfig::none()))))
     });
+    g.bench_function("streaming-unattached", |b| {
+        b.iter(|| black_box(run_once_unstreamed(&app)))
+    });
     g.finish();
 }
 
@@ -49,13 +64,18 @@ fn bench_disabled_path(c: &mut Criterion) {
 /// (interrupts and scheduling only ever make a run slower), which is what
 /// makes a tight ratio assertion viable on shared CI machines.
 fn overhead_guard() {
-    const ROUNDS: usize = 7;
+    // Each round is ~5 ms per variant; 31 interleaved rounds spread the
+    // samples over enough wall time that every variant's min gets a shot
+    // at a quiet slice of a loaded machine.
+    const ROUNDS: usize = 31;
     let app = test_app();
     // Warm both paths (page faults, lazy allocations) before timing.
     run_once(&app, None);
     run_once(&app, Some(TraceConfig::none()));
+    run_once_unstreamed(&app);
     let mut baseline = u128::MAX;
     let mut disabled = u128::MAX;
+    let mut unstreamed = u128::MAX;
     for _ in 0..ROUNDS {
         let t = Instant::now();
         black_box(run_once(&app, None));
@@ -63,16 +83,26 @@ fn overhead_guard() {
         let t = Instant::now();
         black_box(run_once(&app, Some(TraceConfig::none())));
         disabled = disabled.min(t.elapsed().as_nanos());
+        let t = Instant::now();
+        black_box(run_once_unstreamed(&app));
+        unstreamed = unstreamed.min(t.elapsed().as_nanos());
     }
     let ratio = disabled as f64 / baseline as f64;
+    let stream_ratio = unstreamed as f64 / baseline as f64;
     println!(
         "trace_overhead guard: min {baseline} ns (no field) vs {disabled} ns \
-         (TraceConfig::none), ratio {ratio:.4}"
+         (TraceConfig::none) vs {unstreamed} ns (streaming unattached), \
+         ratios {ratio:.4} / {stream_ratio:.4}"
     );
     assert!(
         ratio < 1.02,
         "disabled-path tracing overhead {:.2}% breaks the < 2% contract",
         (ratio - 1.0) * 100.0
+    );
+    assert!(
+        stream_ratio < 1.02,
+        "disabled-streaming overhead {:.2}% breaks the < 2% contract",
+        (stream_ratio - 1.0) * 100.0
     );
 }
 

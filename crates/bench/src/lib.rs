@@ -28,6 +28,7 @@ pub use runner::{
     write_bench_json_in, write_results, SPARSE_CACHE_RATIO,
 };
 pub use sweep::{
-    build_config, generate_app, run_sweep, sweep_document, RunDescriptor, SparseVariant,
-    SweepOutcome, SweepRun, SweepSpec, APP_NAMES, CANONICAL_SPARSE,
+    build_config, generate_app, run_sweep, run_sweep_with, sweep_begin_record, sweep_document,
+    sweep_end_record, RunDescriptor, SparseVariant, SweepOutcome, SweepProgress, SweepRun,
+    SweepSpec, APP_NAMES, CANONICAL_SPARSE,
 };

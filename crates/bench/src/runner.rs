@@ -184,7 +184,7 @@ pub fn bench_point_document(
         .with("scheme", Json::Str(scheme_name.into()))
         .with("shared_refs", Json::U64(app.shared_refs()))
         .with("shared_bytes", Json::U64(app.shared_bytes));
-    stats.to_json_document(Some(run), None, attribution)
+    stats.to_json_document(Some(run), None, attribution, None)
 }
 
 /// Writes `content` to `results/<name>` (creating the directory), and

@@ -320,6 +320,84 @@ fn execute(desc: RunDescriptor, apps: &[AppRun], spec: &SweepSpec) -> SweepRun {
     }
 }
 
+/// One completed grid point, reported live from the merge loop while the
+/// sweep is still running. `completed` counts arrivals (1-based), so with
+/// multiple workers the `index`/`id` sequence follows completion order —
+/// non-deterministic, which is why progress lives beside the (always
+/// deterministic) document, never inside it.
+#[derive(Clone, Debug)]
+pub struct SweepProgress {
+    /// Descriptor index of the run that just finished.
+    pub index: usize,
+    /// Its human-readable id (`app/scheme[/sparse]/seed`).
+    pub id: String,
+    /// Final simulated cycle of the run.
+    pub cycles: u64,
+    /// Wall-clock seconds the run took on its worker.
+    pub run_seconds: f64,
+    /// Runs finished so far (this one included).
+    pub completed: usize,
+    /// Total runs in the grid.
+    pub total: usize,
+    /// Wall-clock seconds since the sweep started.
+    pub elapsed: f64,
+    /// Naive remaining-time estimate: `elapsed / completed` per
+    /// outstanding run.
+    pub eta: f64,
+}
+
+impl SweepProgress {
+    /// The streamed `sweep_run` record (JSONL, shared transport with the
+    /// machine's trace stream; see `scd_trace::sink`).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("type", Json::Str("sweep_run".into()))
+            .with("index", Json::U64(self.index as u64))
+            .with("id", Json::Str(self.id.clone()))
+            .with("cycles", Json::U64(self.cycles))
+            .with("run_seconds", Json::F64(self.run_seconds))
+            .with("completed", Json::U64(self.completed as u64))
+            .with("total", Json::U64(self.total as u64))
+            .with("elapsed", Json::F64(self.elapsed))
+            .with("eta", Json::F64(self.eta))
+    }
+
+    /// One-line progress rendering for a terminal.
+    pub fn render(&self) -> String {
+        format!(
+            "{:>3}/{} {:<44} {:>7.1}s elapsed, eta {:>6.1}s",
+            self.completed, self.total, self.id, self.elapsed, self.eta
+        )
+    }
+}
+
+/// The streamed `sweep_begin` record: grid size and worker count.
+pub fn sweep_begin_record(spec: &SweepSpec, jobs: usize) -> Json {
+    Json::obj()
+        .with("type", Json::Str("sweep_begin".into()))
+        .with("total", Json::U64(spec.descriptors().len() as u64))
+        .with("jobs", Json::U64(jobs as u64))
+        .with(
+            "apps",
+            Json::Arr(
+                spec.apps
+                    .iter()
+                    .map(|a| Json::Str(a.clone()))
+                    .collect(),
+            ),
+        )
+}
+
+/// The streamed `sweep_end` record: aggregate wall-clock accounting.
+pub fn sweep_end_record(outcome: &SweepOutcome) -> Json {
+    Json::obj()
+        .with("type", Json::Str("sweep_end".into()))
+        .with("runs", Json::U64(outcome.runs.len() as u64))
+        .with("jobs", Json::U64(outcome.jobs as u64))
+        .with("wall_seconds", Json::F64(outcome.wall_seconds))
+        .with("serial_seconds", Json::F64(outcome.serial_seconds()))
+}
+
 /// Runs the grid on `jobs` worker threads (clamped to the grid size;
 /// `<= 1` runs inline on the caller's thread).
 ///
@@ -328,16 +406,45 @@ fn execute(desc: RunDescriptor, apps: &[AppRun], spec: &SweepSpec) -> SweepRun {
 /// scheduling; the merge below is by descriptor index, so the output order
 /// cannot either.
 pub fn run_sweep(spec: &SweepSpec, jobs: usize) -> SweepOutcome {
+    run_sweep_with(spec, jobs, &mut |_| {})
+}
+
+/// [`run_sweep`] with a progress callback, invoked once per completed
+/// run — always from the caller's thread (the merge loop), never from a
+/// worker, so the callback needs no synchronization and arrives in
+/// completion order.
+pub fn run_sweep_with(
+    spec: &SweepSpec,
+    jobs: usize,
+    on_run: &mut dyn FnMut(SweepProgress),
+) -> SweepOutcome {
     let t0 = Instant::now();
     let apps = spec.generate_apps();
     let descs = spec.descriptors();
     let n = descs.len();
     let workers = jobs.max(1).min(n.max(1));
     let mut slots: Vec<Option<SweepRun>> = (0..n).map(|_| None).collect();
+    let mut completed = 0usize;
+    let progress = |run: &SweepRun, completed: usize| {
+        let elapsed = t0.elapsed().as_secs_f64();
+        let eta = elapsed / completed as f64 * (n - completed) as f64;
+        SweepProgress {
+            index: run.desc.index,
+            id: run.desc.id.clone(),
+            cycles: run.stats.cycles,
+            run_seconds: run.wall_seconds,
+            completed,
+            total: n,
+            elapsed,
+            eta,
+        }
+    };
 
     if workers <= 1 {
         for desc in descs {
             let run = execute(desc, &apps, spec);
+            completed += 1;
+            on_run(progress(&run, completed));
             let index = run.desc.index;
             slots[index] = Some(run);
         }
@@ -372,7 +479,11 @@ pub fn run_sweep(spec: &SweepSpec, jobs: usize) -> SweepOutcome {
                 });
             }
             drop(res_tx);
+            // The merge loop is the only consumer, so progress callbacks
+            // fire on the caller's thread, in completion order.
             for run in res_rx {
+                completed += 1;
+                on_run(progress(&run, completed));
                 let index = run.desc.index;
                 slots[index] = Some(run);
             }
@@ -439,7 +550,7 @@ pub fn sweep_document(outcome: &SweepOutcome, spec: &SweepSpec, include_timing: 
                 .with("shared_refs", Json::U64(app.shared_refs()))
                 .with("shared_bytes", Json::U64(app.shared_bytes));
             run.stats
-                .to_json_document(Some(meta), None, run.attribution.clone())
+                .to_json_document(Some(meta), None, run.attribution.clone(), None)
         })
         .collect();
 
@@ -583,6 +694,65 @@ mod tests {
         let a = sweep_document(&serial, &spec, false).to_string();
         let b = sweep_document(&parallel, &spec, false).to_string();
         assert_eq!(a, b);
+    }
+
+    /// Progress callbacks arrive once per run with a monotone `completed`
+    /// count, cover every descriptor index exactly once, and leave the
+    /// deterministic document untouched.
+    #[test]
+    fn progress_callbacks_cover_the_grid_without_perturbing_the_document() {
+        let spec = micro_spec();
+        let baseline = sweep_document(&run_sweep(&spec, 1), &spec, false).to_string();
+        for jobs in [1usize, 3] {
+            let mut events: Vec<SweepProgress> = Vec::new();
+            let outcome = run_sweep_with(&spec, jobs, &mut |p| events.push(p));
+            let n = outcome.runs.len();
+            assert_eq!(events.len(), n, "one callback per run (jobs={jobs})");
+            let mut indices: Vec<usize> = events.iter().map(|p| p.index).collect();
+            indices.sort_unstable();
+            assert_eq!(indices, (0..n).collect::<Vec<_>>(), "jobs={jobs}");
+            for (i, p) in events.iter().enumerate() {
+                assert_eq!(p.completed, i + 1, "completion count is 1..=n");
+                assert_eq!(p.total, n);
+                assert_eq!(p.id, outcome.runs[p.index].desc.id);
+                assert_eq!(p.cycles, outcome.runs[p.index].stats.cycles);
+                assert!(p.elapsed >= 0.0 && p.eta >= 0.0);
+                let j = p.to_json();
+                assert_eq!(j.get("type").and_then(Json::as_str), Some("sweep_run"));
+                assert_eq!(
+                    j.get("completed").and_then(Json::as_u64),
+                    Some((i + 1) as u64)
+                );
+                assert!(p.render().contains(&p.id));
+            }
+            // The last callback always reports a zero remaining estimate.
+            assert_eq!(events.last().unwrap().eta, 0.0);
+            assert_eq!(
+                sweep_document(&outcome, &spec, false).to_string(),
+                baseline,
+                "progress observation must not perturb the document (jobs={jobs})"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_stream_records_carry_grid_shape() {
+        let spec = micro_spec();
+        let begin = sweep_begin_record(&spec, 2);
+        assert_eq!(begin.get("type").and_then(Json::as_str), Some("sweep_begin"));
+        assert_eq!(
+            begin.get("total").and_then(Json::as_u64),
+            Some(spec.descriptors().len() as u64)
+        );
+        assert_eq!(begin.get("jobs").and_then(Json::as_u64), Some(2));
+        let outcome = run_sweep(&spec, 2);
+        let end = sweep_end_record(&outcome);
+        assert_eq!(end.get("type").and_then(Json::as_str), Some("sweep_end"));
+        assert_eq!(
+            end.get("runs").and_then(Json::as_u64),
+            Some(outcome.runs.len() as u64)
+        );
+        assert!(end.get("wall_seconds").and_then(Json::as_f64).unwrap() >= 0.0);
     }
 
     #[test]

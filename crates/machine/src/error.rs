@@ -54,6 +54,10 @@ pub struct PostMortem {
     /// flight: `(cluster, rendered events, oldest first)`. Populated only
     /// when the machine ran with an active `TraceConfig`.
     pub trace_tails: Vec<(usize, Vec<String>)>,
+    /// Trace events evicted from full rings before the failure: when
+    /// nonzero, the tails above (and any exported trace) are missing
+    /// that much history.
+    pub dropped_events: u64,
     /// Rare-path protocol counters at failure time.
     pub counters: ProtocolCounters,
     /// Fault-injection counters at failure time.
@@ -94,6 +98,13 @@ impl std::fmt::Display for PostMortem {
             for ev in tail {
                 writeln!(f, "    {ev}")?;
             }
+        }
+        if self.dropped_events > 0 {
+            writeln!(
+                f,
+                "  trace rings evicted {} events (history above is truncated)",
+                self.dropped_events
+            )?;
         }
         Ok(())
     }
@@ -177,6 +188,7 @@ mod tests {
             }],
             recent_events: vec!["[120] Deliver(..)".into()],
             trace_tails: vec![(0, vec!["[     110] #7 TxnBegin { .. }".into()])],
+            dropped_events: 42,
             counters: ProtocolCounters::default(),
             faults: FaultCounters::default(),
             detail: "1 processors blocked".into(),
@@ -194,6 +206,7 @@ mod tests {
         assert!(text.contains("[120]"), "{text}");
         assert!(text.contains("trace tail (1 events)"), "{text}");
         assert!(text.contains("TxnBegin"), "{text}");
+        assert!(text.contains("evicted 42 events"), "{text}");
     }
 
     #[test]

@@ -43,8 +43,8 @@ use scd_sim::{Cycle, EventQueue, RingLog, SimRng};
 use scd_stats::{Histogram, MessageClass, Traffic};
 use scd_tango::{Op, ThreadProgram};
 use scd_trace::{
-    AttribParams, Attribution, EventKind, IntervalSnapshot, Json, MetricsRegistry, Phase,
-    TraceConfig, TraceEvent, Tracer, TxnTimeline,
+    AttribClass, AttribParams, Attribution, EventKind, IntervalSnapshot, Json, MetricsRegistry,
+    Phase, TraceConfig, TraceEvent, Tracer, TxnTimeline,
 };
 
 use crate::config::MachineConfig;
@@ -215,6 +215,71 @@ struct IntervalBase {
     ops: u64,
 }
 
+/// A recorded event waiting for the stream watermark to pass it.
+/// Ordered by `(cycle, seq)` — *reversed*, so [`std::collections::BinaryHeap`]
+/// (a max-heap) pops the earliest event first.
+struct PendingEvent(TraceEvent);
+
+impl PartialEq for PendingEvent {
+    fn eq(&self, other: &Self) -> bool {
+        (self.0.cycle, self.0.seq) == (other.0.cycle, other.0.seq)
+    }
+}
+impl Eq for PendingEvent {}
+impl PartialOrd for PendingEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.0.cycle, other.0.seq).cmp(&(self.0.cycle, self.0.seq))
+    }
+}
+
+/// Live-streaming state: the attached sink plus the watermark reorder
+/// buffer that reproduces the post-hoc `(cycle, seq)` merge order online.
+///
+/// Events may be recorded with *future* cycle stamps (never past ones),
+/// so an event is only safe to emit once the simulation clock has moved
+/// strictly past its cycle — everything still unrecorded will sort after
+/// it. The pending heap holds recorded-but-not-yet-safe events.
+struct StreamState {
+    /// The attached sink (`None` = streaming off; the inert default).
+    sink: Option<Box<dyn scd_trace::TraceSink>>,
+    /// Pre-computed `sink.is_some()`, checked once per event like
+    /// `trace_active`/`fault_active`.
+    on: bool,
+    /// Recorded events the watermark has not passed yet.
+    pending: std::collections::BinaryHeap<PendingEvent>,
+    /// Per-class attribution counters at the last emitted delta.
+    attrib_base: [scd_trace::ClassCounters; scd_trace::AttribClass::ALL.len()],
+    /// Per-link flit counters at the last emitted delta.
+    link_base: HashMap<(usize, usize), u64>,
+}
+
+impl StreamState {
+    fn inert() -> Self {
+        StreamState {
+            sink: None,
+            on: false,
+            pending: std::collections::BinaryHeap::new(),
+            attrib_base: Default::default(),
+            link_base: HashMap::new(),
+        }
+    }
+}
+
+/// Cloning a machine detaches the stream: exploration branches share one
+/// history up to the fork, and two writers interleaving into one sink
+/// would corrupt both orderings. The clone is inert (like a machine that
+/// never attached a sink); re-attach explicitly to stream from it.
+impl Clone for StreamState {
+    fn clone(&self) -> Self {
+        StreamState::inert()
+    }
+}
+
 /// Per-cluster snapshot handed to the invariant checker: resident blocks
 /// with their highest state, the directory store, and the serializer.
 pub(crate) type ClusterView<'a> = (
@@ -292,6 +357,9 @@ pub struct Machine {
     /// Armed test-only protocol mutation (see [`explore::Mutation`]); used
     /// to validate that the model checker actually catches protocol bugs.
     mutation: Option<explore::Mutation>,
+    /// Live telemetry stream (inert until [`Machine::attach_stream`];
+    /// detached again by `Clone`).
+    stream: StreamState,
 }
 
 impl Machine {
@@ -395,6 +463,7 @@ impl Machine {
             txn_live: HashMap::new(),
             txn_next: 0,
             mutation: None,
+            stream: StreamState::inert(),
             cfg,
         }
     }
@@ -644,6 +713,15 @@ impl Machine {
         let Some(live) = self.txn_live.get_mut(&(requester, block)) else {
             return;
         };
+        // A delivery timestamped before the live transaction began is
+        // predecessor traffic (a fault-duplicated or delayed request from
+        // an earlier, completed transaction on the same (requester, block)
+        // — observable because begins are stamped a cache-lookup ahead of
+        // the pop that created them). It must not be attributed here, or
+        // the exported lifecycle runs backwards.
+        if t < live.issue {
+            return;
+        }
         let slot = match phase {
             Phase::HomeLookup => &mut live.home_lookup,
             Phase::Fanout => &mut live.fanout,
@@ -666,6 +744,9 @@ impl Machine {
         let Some(live) = self.txn_live.get(&(cl, block)) else {
             return;
         };
+        if t < live.issue {
+            return; // stale NACK for a predecessor transaction
+        }
         let txn = live.id;
         self.tracer.record(cl, t, EventKind::Nack { txn, block });
     }
@@ -678,6 +759,9 @@ impl Machine {
         let Some(live) = self.txn_live.get_mut(&(cl, block)) else {
             return;
         };
+        if t < live.issue {
+            return; // stale retry echo for a predecessor transaction
+        }
         live.retries = attempt;
         let txn = live.id;
         self.tracer.record(
@@ -734,7 +818,7 @@ impl Machine {
                 .iter()
                 .map(|c| c.rac.outstanding() as u64)
                 .sum();
-            self.metrics.push_interval(IntervalSnapshot {
+            let snap = IntervalSnapshot {
                 start: self.interval_start,
                 end: self.interval_next,
                 messages: net - self.interval_base.messages,
@@ -742,7 +826,11 @@ impl Machine {
                 nacks: self.faults.nacks - self.interval_base.nacks,
                 occupancy,
                 ops_retired: ops - self.interval_base.ops,
-            });
+            };
+            self.metrics.push_interval(snap);
+            if self.stream.on {
+                self.stream_interval(&snap);
+            }
             self.interval_base = IntervalBase {
                 messages: net,
                 retries: self.faults.retries,
@@ -752,6 +840,147 @@ impl Machine {
             self.interval_start = self.interval_next;
             self.interval_next += self.trace_cfg.interval;
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Live streaming (scd-trace sinks)
+    //
+    // Same contract as the other telemetry hooks — read-only against the
+    // simulation: the stream pump never touches the event queue, any RNG
+    // stream, or any timing decision, and a machine with no sink attached
+    // costs one pre-computed branch per event. Ordering: events are
+    // emitted in the exact post-hoc `(cycle, seq)` merge order. An event
+    // may be recorded with a *future* cycle stamp but never a past one,
+    // so once the simulation clock strictly passes a pending event's
+    // cycle, nothing that sorts before it can still arrive — the pending
+    // heap holds events until that watermark clears them.
+    // ------------------------------------------------------------------
+
+    /// Attaches `sink` and starts streaming: an optional `run_meta`
+    /// record first, then trace events, interval windows, and
+    /// attribution deltas as the run produces them, closed by a
+    /// `run_end` record when the run finalizes (success or failure) or
+    /// [`Machine::stream_close`] is called.
+    ///
+    /// Trace events only flow when the machine was built with
+    /// `TraceConfig::ring_capacity > 0`; interval and attribution
+    /// records follow their own `TraceConfig` switches. Cloning the
+    /// machine detaches the stream on the clone (see [`StreamState`]).
+    pub fn attach_stream(&mut self, mut sink: Box<dyn scd_trace::TraceSink>, run: Option<Json>) {
+        if let Some(run) = run {
+            sink.emit(&scd_trace::run_meta_record(&run).to_string());
+            sink.flush();
+        }
+        self.tracer.set_mirror(true);
+        self.stream.attrib_base = self.attrib.counters();
+        self.stream.link_base = self
+            .network
+            .link_traffic()
+            .into_iter()
+            .map(|((src, dst), c)| ((src, dst), c.flits))
+            .collect();
+        self.stream.pending.clear();
+        self.stream.sink = Some(sink);
+        self.stream.on = true;
+    }
+
+    /// Whether a sink is currently attached.
+    pub fn stream_active(&self) -> bool {
+        self.stream.on
+    }
+
+    /// Moves freshly recorded events from the tracer's mirror into the
+    /// pending heap.
+    fn stream_drain(&mut self) {
+        for ev in self.tracer.take_mirror() {
+            self.stream.pending.push(PendingEvent(ev));
+        }
+    }
+
+    /// Emits every pending event with `cycle < watermark`, in
+    /// `(cycle, seq)` order.
+    fn stream_flush_below(&mut self, watermark: Cycle) {
+        let Some(sink) = self.stream.sink.as_mut() else {
+            return;
+        };
+        while let Some(top) = self.stream.pending.peek() {
+            if top.0.cycle >= watermark {
+                break;
+            }
+            let ev = self.stream.pending.pop().expect("peeked above");
+            sink.emit(&ev.0.to_json().to_string());
+        }
+    }
+
+    /// Emits one closed interval window: every event belonging to the
+    /// window first, then the `interval` record, then (when attribution
+    /// is on) the window's per-class and per-link traffic delta.
+    fn stream_interval(&mut self, snap: &IntervalSnapshot) {
+        self.stream_flush_below(snap.end);
+        let mut records = vec![scd_trace::interval_record(snap).to_string()];
+        if self.attrib_active {
+            let cur = self.attrib.counters();
+            let classes: Vec<(&'static str, Json)> = AttribClass::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (c.label(), cur[i].minus(self.stream.attrib_base[i]).to_json()))
+                .collect();
+            self.stream.attrib_base = cur;
+            // Per-link flit deltas: the window's busiest movers, capped
+            // and endpoint-sorted so the record is deterministic.
+            const TOP_LINKS: usize = 32;
+            let link_base = &mut self.stream.link_base;
+            let mut deltas: Vec<(usize, usize, u64)> = self
+                .network
+                .link_traffic()
+                .into_iter()
+                .filter_map(|((src, dst), c)| {
+                    let base = link_base.insert((src, dst), c.flits).unwrap_or(0);
+                    let d = c.flits.saturating_sub(base);
+                    (d > 0).then_some((src, dst, d))
+                })
+                .collect();
+            deltas.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
+            deltas.truncate(TOP_LINKS);
+            deltas.sort_by_key(|&(src, dst, _)| (src, dst));
+            records.push(
+                scd_trace::attrib_delta_record(snap.start, snap.end, &classes, &deltas)
+                    .to_string(),
+            );
+        }
+        if let Some(sink) = self.stream.sink.as_mut() {
+            for r in &records {
+                sink.emit(r);
+            }
+            // Boundary flush so a live consumer tailing a file sink sees
+            // whole windows, not BufWriter-sized chunks.
+            sink.flush();
+        }
+    }
+
+    /// Flushes everything still pending, emits the closing `run_end`
+    /// record (final cycle, recorded/evicted counters), and detaches the
+    /// sink. Idempotent; runs automatically when the run finalizes —
+    /// call it directly only to stop streaming early or after an
+    /// aborted run.
+    pub fn stream_close(&mut self) {
+        if !self.stream.on {
+            return;
+        }
+        self.stream_drain();
+        self.stream_flush_below(Cycle::MAX);
+        let (recorded, dropped) = self.trace_counts();
+        let cycles = if self.finish_time > 0 {
+            self.finish_time
+        } else {
+            self.queue.now()
+        };
+        if let Some(mut sink) = self.stream.sink.take() {
+            sink.emit(&scd_trace::run_end_record(cycles, recorded, dropped).to_string());
+            sink.flush();
+        }
+        self.stream.on = false;
+        self.tracer.set_mirror(false);
     }
 
     /// All retained trace events, merged into one cycle-ordered history.
@@ -767,6 +996,20 @@ impl Machine {
     /// Events recorded / evicted-from-ring counts for the run so far.
     pub fn trace_counts(&self) -> (u64, u64) {
         (self.tracer.recorded(), self.tracer.dropped())
+    }
+
+    /// The `trace` section of the `scd-run-stats/v1` document: events
+    /// recorded vs evicted from the rings, so truncated history is never
+    /// silent. None when tracing is off. Lives outside [`RunStats`] so
+    /// the `stats` section stays bit-identical across trace
+    /// configurations.
+    pub fn trace_json(&self) -> Option<Json> {
+        self.trace_active.then(|| {
+            let (recorded, dropped) = self.trace_counts();
+            Json::obj()
+                .with("recorded", Json::U64(recorded))
+                .with("dropped_events", Json::U64(dropped))
+        })
     }
 
     /// The metrics registry (empty unless `TraceConfig::metrics` was on).
@@ -879,7 +1122,13 @@ impl Machine {
     pub fn try_run(&mut self) -> Result<RunStats, SimError> {
         self.start();
         while let Some((t, ev)) = self.queue.pop() {
-            self.process_event(t, ev)?;
+            if let Err(e) = self.process_event(t, ev) {
+                // Push what the stream already holds before surfacing
+                // the failure: a live consumer should see the history up
+                // to the death, closed by an honest run_end.
+                self.stream_close();
+                return Err(e);
+            }
         }
         self.finalize()
     }
@@ -917,8 +1166,17 @@ impl Machine {
                 );
                 return Err(SimError::LivelockWatchdog(self.post_mortem(t, detail)));
             }
+            if self.stream.on {
+                // Pull freshly recorded events into the pending heap
+                // *before* interval processing, so a closing window can
+                // flush its own events ahead of its record.
+                self.stream_drain();
+            }
             if self.trace_active && self.trace_cfg.interval > 0 {
                 self.trace_intervals(t);
+            }
+            if self.stream.on {
+                self.stream_flush_below(t);
             }
             // Resolve the hot handle into its payload *before* logging, so
             // the post-mortem ring holds the message itself, not a handle
@@ -1000,6 +1258,10 @@ impl Machine {
     /// payloads, and (when configured) the quiescent coherence invariants.
     /// Shared by [`Machine::try_run`] and the exploration API's leaf check.
     fn finalize(&mut self) -> Result<RunStats, SimError> {
+        // Close the stream first (no-op when off): the queue is drained,
+        // so every recorded event can flush, and run_end belongs in the
+        // stream whether the checks below pass or not.
+        self.stream_close();
         if self.running != 0 {
             let detail = format!(
                 "{} processors blocked with an empty event queue",
@@ -1090,6 +1352,7 @@ impl Machine {
                 .map(|(at, ev)| format!("[{at:>8}] {ev:?}"))
                 .collect(),
             trace_tails,
+            dropped_events: self.tracer.dropped(),
             counters: self.counters,
             faults: self.faults,
             detail,

@@ -230,16 +230,20 @@ impl RunStats {
     }
 
     /// The full `scd-run-stats/v1` document: schema tag, the core stats,
-    /// the metrics registry (or `null` when metrics were off), and the
+    /// the metrics registry (or `null` when metrics were off), the
     /// traffic attribution section (or `null` when attribution was off;
-    /// see `Machine::attribution_json`). `meta` fields (app, scheme,
-    /// seed, ...) are prepended under `run` when provided, so harnesses
-    /// can label their outputs.
+    /// see `Machine::attribution_json`), and the trace bookkeeping
+    /// section (or `null` when tracing was off; see
+    /// `Machine::trace_json` — its `dropped_events` counter is how ring
+    /// eviction surfaces in exported documents). `meta` fields (app,
+    /// scheme, seed, ...) are prepended under `run` when provided, so
+    /// harnesses can label their outputs.
     pub fn to_json_document(
         &self,
         run: Option<Json>,
         metrics: Option<&MetricsRegistry>,
         attribution: Option<Json>,
+        trace: Option<Json>,
     ) -> Json {
         let mut j = Json::obj().with("schema", Json::Str("scd-run-stats/v1".into()));
         if let Some(run) = run {
@@ -251,6 +255,7 @@ impl RunStats {
             metrics.map(MetricsRegistry::to_json).unwrap_or(Json::Null),
         );
         j.set("attribution", attribution.unwrap_or(Json::Null));
+        j.set("trace", trace.unwrap_or(Json::Null));
         j
     }
 }

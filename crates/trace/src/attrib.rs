@@ -174,12 +174,25 @@ impl ClassCounters {
         self.flit_hops += flits * hops;
     }
 
-    fn to_json(self) -> Json {
+    /// The counters as a JSON object — the per-class shape inside
+    /// `scd-attrib/v1` and a streamed `attrib_delta`'s `classes` map.
+    pub fn to_json(self) -> Json {
         Json::obj()
             .with("messages", Json::U64(self.messages))
             .with("bytes", Json::U64(self.bytes))
             .with("flits", Json::U64(self.flits))
             .with("flit_hops", Json::U64(self.flit_hops))
+    }
+
+    /// Counter-wise difference against an `earlier` snapshot of the same
+    /// class (saturating, so a stale baseline can't underflow).
+    pub fn minus(self, earlier: ClassCounters) -> ClassCounters {
+        ClassCounters {
+            messages: self.messages.saturating_sub(earlier.messages),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            flits: self.flits.saturating_sub(earlier.flits),
+            flit_hops: self.flit_hops.saturating_sub(earlier.flit_hops),
+        }
     }
 }
 
@@ -217,6 +230,13 @@ impl Attribution {
     /// Counters of one class.
     pub fn class(&self, class: AttribClass) -> ClassCounters {
         self.classes[class.index()]
+    }
+
+    /// A snapshot of every class's counters, in [`AttribClass::ALL`]
+    /// order — the baseline a streamed `attrib_delta` is diffed against
+    /// (via [`ClassCounters::minus`]).
+    pub fn counters(&self) -> [ClassCounters; AttribClass::ALL.len()] {
+        self.classes
     }
 
     /// Sum over every class.

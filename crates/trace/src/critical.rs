@@ -1,0 +1,462 @@
+//! Critical-path analysis over a [`SpanTree`]: where did each
+//! transaction's latency actually go?
+//!
+//! Every phase of a completed transaction is split into **service** time
+//! — cycles during which at least one of the phase's messages was on the
+//! wire (the union of message flight intervals, clamped to the phase) —
+//! and **queueing** time, the remainder: cycles spent parked in a home
+//! serializer queue, waiting out a NACK backoff, or occupying an MSHR
+//! with nothing in flight. Because phases tile a transaction exactly
+//! (`SpanTree::check`), the per-phase splits sum back to the end-to-end
+//! latency with no residue:
+//!
+//! ```text
+//! for every phase:        queueing + service == duration
+//! for every transaction:  Σ queueing + Σ service == latency
+//! ```
+//!
+//! The **blocking edge** of a phase is the single message whose clamped
+//! flight overlapped the phase longest — the edge a latency optimization
+//! would have to shorten first.
+
+use crate::json::Json;
+use crate::span::{PhaseSpan, SpanTree, TxnSpan};
+
+/// The message that dominated one phase's service time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockingEdge {
+    /// Message kind label (e.g. `read_req`).
+    pub msg: &'static str,
+    /// Source cluster.
+    pub src: u32,
+    /// Destination cluster.
+    pub dst: u32,
+    /// Cycles of the phase this message's flight covered.
+    pub overlap: u64,
+}
+
+/// One phase's latency split.
+#[derive(Clone, Debug)]
+pub struct PhaseCost {
+    /// Phase label (`issue`, `home_lookup`, `fanout`, `reply`).
+    pub phase: &'static str,
+    /// Phase start cycle (inclusive).
+    pub start: u64,
+    /// Phase end cycle (exclusive).
+    pub end: u64,
+    /// Cycles with at least one attached message in flight.
+    pub service: u64,
+    /// Cycles with nothing in flight: `duration − service`.
+    pub queueing: u64,
+    /// The longest-overlapping message, if any flew during the phase.
+    pub blocking: Option<BlockingEdge>,
+}
+
+impl PhaseCost {
+    /// Phase duration in cycles (`queueing + service`, by construction).
+    pub fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// One completed transaction's critical-path breakdown.
+#[derive(Clone, Debug)]
+pub struct TxnCost {
+    /// Transaction id.
+    pub txn: u64,
+    /// Requester cluster.
+    pub cluster: u32,
+    /// Block address.
+    pub block: u64,
+    /// Whether this was a write/ownership transaction.
+    pub write: bool,
+    /// End-to-end latency in cycles.
+    pub latency: u64,
+    /// NACK-driven reissues absorbed along the way.
+    pub retries: u32,
+    /// Total cycles queued across all phases.
+    pub queueing: u64,
+    /// Total cycles in service across all phases.
+    pub service: u64,
+    /// Per-phase splits, in phase order.
+    pub phases: Vec<PhaseCost>,
+}
+
+/// Aggregate critical-path report for a traced run.
+#[derive(Clone, Debug, Default)]
+pub struct CriticalReport {
+    /// Every completed transaction's breakdown, slowest first (ties
+    /// broken by transaction id for determinism).
+    pub txns: Vec<TxnCost>,
+    /// Incomplete transactions skipped by the analysis.
+    pub skipped: usize,
+}
+
+/// Cycles of `[send, deliver)` that fall inside `[start, end)`.
+fn clamped_overlap(send: u64, deliver: u64, start: u64, end: u64) -> u64 {
+    let lo = send.max(start);
+    let hi = deliver.min(end);
+    hi.saturating_sub(lo)
+}
+
+/// Splits one phase into queueing vs service against its attached
+/// messages (union of clamped flight intervals).
+fn phase_cost(p: &PhaseSpan) -> PhaseCost {
+    // Collect clamped flight intervals. Messages without a recorded
+    // delivery contribute nothing (their flight never demonstrably
+    // overlapped the phase).
+    let mut ivals: Vec<(u64, u64)> = p
+        .msgs
+        .iter()
+        .filter_map(|m| {
+            let deliver = m.deliver?;
+            let lo = m.send.max(p.start);
+            let hi = deliver.min(p.end);
+            (hi > lo).then_some((lo, hi))
+        })
+        .collect();
+    ivals.sort_unstable();
+    let mut service = 0u64;
+    let mut cursor = p.start;
+    for (lo, hi) in ivals {
+        let lo = lo.max(cursor);
+        if hi > lo {
+            service += hi - lo;
+            cursor = hi;
+        }
+    }
+    let blocking = p
+        .msgs
+        .iter()
+        .filter_map(|m| {
+            let deliver = m.deliver?;
+            let overlap = clamped_overlap(m.send, deliver, p.start, p.end);
+            (overlap > 0).then_some(BlockingEdge {
+                msg: m.msg,
+                src: m.src,
+                dst: m.dst,
+                overlap,
+            })
+        })
+        // Max by overlap; on ties the earliest-iterated (earliest-sent,
+        // since spans attach messages in send order) edge wins.
+        .fold(None::<BlockingEdge>, |best, e| match best {
+            Some(b) if b.overlap >= e.overlap => Some(b),
+            _ => Some(e),
+        });
+    PhaseCost {
+        phase: p.phase,
+        start: p.start,
+        end: p.end,
+        service,
+        queueing: p.duration() - service,
+        blocking,
+    }
+}
+
+fn txn_cost(t: &TxnSpan) -> TxnCost {
+    let phases: Vec<PhaseCost> = t.phases.iter().map(phase_cost).collect();
+    TxnCost {
+        txn: t.txn,
+        cluster: t.cluster,
+        block: t.block,
+        write: t.write,
+        latency: t.latency(),
+        retries: t.retries,
+        queueing: phases.iter().map(|p| p.queueing).sum(),
+        service: phases.iter().map(|p| p.service).sum(),
+        phases,
+    }
+}
+
+/// Analyzes every *completed* transaction of `tree`, slowest first.
+pub fn analyze(tree: &SpanTree) -> CriticalReport {
+    let mut txns: Vec<TxnCost> = tree
+        .txns
+        .iter()
+        .filter(|t| t.end.is_some())
+        .map(txn_cost)
+        .collect();
+    let skipped = tree.txns.len() - txns.len();
+    txns.sort_by(|a, b| b.latency.cmp(&a.latency).then(a.txn.cmp(&b.txn)));
+    CriticalReport { txns, skipped }
+}
+
+impl CriticalReport {
+    /// The `k` slowest transactions.
+    pub fn top(&self, k: usize) -> &[TxnCost] {
+        &self.txns[..k.min(self.txns.len())]
+    }
+
+    /// Run-wide cycles queued across all analyzed transactions.
+    pub fn total_queueing(&self) -> u64 {
+        self.txns.iter().map(|t| t.queueing).sum()
+    }
+
+    /// Run-wide cycles in service across all analyzed transactions.
+    pub fn total_service(&self) -> u64 {
+        self.txns.iter().map(|t| t.service).sum()
+    }
+
+    /// Human-readable top-`k` table with per-phase splits and blocking
+    /// edges.
+    pub fn render(&self, k: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let (q, s) = (self.total_queueing(), self.total_service());
+        let total = (q + s).max(1);
+        let _ = writeln!(
+            out,
+            "critical path: {} txns analyzed ({} incomplete skipped), \
+             queueing {q} cy ({:.1}%) vs service {s} cy ({:.1}%)",
+            self.txns.len(),
+            self.skipped,
+            q as f64 * 100.0 / total as f64,
+            s as f64 * 100.0 / total as f64,
+        );
+        for t in self.top(k) {
+            let _ = writeln!(
+                out,
+                "  txn {:>5} {} block {:#x} cluster {}: latency {} cy \
+                 (queue {} / service {}, {} retries)",
+                t.txn,
+                if t.write { "write" } else { "read " },
+                t.block,
+                t.cluster,
+                t.latency,
+                t.queueing,
+                t.service,
+                t.retries,
+            );
+            for p in &t.phases {
+                let edge = match &p.blocking {
+                    Some(e) => format!(
+                        " — blocked on {} {}→{} ({} cy)",
+                        e.msg, e.src, e.dst, e.overlap
+                    ),
+                    None => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "    {:<12} [{:>8}, {:>8}) queue {:>6} service {:>6}{edge}",
+                    p.phase, p.start, p.end, p.queueing, p.service,
+                );
+            }
+        }
+        out
+    }
+
+    /// Machine-readable top-`k` report (stable schema: add fields, never
+    /// rename).
+    pub fn to_json(&self, k: usize) -> Json {
+        Json::obj()
+            .with("schema", Json::Str("scd-critical/v1".into()))
+            .with("analyzed", Json::U64(self.txns.len() as u64))
+            .with("skipped", Json::U64(self.skipped as u64))
+            .with("total_queueing", Json::U64(self.total_queueing()))
+            .with("total_service", Json::U64(self.total_service()))
+            .with(
+                "top",
+                Json::Arr(
+                    self.top(k)
+                        .iter()
+                        .map(|t| {
+                            Json::obj()
+                                .with("txn", Json::U64(t.txn))
+                                .with("cluster", Json::U64(t.cluster as u64))
+                                .with("block", Json::U64(t.block))
+                                .with("write", Json::Bool(t.write))
+                                .with("latency", Json::U64(t.latency))
+                                .with("retries", Json::U64(t.retries as u64))
+                                .with("queueing", Json::U64(t.queueing))
+                                .with("service", Json::U64(t.service))
+                                .with(
+                                    "phases",
+                                    Json::Arr(
+                                        t.phases
+                                            .iter()
+                                            .map(|p| {
+                                                let mut pj = Json::obj()
+                                                    .with("phase", Json::Str(p.phase.into()))
+                                                    .with("start", Json::U64(p.start))
+                                                    .with("end", Json::U64(p.end))
+                                                    .with("queueing", Json::U64(p.queueing))
+                                                    .with("service", Json::U64(p.service));
+                                                if let Some(e) = &p.blocking {
+                                                    pj.set(
+                                                        "blocking",
+                                                        Json::obj()
+                                                            .with("msg", Json::Str(e.msg.into()))
+                                                            .with("src", Json::U64(e.src as u64))
+                                                            .with("dst", Json::U64(e.dst as u64))
+                                                            .with(
+                                                                "overlap",
+                                                                Json::U64(e.overlap),
+                                                            ),
+                                                    );
+                                                }
+                                                pj
+                                            })
+                                            .collect(),
+                                    ),
+                                )
+                        })
+                        .collect(),
+                ),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Phase, TraceEvent};
+
+    fn ev(seq: u64, cycle: u64, cluster: u32, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            seq,
+            cycle,
+            cluster,
+            kind,
+        }
+    }
+
+    /// One read transaction: begin at 10, home lookup at 40, end at 100,
+    /// with a request flying 10→40 and a reply flying 60→90.
+    fn lifecycle() -> Vec<TraceEvent> {
+        vec![
+            ev(1, 10, 0, EventKind::TxnBegin { txn: 1, block: 8, write: false }),
+            ev(
+                2,
+                10,
+                0,
+                EventKind::MsgSend {
+                    src: 0,
+                    dst: 1,
+                    msg: "read_req",
+                    class: "request",
+                    block: Some(8),
+                    hops: 1,
+                },
+            ),
+            ev(3, 40, 1, EventKind::MsgDeliver { src: 0, dst: 1, msg: "read_req", block: Some(8) }),
+            ev(4, 40, 1, EventKind::TxnPhase { txn: 1, block: 8, phase: Phase::HomeLookup }),
+            ev(
+                5,
+                60,
+                1,
+                EventKind::MsgSend {
+                    src: 1,
+                    dst: 0,
+                    msg: "read_reply",
+                    class: "reply",
+                    block: Some(8),
+                    hops: 1,
+                },
+            ),
+            ev(6, 90, 0, EventKind::MsgDeliver { src: 1, dst: 0, msg: "read_reply", block: Some(8) }),
+            ev(7, 100, 0, EventKind::TxnEnd { txn: 1, block: 8, latency: 90, retries: 0 }),
+        ]
+    }
+
+    #[test]
+    fn splits_tile_the_transaction_exactly() {
+        let tree = SpanTree::from_events(&lifecycle());
+        tree.check().expect("well-formed tree");
+        let report = analyze(&tree);
+        assert_eq!(report.txns.len(), 1);
+        assert_eq!(report.skipped, 0);
+        let t = &report.txns[0];
+        assert_eq!(t.latency, 90);
+        assert_eq!(t.queueing + t.service, t.latency);
+        for p in &t.phases {
+            assert_eq!(p.queueing + p.service, p.duration(), "phase {}", p.phase);
+        }
+        // issue [10,40): the request flies the whole phase.
+        assert_eq!(t.phases[0].phase, "issue");
+        assert_eq!(t.phases[0].service, 30);
+        assert_eq!(t.phases[0].queueing, 0);
+        let edge = t.phases[0].blocking.as_ref().expect("blocking edge");
+        assert_eq!((edge.msg, edge.src, edge.dst, edge.overlap), ("read_req", 0, 1, 30));
+        // home_lookup [40,100): the reply covers [60,90) of it.
+        assert_eq!(t.phases[1].phase, "home_lookup");
+        assert_eq!(t.phases[1].service, 30);
+        assert_eq!(t.phases[1].queueing, 30);
+        assert_eq!(t.phases[1].blocking.as_ref().unwrap().msg, "read_reply");
+    }
+
+    #[test]
+    fn overlapping_flights_are_not_double_counted() {
+        // Two messages covering [10,30) and [20,50) of an issue phase
+        // [10,60): union is 40 cycles, not 50.
+        let events = vec![
+            ev(1, 10, 0, EventKind::TxnBegin { txn: 1, block: 8, write: true }),
+            ev(
+                2,
+                10,
+                0,
+                EventKind::MsgSend {
+                    src: 0,
+                    dst: 1,
+                    msg: "write_req",
+                    class: "request",
+                    block: Some(8),
+                    hops: 1,
+                },
+            ),
+            ev(3, 30, 1, EventKind::MsgDeliver { src: 0, dst: 1, msg: "write_req", block: Some(8) }),
+            ev(
+                4,
+                20,
+                0,
+                EventKind::MsgSend {
+                    src: 0,
+                    dst: 2,
+                    msg: "write_req",
+                    class: "request",
+                    block: Some(8),
+                    hops: 2,
+                },
+            ),
+            ev(5, 50, 2, EventKind::MsgDeliver { src: 0, dst: 2, msg: "write_req", block: Some(8) }),
+            ev(6, 60, 0, EventKind::TxnEnd { txn: 1, block: 8, latency: 50, retries: 0 }),
+        ];
+        let tree = SpanTree::from_events(&events);
+        let report = analyze(&tree);
+        let t = &report.txns[0];
+        assert_eq!(t.phases.len(), 1);
+        assert_eq!(t.phases[0].service, 40);
+        assert_eq!(t.phases[0].queueing, 10);
+        // The longer-overlapping edge wins the blocking slot.
+        assert_eq!(t.phases[0].blocking.as_ref().unwrap().overlap, 30);
+    }
+
+    #[test]
+    fn report_orders_slowest_first_and_caps_top_k() {
+        let mut events = lifecycle();
+        // A second, faster transaction on another block.
+        events.extend([
+            ev(8, 200, 2, EventKind::TxnBegin { txn: 2, block: 16, write: false }),
+            ev(9, 220, 2, EventKind::TxnEnd { txn: 2, block: 16, latency: 20, retries: 0 }),
+        ]);
+        let report = analyze(&SpanTree::from_events(&events));
+        assert_eq!(report.txns.len(), 2);
+        assert!(report.txns[0].latency >= report.txns[1].latency);
+        assert_eq!(report.top(1).len(), 1);
+        assert_eq!(report.top(10).len(), 2);
+        let j = report.to_json(10);
+        assert_eq!(j.get("schema").and_then(Json::as_str), Some("scd-critical/v1"));
+        assert_eq!(j.get("analyzed").and_then(Json::as_u64), Some(2));
+        let rendered = report.render(5);
+        assert!(rendered.contains("critical path:"), "{rendered}");
+        assert!(rendered.contains("blocked on"), "{rendered}");
+    }
+
+    #[test]
+    fn incomplete_transactions_are_skipped_not_analyzed() {
+        let events = vec![ev(1, 10, 0, EventKind::TxnBegin { txn: 1, block: 8, write: false })];
+        let report = analyze(&SpanTree::from_events(&events));
+        assert!(report.txns.is_empty());
+        assert_eq!(report.skipped, 1);
+    }
+}

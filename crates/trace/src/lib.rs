@@ -22,16 +22,25 @@
 //! stacks, [`Attribution`] splits traffic into scheme-relevant classes
 //! under a byte/flit wire model, and [`report`] diffs two run documents
 //! as a CI perf gate.
+//!
+//! The [`sink`] module streams the same records *during* the run — a
+//! [`TraceSink`] consumes JSONL lines incrementally (file or
+//! bounded-channel transport with explicit drop accounting) in the exact
+//! bytes the post-hoc exporters would produce — and [`critical`] walks a
+//! [`SpanTree`] to split every transaction's latency into queueing vs
+//! service time per phase with its blocking edges.
 
 #![warn(missing_docs)]
 
 pub mod attrib;
+pub mod critical;
 pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
 pub mod replay;
 pub mod report;
+pub mod sink;
 pub mod span;
 pub mod tracer;
 
@@ -39,11 +48,17 @@ pub use attrib::{
     validate_attrib_json, AttribClass, AttribParams, Attribution, ClassCounters,
     ATTRIB_SCHEMA,
 };
+pub use critical::{analyze, BlockingEdge, CriticalReport, PhaseCost, TxnCost};
 pub use event::{EventKind, Phase, TraceEvent};
 pub use json::Json;
 pub use metrics::{IntervalSnapshot, MetricsRegistry, TxnTimeline, LATENCY_BUCKET_CAP};
 pub use perfetto::{to_perfetto, validate_perfetto, PerfettoSummary};
 pub use replay::{validate_stats_json, validate_trace, TraceSummary};
+pub use sink::{
+    attrib_delta_record, event_line, extract_trace_lines, interval_record, run_end_record,
+    run_meta_record, validate_stream, BufferSink, ChannelSink, JsonlFileSink, StreamSummary,
+    TraceSink, EVENT_TYPES,
+};
 pub use report::{
     compare_docs, compare_throughput, doc_label, throughput_rates, tracked_metrics, Comparison,
     ReportMetric, ThroughputComparison, ThroughputMetric,

@@ -53,7 +53,10 @@ pub struct IntervalSnapshot {
 }
 
 impl IntervalSnapshot {
-    fn to_json(self) -> Json {
+    /// The window as a JSON object — the element shape of the
+    /// `scd-metrics/v1` `intervals` array and the `window` payload of a
+    /// streamed `interval` record.
+    pub fn to_json(self) -> Json {
         Json::obj()
             .with("start", Json::U64(self.start))
             .with("end", Json::U64(self.end))

@@ -59,16 +59,7 @@ fn req_u64(obj: &Json, key: &str, line: usize) -> Result<u64, String> {
 ///    non-decreasing `backoff` (exponential backoff never shrinks), and a
 ///    `txn_end.retries` no smaller than the retry events observed.
 pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
-    const KNOWN: [&str; 8] = [
-        "txn_begin",
-        "txn_phase",
-        "txn_end",
-        "nack",
-        "retry",
-        "replacement",
-        "msg_send",
-        "msg_deliver",
-    ];
+    const KNOWN: [&str; 8] = crate::sink::EVENT_TYPES;
     let mut summary = TraceSummary::default();
     let mut last_seq: Option<u64> = None;
     let mut last_cycle: Option<u64> = None;
@@ -288,6 +279,23 @@ pub fn validate_stats_json(text: &str) -> Result<(), String> {
     if let Some(attrib) = j.get("attribution") {
         if *attrib != Json::Null {
             crate::attrib::validate_attrib_json(attrib)?;
+        }
+    }
+    if let Some(trace) = j.get("trace") {
+        if *trace != Json::Null {
+            let recorded = trace
+                .get("recorded")
+                .and_then(Json::as_u64)
+                .ok_or("trace.recorded missing or not an integer")?;
+            let dropped = trace
+                .get("dropped_events")
+                .and_then(Json::as_u64)
+                .ok_or("trace.dropped_events missing or not an integer")?;
+            if dropped > recorded {
+                return Err(format!(
+                    "trace.dropped_events {dropped} > trace.recorded {recorded}"
+                ));
+            }
         }
     }
     Ok(())

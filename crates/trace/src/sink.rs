@@ -1,0 +1,629 @@
+//! Streaming sinks: incremental JSONL telemetry emitted *during* a run.
+//!
+//! The post-hoc exporters (PRs 2–3) only speak after `Machine::run`
+//! returns; a sink receives the same records line by line while the run
+//! is still in flight. Three contracts:
+//!
+//! * **Byte compatibility.** Trace-event lines pushed through a sink are
+//!   byte-identical to the lines a post-hoc `--trace-out` file would
+//!   contain, in the same `(cycle, seq)` merge order (the machine holds
+//!   future-stamped events back until the simulation clock passes them).
+//!   When rings are large enough that nothing is evicted,
+//!   [`extract_trace_lines`] over the stream equals the post-hoc file
+//!   exactly; with eviction the stream is a strict superset — streaming
+//!   never loses what the rings lost.
+//! * **Inert when detached.** A machine with no sink attached behaves
+//!   bit-identically to one built before sinks existed; the hook is one
+//!   pre-computed bool per event, under the same <2% disabled-overhead
+//!   guard as tracing itself.
+//! * **Backpressure never blocks the simulation.** A sink that cannot
+//!   keep up sheds *its own* load: [`ChannelSink`] drops the newest line
+//!   and counts it, it never stalls the caller.
+//!
+//! Stream-only records (`run_meta`, `interval`, `attrib_delta`,
+//! `run_end`, and the sweep engine's `sweep_begin`/`sweep_run`/
+//! `sweep_end`) share the JSONL transport and are distinguished by their
+//! `type` field, which is disjoint from the eight trace-event types.
+
+use std::collections::BTreeSet;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+
+use crate::event::TraceEvent;
+use crate::json::Json;
+use crate::metrics::IntervalSnapshot;
+use crate::replay::{validate_trace, TraceSummary};
+
+/// The eight trace-event `type`s (the JSONL envelope of
+/// [`TraceEvent::to_json`]). Stream-only record types must stay disjoint
+/// from this set so a stream can be split back into events and records.
+pub const EVENT_TYPES: [&str; 8] = [
+    "txn_begin",
+    "txn_phase",
+    "txn_end",
+    "nack",
+    "retry",
+    "replacement",
+    "msg_send",
+    "msg_deliver",
+];
+
+/// A consumer of rendered JSONL telemetry lines.
+///
+/// Implementations must never block the caller: the machine emits from
+/// inside its event loop, so a slow consumer has to buffer or shed load
+/// on its own side and account for what it shed via [`TraceSink::dropped`].
+pub trait TraceSink: Send {
+    /// Consumes one rendered JSONL line (no trailing newline).
+    fn emit(&mut self, line: &str);
+
+    /// Pushes any buffered lines to the underlying transport.
+    fn flush(&mut self);
+
+    /// Lines this sink discarded under backpressure (0 for lossless
+    /// sinks).
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// Lossless file sink: one JSONL line per [`TraceSink::emit`], buffered
+/// through a [`std::io::BufWriter`]. Write errors are counted as dropped
+/// lines rather than surfaced mid-run (the simulation must not fail
+/// because a disk filled).
+pub struct JsonlFileSink {
+    out: std::io::BufWriter<std::fs::File>,
+    dropped: u64,
+}
+
+impl JsonlFileSink {
+    /// Creates (truncating) `path` and returns a sink writing to it.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(JsonlFileSink {
+            out: std::io::BufWriter::new(std::fs::File::create(path)?),
+            dropped: 0,
+        })
+    }
+}
+
+impl TraceSink for JsonlFileSink {
+    fn emit(&mut self, line: &str) {
+        if writeln!(self.out, "{line}").is_err() {
+            self.dropped += 1;
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Drop for JsonlFileSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Bounded-channel sink for live consumers (dashboards, servers).
+///
+/// Backpressure policy: **drop-newest, never block**. When the channel's
+/// buffer is full (or the receiver hung up), the line being emitted is
+/// discarded and counted; lines already buffered are preserved, so the
+/// consumer sees a prefix-faithful stream plus an honest drop count.
+pub struct ChannelSink {
+    tx: SyncSender<String>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl ChannelSink {
+    /// A sink/receiver pair over a channel buffering at most `capacity`
+    /// lines.
+    pub fn bounded(capacity: usize) -> (Self, Receiver<String>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+        (
+            ChannelSink {
+                tx,
+                dropped: Arc::new(AtomicU64::new(0)),
+            },
+            rx,
+        )
+    }
+
+    /// A shared handle onto the drop counter, for observing shed load
+    /// after the sink has been boxed and handed to the machine.
+    pub fn drop_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.dropped)
+    }
+}
+
+impl TraceSink for ChannelSink {
+    fn emit(&mut self, line: &str) {
+        match self.tx.try_send(line.to_string()) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn flush(&mut self) {}
+
+    fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// In-memory sink for tests: lossless, shared via an
+/// `Arc<Mutex<Vec<String>>>` handle that outlives the boxed sink.
+#[derive(Default)]
+pub struct BufferSink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl BufferSink {
+    /// An empty buffer sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared line buffer (clone before boxing the sink).
+    pub fn handle(&self) -> Arc<Mutex<Vec<String>>> {
+        Arc::clone(&self.lines)
+    }
+}
+
+impl TraceSink for BufferSink {
+    fn emit(&mut self, line: &str) {
+        self.lines.lock().unwrap().push(line.to_string());
+    }
+
+    fn flush(&mut self) {}
+}
+
+// ---------------------------------------------------------------------
+// Stream-only record constructors. The schemas are part of the public
+// JSONL surface: add fields, never rename.
+// ---------------------------------------------------------------------
+
+/// `run_meta`: the opening record of a single-run stream, carrying the
+/// same `run` object the `scd-run-stats/v1` document embeds.
+pub fn run_meta_record(run: &Json) -> Json {
+    Json::obj()
+        .with("type", Json::Str("run_meta".into()))
+        .with("run", run.clone())
+}
+
+/// `interval`: one window of the interval time series, emitted at its
+/// closing boundary. Every trace event with `cycle < window.end`
+/// precedes this record in the stream.
+pub fn interval_record(snap: &IntervalSnapshot) -> Json {
+    Json::obj()
+        .with("type", Json::Str("interval".into()))
+        .with("window", snap.to_json())
+}
+
+/// `attrib_delta`: per-class and per-link traffic accumulated during one
+/// interval window (`classes` keys follow `AttribClass::label`; `links`
+/// is capped to the busiest movers of the window, sorted by endpoint).
+pub fn attrib_delta_record(
+    start: u64,
+    end: u64,
+    classes: &[(&'static str, Json)],
+    links: &[(usize, usize, u64)],
+) -> Json {
+    let mut cls = Json::obj();
+    for (label, counters) in classes {
+        cls.set(label, counters.clone());
+    }
+    Json::obj()
+        .with("type", Json::Str("attrib_delta".into()))
+        .with("start", Json::U64(start))
+        .with("end", Json::U64(end))
+        .with("classes", cls)
+        .with(
+            "links",
+            Json::Arr(
+                links
+                    .iter()
+                    .map(|(from, to, flits)| {
+                        Json::obj()
+                            .with("from", Json::U64(*from as u64))
+                            .with("to", Json::U64(*to as u64))
+                            .with("flits", Json::U64(*flits))
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// `run_end`: the closing record of a single-run stream. `recorded` and
+/// `dropped_events` mirror the tracer's counters, so a consumer can tell
+/// how much ring history the post-hoc file will be missing.
+pub fn run_end_record(cycles: u64, recorded: u64, dropped_events: u64) -> Json {
+    Json::obj()
+        .with("type", Json::Str("run_end".into()))
+        .with("cycles", Json::U64(cycles))
+        .with("recorded", Json::U64(recorded))
+        .with("dropped_events", Json::U64(dropped_events))
+}
+
+/// Extracts the trace-event lines of a stream, verbatim and in order,
+/// ready to diff byte-for-byte against a post-hoc `--trace-out` file.
+/// Returns an empty string when the stream holds no events.
+pub fn extract_trace_lines(stream: &str) -> String {
+    let mut out = String::new();
+    for line in stream.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Ok(obj) = Json::parse(line) {
+            if let Some(ty) = obj.get("type").and_then(Json::as_str) {
+                if EVENT_TYPES.contains(&ty) {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    out
+}
+
+/// What a validated stream contained.
+#[derive(Clone, Debug, Default)]
+pub struct StreamSummary {
+    /// Non-empty lines in the stream.
+    pub lines: usize,
+    /// Trace-event lines (also validated as a trace).
+    pub events: usize,
+    /// Interval records.
+    pub intervals: usize,
+    /// Attribution-delta records.
+    pub attrib_deltas: usize,
+    /// Sweep per-run progress records.
+    pub sweep_runs: usize,
+    /// Whether a `run_end` record closed the stream.
+    pub run_ended: bool,
+    /// Whether a `sweep_end` record closed the stream.
+    pub sweep_ended: bool,
+    /// The embedded trace's summary (zeroed when the stream had no
+    /// events).
+    pub trace: TraceSummary,
+}
+
+fn req_u64(obj: &Json, key: &str, line_no: usize) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("line {line_no}: `{key}` missing or not an integer"))
+}
+
+/// Validates a streamed JSONL telemetry file: every line is a known
+/// record, the embedded trace-event lines form a valid trace (all
+/// [`validate_trace`] invariants), interval windows tile and are ordered
+/// against the events around them, sweep progress counts monotonically
+/// to its total, and a `run_end`/`sweep_end` record (if present) is the
+/// final line.
+pub fn validate_stream(text: &str) -> Result<StreamSummary, String> {
+    let mut summary = StreamSummary::default();
+    let mut trace_lines = String::new();
+    let mut last_interval_end: Option<u64> = None;
+    let mut sweep_total: Option<u64> = None;
+    let mut sweep_completed: u64 = 0;
+    let mut sweep_indices: BTreeSet<u64> = BTreeSet::new();
+    let mut closed_by: Option<&'static str> = None;
+
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(closer) = closed_by {
+            return Err(format!("line {line_no}: record after `{closer}`"));
+        }
+        summary.lines += 1;
+        let obj = Json::parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        let ty = obj
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {line_no}: missing `type`"))?;
+        if EVENT_TYPES.contains(&ty) {
+            summary.events += 1;
+            let cycle = req_u64(&obj, "cycle", line_no)?;
+            // Ordering guarantee: an interval record is emitted only after
+            // every event of its window, so no event may surface later
+            // with a cycle from inside an already-closed window.
+            if let Some(end) = last_interval_end {
+                if cycle < end {
+                    return Err(format!(
+                        "line {line_no}: event at cycle {cycle} after the interval ending at {end}"
+                    ));
+                }
+            }
+            trace_lines.push_str(line);
+            trace_lines.push('\n');
+            continue;
+        }
+        match ty {
+            "run_meta" => {
+                obj.get("run")
+                    .ok_or_else(|| format!("line {line_no}: run_meta without `run`"))?;
+            }
+            "interval" => {
+                summary.intervals += 1;
+                let window = obj
+                    .get("window")
+                    .ok_or_else(|| format!("line {line_no}: interval without `window`"))?;
+                let start = req_u64(window, "start", line_no)?;
+                let end = req_u64(window, "end", line_no)?;
+                if end <= start {
+                    return Err(format!(
+                        "line {line_no}: interval window [{start}, {end}) is empty"
+                    ));
+                }
+                if let Some(prev) = last_interval_end {
+                    if start != prev {
+                        return Err(format!(
+                            "line {line_no}: interval starts at {start}, previous ended at {prev}"
+                        ));
+                    }
+                }
+                last_interval_end = Some(end);
+            }
+            "attrib_delta" => {
+                summary.attrib_deltas += 1;
+                let start = req_u64(&obj, "start", line_no)?;
+                let end = req_u64(&obj, "end", line_no)?;
+                if end <= start {
+                    return Err(format!(
+                        "line {line_no}: attrib_delta window [{start}, {end}) is empty"
+                    ));
+                }
+                obj.get("classes")
+                    .ok_or_else(|| format!("line {line_no}: attrib_delta without `classes`"))?;
+            }
+            "run_end" => {
+                let recorded = req_u64(&obj, "recorded", line_no)?;
+                let dropped = req_u64(&obj, "dropped_events", line_no)?;
+                req_u64(&obj, "cycles", line_no)?;
+                if dropped > recorded {
+                    return Err(format!(
+                        "line {line_no}: run_end dropped_events {dropped} > recorded {recorded}"
+                    ));
+                }
+                if (summary.events as u64) > recorded {
+                    return Err(format!(
+                        "line {line_no}: stream carries {} events but run_end says {recorded} recorded",
+                        summary.events
+                    ));
+                }
+                summary.run_ended = true;
+                closed_by = Some("run_end");
+            }
+            "sweep_begin" => {
+                let total = req_u64(&obj, "total", line_no)?;
+                if total == 0 {
+                    return Err(format!("line {line_no}: sweep_begin with total 0"));
+                }
+                sweep_total = Some(total);
+            }
+            "sweep_run" => {
+                summary.sweep_runs += 1;
+                let total = sweep_total
+                    .ok_or_else(|| format!("line {line_no}: sweep_run before sweep_begin"))?;
+                let completed = req_u64(&obj, "completed", line_no)?;
+                let index = req_u64(&obj, "index", line_no)?;
+                if completed != sweep_completed + 1 || completed > total {
+                    return Err(format!(
+                        "line {line_no}: sweep_run completed {completed} after {sweep_completed} (total {total})"
+                    ));
+                }
+                if !sweep_indices.insert(index) {
+                    return Err(format!("line {line_no}: sweep_run index {index} repeats"));
+                }
+                sweep_completed = completed;
+            }
+            "sweep_end" => {
+                let runs = req_u64(&obj, "runs", line_no)?;
+                if runs != sweep_completed {
+                    return Err(format!(
+                        "line {line_no}: sweep_end runs {runs} != {sweep_completed} sweep_run records"
+                    ));
+                }
+                summary.sweep_ended = true;
+                closed_by = Some("sweep_end");
+            }
+            other => {
+                return Err(format!("line {line_no}: unknown record type `{other}`"));
+            }
+        }
+    }
+    if !trace_lines.is_empty() {
+        summary.trace = validate_trace(&trace_lines)
+            .map_err(|e| format!("embedded trace: {e}"))?;
+    }
+    Ok(summary)
+}
+
+/// Renders one [`TraceEvent`] exactly as the streamed and post-hoc JSONL
+/// surfaces do (a convenience wrapper so callers don't have to remember
+/// that the byte contract is `to_json().to_string()`).
+pub fn event_line(ev: &TraceEvent) -> String {
+    ev.to_json().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn event(seq: u64, cycle: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            cycle,
+            cluster: 0,
+            kind: EventKind::TxnBegin {
+                txn: seq,
+                block: 8,
+                write: false,
+            },
+        }
+    }
+
+    fn end_event(seq: u64, cycle: u64, txn: u64, begin: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            cycle,
+            cluster: 0,
+            kind: EventKind::TxnEnd {
+                txn,
+                block: 8,
+                latency: cycle - begin,
+                retries: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn channel_sink_drops_newest_and_counts() {
+        let (mut sink, rx) = ChannelSink::bounded(2);
+        let drops = sink.drop_counter();
+        for i in 0..5 {
+            sink.emit(&format!("line {i}"));
+        }
+        assert_eq!(sink.dropped(), 3);
+        assert_eq!(drops.load(Ordering::Relaxed), 3);
+        // The buffered prefix survives intact: drop-newest, not drop-oldest.
+        let got: Vec<String> = rx.try_iter().collect();
+        assert_eq!(got, vec!["line 0".to_string(), "line 1".to_string()]);
+    }
+
+    #[test]
+    fn channel_sink_counts_disconnected_receiver() {
+        let (mut sink, rx) = ChannelSink::bounded(4);
+        drop(rx);
+        sink.emit("orphan");
+        assert_eq!(sink.dropped(), 1);
+    }
+
+    #[test]
+    fn buffer_sink_is_lossless_and_shared() {
+        let sink = BufferSink::new();
+        let handle = sink.handle();
+        let mut boxed: Box<dyn TraceSink> = Box::new(sink);
+        boxed.emit("a");
+        boxed.emit("b");
+        assert_eq!(boxed.dropped(), 0);
+        assert_eq!(*handle.lock().unwrap(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn extraction_is_verbatim_and_order_preserving() {
+        let ev1 = event_line(&event(1, 10));
+        let ev2 = event_line(&end_event(2, 30, 1, 10));
+        let stream = format!(
+            "{}\n{ev1}\n{}\n{ev2}\n{}\n",
+            run_meta_record(&Json::obj()),
+            interval_record(&IntervalSnapshot {
+                start: 0,
+                end: 20,
+                ..Default::default()
+            }),
+            run_end_record(30, 2, 0),
+        );
+        assert_eq!(extract_trace_lines(&stream), format!("{ev1}\n{ev2}\n"));
+    }
+
+    #[test]
+    fn validates_a_well_formed_run_stream() {
+        let stream = format!(
+            "{}\n{}\n{}\n{}\n{}\n",
+            run_meta_record(&Json::obj().with("app", Json::Str("lu".into()))),
+            event_line(&event(1, 10)),
+            interval_record(&IntervalSnapshot { start: 0, end: 20, ..Default::default() }),
+            event_line(&end_event(2, 30, 1, 10)),
+            run_end_record(30, 2, 0),
+        );
+        let s = validate_stream(&stream).expect("valid stream");
+        assert_eq!(s.events, 2);
+        assert_eq!(s.intervals, 1);
+        assert!(s.run_ended);
+        assert_eq!(s.trace.events, 2);
+        assert_eq!(s.trace.transactions, 1);
+    }
+
+    #[test]
+    fn rejects_records_after_the_closing_record() {
+        let stream = format!(
+            "{}\n{}\n",
+            run_end_record(10, 0, 0),
+            event_line(&event(1, 5)),
+        );
+        let err = validate_stream(&stream).unwrap_err();
+        assert!(err.contains("after `run_end`"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_tiling_intervals() {
+        let stream = format!(
+            "{}\n{}\n",
+            interval_record(&IntervalSnapshot { start: 0, end: 20, ..Default::default() }),
+            interval_record(&IntervalSnapshot { start: 30, end: 40, ..Default::default() }),
+        );
+        let err = validate_stream(&stream).unwrap_err();
+        assert!(err.contains("previous ended at 20"), "{err}");
+    }
+
+    #[test]
+    fn rejects_overclaiming_drop_counts() {
+        let err = validate_stream(&format!("{}\n", run_end_record(10, 3, 5))).unwrap_err();
+        assert!(err.contains("dropped_events 5 > recorded 3"), "{err}");
+    }
+
+    #[test]
+    fn validates_sweep_progress_records() {
+        let begin = Json::obj()
+            .with("type", Json::Str("sweep_begin".into()))
+            .with("total", Json::U64(2))
+            .with("jobs", Json::U64(1));
+        let run = |i: u64, done: u64| {
+            Json::obj()
+                .with("type", Json::Str("sweep_run".into()))
+                .with("index", Json::U64(i))
+                .with("completed", Json::U64(done))
+                .with("total", Json::U64(2))
+        };
+        let end = Json::obj()
+            .with("type", Json::Str("sweep_end".into()))
+            .with("runs", Json::U64(2));
+        let ok = format!("{begin}\n{}\n{}\n{end}\n", run(0, 1), run(1, 2));
+        let s = validate_stream(&ok).expect("valid sweep stream");
+        assert_eq!(s.sweep_runs, 2);
+        assert!(s.sweep_ended);
+
+        let skipped = format!("{begin}\n{}\n", run(0, 2));
+        assert!(validate_stream(&skipped).is_err(), "completed must count 1, 2, ...");
+        let repeated = format!("{begin}\n{}\n{}\n", run(0, 1), run(0, 2));
+        let err = validate_stream(&repeated).unwrap_err();
+        assert!(err.contains("index 0 repeats"), "{err}");
+    }
+
+    #[test]
+    fn stream_record_types_stay_disjoint_from_event_types() {
+        for ty in [
+            "run_meta",
+            "interval",
+            "attrib_delta",
+            "run_end",
+            "sweep_begin",
+            "sweep_run",
+            "sweep_end",
+        ] {
+            assert!(!EVENT_TYPES.contains(&ty), "`{ty}` collides with an event type");
+        }
+    }
+}

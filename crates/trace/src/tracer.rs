@@ -87,12 +87,30 @@ impl TraceConfig {
 /// cycle order (ties broken by recording sequence, which is itself a
 /// valid causal order: the simulator records effects after causes within
 /// a cycle).
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Tracer {
     rings: Vec<RingLog<TraceEvent>>,
     seq: u64,
     dropped: u64,
     messages: bool,
+    /// Streaming tap: when armed, every recorded event is also appended
+    /// here (eviction-proof) for the machine's stream pump to drain.
+    mirror: Option<Vec<TraceEvent>>,
+}
+
+/// Cloning resets the mirror: a cloned machine (exploration branching)
+/// must not stream, and an undrained mirror would grow without bound.
+/// Ring history, counters, and config are preserved.
+impl Clone for Tracer {
+    fn clone(&self) -> Self {
+        Tracer {
+            rings: self.rings.clone(),
+            seq: self.seq,
+            dropped: self.dropped,
+            messages: self.messages,
+            mirror: None,
+        }
+    }
 }
 
 impl Tracer {
@@ -105,6 +123,7 @@ impl Tracer {
             seq: 0,
             dropped: 0,
             messages: cfg.messages,
+            mirror: None,
         }
     }
 
@@ -115,6 +134,24 @@ impl Tracer {
             seq: 0,
             dropped: 0,
             messages: false,
+            mirror: None,
+        }
+    }
+
+    /// Arms (or disarms) the streaming mirror. While armed, every
+    /// recorded event is also buffered for [`Tracer::take_mirror`] —
+    /// including events a full ring will evict, so a stream never loses
+    /// what the rings lost.
+    pub fn set_mirror(&mut self, on: bool) {
+        self.mirror = on.then(Vec::new);
+    }
+
+    /// Drains the mirrored events recorded since the last call (empty
+    /// when the mirror is disarmed).
+    pub fn take_mirror(&mut self) -> Vec<TraceEvent> {
+        match &mut self.mirror {
+            Some(m) => std::mem::take(m),
+            None => Vec::new(),
         }
     }
 
@@ -132,12 +169,16 @@ impl Tracer {
         if ring.len() == ring.capacity() && ring.capacity() > 0 {
             self.dropped += 1;
         }
-        ring.push(TraceEvent {
+        let ev = TraceEvent {
             seq: self.seq,
             cycle,
             cluster: cluster as u32,
             kind,
-        });
+        };
+        if let Some(m) = &mut self.mirror {
+            m.push(ev.clone());
+        }
+        ring.push(ev);
     }
 
     /// Events recorded since the run began (including any since evicted
@@ -239,6 +280,23 @@ mod tests {
         assert_eq!(tail.len(), 2);
         assert_eq!(tail[0].cycle, 4);
         assert_eq!(tail[1].cycle, 5);
+    }
+
+    #[test]
+    fn mirror_survives_eviction_and_is_disarmed_by_clone() {
+        let mut t = Tracer::new(1, &TraceConfig::full(2));
+        t.set_mirror(true);
+        for i in 0..5 {
+            t.record(0, i, phase(i));
+        }
+        assert_eq!(t.take_mirror().len(), 5, "mirror keeps what the ring evicts");
+        assert!(t.take_mirror().is_empty(), "take drains");
+        t.record(0, 9, phase(9));
+        let mut clone = t.clone();
+        assert_eq!(clone.recorded(), t.recorded());
+        assert_eq!(t.take_mirror().len(), 1, "original keeps streaming");
+        clone.record(0, 10, phase(10));
+        assert!(clone.take_mirror().is_empty(), "clone's mirror is disarmed");
     }
 
     #[test]

@@ -8,9 +8,12 @@
 //! the CI determinism check does exactly that.
 
 use bench::{
-    generate_app, run_sweep, sweep_document, write_bench_json_in, SparseVariant, SweepSpec,
+    generate_app, run_sweep_with, sweep_begin_record, sweep_document, sweep_end_record,
+    write_bench_json_in, SparseVariant, SweepSpec,
 };
 use scd::core::Scheme;
+use scd::trace::{JsonlFileSink, TraceSink};
+use std::io::IsTerminal;
 
 const HELP: &str = "\
 scd-sweep: run an app x scheme x sparse x seed grid on a worker pool
@@ -28,6 +31,9 @@ usage: scd-sweep [options]
   --clusters <n>      cluster count, one processor each (default 32)
   --out <path>        write the scd-sweep/v1 document (default: stdout)
   --bench-out <dir>   also write per-run BENCH_<app>_<scheme>.json points
+  --stream-out <path> publish live sweep progress as JSONL while the grid
+                      runs (sweep_begin, one sweep_run per finished point,
+                      sweep_end; point scd-top at it for a dashboard)
   --no-timing         omit the wall-clock timing section (byte-deterministic
                       output for determinism checks)
   --trajectory        shorthand for the perf-trajectory grid: all apps,
@@ -85,6 +91,7 @@ fn main() {
     };
     let mut out: Option<String> = None;
     let mut bench_out: Option<String> = None;
+    let mut stream_out: Option<String> = None;
     let mut timing = true;
 
     let mut args = std::env::args().skip(1);
@@ -132,6 +139,7 @@ fn main() {
             }
             "--out" => out = Some(val()),
             "--bench-out" => bench_out = Some(val()),
+            "--stream-out" => stream_out = Some(val()),
             "--no-timing" => timing = false,
             "--trajectory" => {
                 let scale = spec.scale;
@@ -178,7 +186,37 @@ fn main() {
         spec.seeds.len()
     );
 
-    let outcome = run_sweep(&spec, jobs);
+    let mut sink: Option<JsonlFileSink> = stream_out.as_ref().map(|path| {
+        JsonlFileSink::create(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("scd-sweep: cannot open {path} for streaming: {e}");
+            std::process::exit(1);
+        })
+    });
+    if let Some(sink) = sink.as_mut() {
+        sink.emit(&sweep_begin_record(&spec, jobs).to_string());
+        sink.flush();
+    }
+    // Live per-run progress goes to stderr only when someone is watching
+    // (suppressed under redirection so logs stay clean); the stream file,
+    // when requested, gets every record regardless and is flushed per run
+    // so a dashboard can tail it.
+    let progress_tty = std::io::stderr().is_terminal();
+    let outcome = run_sweep_with(&spec, jobs, &mut |p| {
+        if progress_tty {
+            eprintln!("[scd-sweep] {}", p.render());
+        }
+        if let Some(sink) = sink.as_mut() {
+            sink.emit(&p.to_json().to_string());
+            sink.flush();
+        }
+    });
+    if let Some(sink) = sink.as_mut() {
+        sink.emit(&sweep_end_record(&outcome).to_string());
+        sink.flush();
+    }
+    if let Some(path) = &stream_out {
+        eprintln!("[scd-sweep] progress stream written to {path}");
+    }
 
     for run in &outcome.runs {
         eprintln!(

@@ -11,35 +11,52 @@
 //!
 //! ```text
 //! scd-validate [--trace <file>]... [--stats <file>]...
-//!              [--perfetto <file>]... [<file>]...
+//!              [--perfetto <file>]... [--stream <file>]...
+//!              [--extract-trace <file>] [<file>]...
 //! ```
 //!
 //! Bare file arguments are auto-detected by extension: `.jsonl` is treated
 //! as a trace, anything else as a stats document. Exits non-zero if any
-//! file fails validation.
+//! file fails validation. `--extract-trace` is a filter, not a check: it
+//! prints the trace-event lines of a live telemetry stream
+//! (`scdsim --stream-out`) verbatim to stdout, so CI can `cmp` the
+//! streamed trace against the post-hoc `--trace-out` file.
 
-use scd::trace::{validate_perfetto, validate_stats_json, validate_trace};
+use scd::trace::{
+    extract_trace_lines, validate_perfetto, validate_stats_json, validate_stream, validate_trace,
+};
 use std::process::exit;
 
 const HELP: &str = "\
 scd-validate: check scd telemetry files against their schemas
 
 usage: scd-validate [--trace <file>]... [--stats <file>]...
-                    [--perfetto <file>]... [<file>]...
+                    [--perfetto <file>]... [--stream <file>]...
+                    [--extract-trace <file>] [<file>]...
 
-  --trace <file>     validate a JSONL transaction trace (scdsim --trace-out)
-  --stats <file>     validate an scd-run-stats/v1 document
-                     (scdsim --stats-json, BENCH_*.json)
-  --perfetto <file>  validate a chrome trace_event export
-                     (scdsim --perfetto-out)
-  <file>             auto-detect: .jsonl -> trace, otherwise stats
-  -h, --help         show this help
+  --trace <file>         validate a JSONL transaction trace
+                         (scdsim --trace-out)
+  --stats <file>         validate an scd-run-stats/v1 document
+                         (scdsim --stats-json, BENCH_*.json)
+  --perfetto <file>      validate a chrome trace_event export
+                         (scdsim --perfetto-out)
+  --stream <file>        validate a live telemetry stream
+                         (scdsim --stream-out, scd-sweep --stream-out):
+                         record shapes, event/interval ordering, interval
+                         tiling, sweep progress monotonicity, closing
+                         run_end/sweep_end
+  --extract-trace <file> print the stream's trace-event lines verbatim to
+                         stdout (byte-comparable with --trace-out output)
+  <file>                 auto-detect: .jsonl -> trace, otherwise stats
+  -h, --help             show this help
 ";
 
 enum Kind {
     Trace,
     Stats,
     Perfetto,
+    Stream,
+    ExtractTrace,
 }
 
 fn read(path: &str) -> String {
@@ -61,7 +78,7 @@ fn main() {
                 print!("{HELP}");
                 return;
             }
-            "--trace" | "--stats" | "--perfetto" => {
+            "--trace" | "--stats" | "--perfetto" | "--stream" | "--extract-trace" => {
                 let Some(path) = args.next() else {
                     eprintln!("scd-validate: {arg} needs a file argument");
                     exit(2);
@@ -69,6 +86,8 @@ fn main() {
                 let kind = match arg.as_str() {
                     "--trace" => Kind::Trace,
                     "--perfetto" => Kind::Perfetto,
+                    "--stream" => Kind::Stream,
+                    "--extract-trace" => Kind::ExtractTrace,
                     _ => Kind::Stats,
                 };
                 jobs.push((kind, path));
@@ -128,6 +147,26 @@ fn main() {
                     failures += 1;
                 }
             },
+            Kind::Stream => match validate_stream(&text) {
+                Ok(s) => {
+                    println!(
+                        "{path}: OK — {} lines ({} events, {} intervals, {} attrib deltas, \
+                         {} sweep runs{}{})",
+                        s.lines,
+                        s.events,
+                        s.intervals,
+                        s.attrib_deltas,
+                        s.sweep_runs,
+                        if s.run_ended { ", run_end" } else { "" },
+                        if s.sweep_ended { ", sweep_end" } else { "" },
+                    );
+                }
+                Err(e) => {
+                    eprintln!("{path}: FAIL — {e}");
+                    failures += 1;
+                }
+            },
+            Kind::ExtractTrace => print!("{}", extract_trace_lines(&text)),
         }
     }
     if failures > 0 {

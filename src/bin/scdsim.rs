@@ -19,10 +19,12 @@
 //!   --watchdog <cycles>              fail if no op retires for n cycles
 //!   --trace-out <path>               write the JSONL transaction trace
 //!   --trace-buffer <n>               trace ring capacity per cluster
+//!   --stream-out <path>              stream telemetry JSONL during the run
 //!   --stats-json <path>              write scd-run-stats/v1 JSON
 //!   --interval-stats <n>             sample traffic/occupancy every n cycles
 //!   --perfetto-out <path>            write a chrome://tracing span profile
 //!   --folded-out <path>              write folded stacks for flamegraphs
+//!   --critical <k>                   print the top-k critical-path report
 //! ```
 
 use scd::apps::{dwf, locusroute, lu, mp3d, AppRun, DwfParams, LocusRouteParams, LuParams,
@@ -30,7 +32,7 @@ use scd::apps::{dwf, locusroute, lu, mp3d, AppRun, DwfParams, LocusRouteParams, 
 use scd::core::{Replacement, Scheme};
 use scd::machine::{Machine, MachineConfig};
 use scd::noc::FaultPlan;
-use scd::trace::{to_perfetto, Json, SpanTree, TraceConfig};
+use scd::trace::{analyze, to_perfetto, Json, JsonlFileSink, SpanTree, TraceConfig};
 
 fn usage() -> ! {
     eprintln!("{}", HELP.trim());
@@ -63,6 +65,12 @@ usage: scdsim [options]
                                               (lifecycle + message events)
   --trace-buffer <n>                          trace ring capacity per cluster
                                               (default 4096 when tracing)
+  --stream-out <path>                         stream telemetry JSONL while the
+                                              run executes: trace events in
+                                              (cycle, seq) order, interval
+                                              snapshots, attribution deltas,
+                                              then a run_end record (tail -f
+                                              it, or point scd-top at it)
   --stats-json <path>                         write the scd-run-stats/v1
                                               document (stats + metrics +
                                               traffic attribution)
@@ -74,6 +82,10 @@ usage: scdsim [options]
                                               ui.perfetto.dev)
   --folded-out <path>                         write folded stacks (flamegraph
                                               input; weights in cycles)
+  --critical <k>                              print the top-k slowest
+                                              transactions with per-phase
+                                              queueing/service split and the
+                                              blocking message on each phase
   --anatomy                                   print busy/stall breakdown
   --histogram                                 print invalidation distribution
   --check                                     verify coherence invariants
@@ -148,6 +160,8 @@ fn main() {
     let mut watchdog = 0u64;
     let mut trace_out: Option<String> = None;
     let mut trace_buffer: Option<usize> = None;
+    let mut stream_out: Option<String> = None;
+    let mut critical: Option<usize> = None;
     let mut stats_json: Option<String> = None;
     let mut interval: u64 = 0;
     let mut perfetto_out: Option<String> = None;
@@ -203,6 +217,8 @@ fn main() {
             "--trace-buffer" => {
                 trace_buffer = Some(val().parse().unwrap_or_else(|_| usage()))
             }
+            "--stream-out" => stream_out = Some(val()),
+            "--critical" => critical = Some(val().parse().unwrap_or_else(|_| usage())),
             "--stats-json" => stats_json = Some(val()),
             "--interval-stats" => interval = val().parse().unwrap_or_else(|_| usage()),
             "--perfetto-out" => perfetto_out = Some(val()),
@@ -236,7 +252,7 @@ fn main() {
     let want_metrics = stats_json.is_some() || interval > 0;
     let want_events =
         trace_out.is_some() || trace_buffer.is_some() || perfetto_out.is_some()
-            || folded_out.is_some();
+            || folded_out.is_some() || stream_out.is_some() || critical.is_some();
     if want_events || want_metrics {
         let mut tc = if want_events {
             TraceConfig::full(trace_buffer.unwrap_or(4096))
@@ -283,14 +299,29 @@ fn main() {
 
     let wall = std::time::Instant::now();
     let mut machine = Machine::new(cfg, app.boxed_programs());
+    if let Some(path) = &stream_out {
+        let sink = match JsonlFileSink::create(std::path::Path::new(path)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot open {path} for streaming: {e}");
+                std::process::exit(1)
+            }
+        };
+        machine.attach_stream(Box::new(sink), Some(run_meta.clone()));
+    }
     let result = machine.try_run();
+    if let Some(path) = &stream_out {
+        // try_run closed the stream on both exits (run_end is written even
+        // when the run failed), so the file is complete here.
+        eprintln!("telemetry stream written to {path}");
+    }
     // The transaction trace (and the span profile derived from it) is
     // most valuable exactly when the run failed: write both before
     // bailing out.
     if let Some(path) = &trace_out {
         write_trace(&machine, path);
     }
-    if perfetto_out.is_some() || folded_out.is_some() {
+    if perfetto_out.is_some() || folded_out.is_some() || critical.is_some() {
         let events = machine.trace_events();
         let tree = SpanTree::from_events(&events);
         if let Some(path) = &perfetto_out {
@@ -315,6 +346,11 @@ fn main() {
             }
             eprintln!("folded stacks written to {path}");
         }
+        if let Some(k) = critical {
+            // Printed before the failure bail-out below: the slowest
+            // transactions are most interesting when the run went wrong.
+            print!("{}", analyze(&tree).render(k));
+        }
     }
     let stats = match result {
         Ok(stats) => stats,
@@ -329,6 +365,7 @@ fn main() {
             Some(run_meta.clone()),
             want_metrics.then(|| machine.metrics()),
             machine.attribution_json(stats.cycles),
+            machine.trace_json(),
         );
         if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
             eprintln!("cannot write {path}: {e}");

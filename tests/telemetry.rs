@@ -11,7 +11,8 @@ use scd::noc::FaultPlan;
 use scd::sim::SimRng;
 use scd::tango::{Op, ScriptProgram, ThreadProgram};
 use scd::trace::{
-    to_perfetto, validate_perfetto, validate_stats_json, validate_trace, AttribClass, Attribution,
+    analyze, extract_trace_lines, to_perfetto, validate_perfetto, validate_stats_json,
+    validate_stream, validate_trace, AttribClass, Attribution, BufferSink, ChannelSink, Json,
     SpanTree, TraceConfig,
 };
 
@@ -149,7 +150,9 @@ fn metrics_registry_reports_latency_histograms() {
         m.read_latency.percentile(0.99) >= m.read_latency.percentile(0.5),
         "percentiles must be monotone"
     );
-    let doc = stats.to_json_document(None, Some(m), None).to_string();
+    let doc = stats
+        .to_json_document(None, Some(m), None, machine.trace_json())
+        .to_string();
     validate_stats_json(&doc).unwrap_or_else(|e| panic!("schema broke: {e}\n{doc}"));
 }
 
@@ -171,7 +174,7 @@ fn attribution_counters_do_not_perturb_the_run() {
         "every message the traffic tally saw must be classified"
     );
     let doc = stats
-        .to_json_document(None, None, machine.attribution_json(stats.cycles))
+        .to_json_document(None, None, machine.attribution_json(stats.cycles), None)
         .to_string();
     validate_stats_json(&doc).unwrap_or_else(|e| panic!("attrib schema broke: {e}\n{doc}"));
 }
@@ -311,6 +314,193 @@ fn post_mortem_has_no_tails_when_tracing_is_off() {
     assert!(err.post_mortem().trace_tails.is_empty());
 }
 
+/// Builds a traced machine with a `BufferSink` attached, runs it, and
+/// returns the machine, its stats, and the captured stream text.
+fn run_streamed(
+    trace: TraceConfig,
+    fault: Option<FaultPlan>,
+    seed: u64,
+) -> (Machine, RunStats, String) {
+    let mut cfg = MachineConfig::tiny(6);
+    cfg.trace = Some(trace);
+    if let Some(f) = fault {
+        cfg = cfg.with_fault(f);
+        cfg.watchdog_cycles = 1_000_000;
+    }
+    let programs = random_programs(cfg.processors(), 250, 24, 0.4, seed);
+    let mut machine = Machine::new(cfg, programs);
+    let sink = BufferSink::new();
+    let lines = sink.handle();
+    machine.attach_stream(
+        Box::new(sink),
+        Some(Json::obj().with("app", Json::Str("stress".into()))),
+    );
+    let stats = machine.try_run().expect("streamed run must quiesce");
+    let text = lines.lock().unwrap().join("\n") + "\n";
+    (machine, stats, text)
+}
+
+/// The streamed trace is not a lossy preview: for a seeded run whose rings
+/// never evict, the trace-event lines pulled out of the live stream are
+/// byte-for-byte the post-hoc `--trace-out` document — same events, same
+/// `(cycle, seq)` merge order, same rendering.
+#[test]
+fn streamed_trace_is_byte_identical_to_post_hoc_export() {
+    let (machine, _, stream) = run_streamed(TraceConfig::full(1 << 16), None, 0x7E1E);
+    let (_, dropped) = machine.trace_counts();
+    assert_eq!(dropped, 0, "ring too small for the equivalence to hold");
+    let post_hoc: String = machine
+        .trace_events()
+        .iter()
+        .map(|e| format!("{}\n", e.to_json()))
+        .collect();
+    assert!(!post_hoc.is_empty());
+    assert_eq!(extract_trace_lines(&stream), post_hoc);
+    let summary = validate_stream(&stream).unwrap_or_else(|e| panic!("stream invalid: {e}"));
+    assert!(summary.run_ended, "stream must close with run_end");
+    assert!(summary.intervals == 0, "no intervals were configured");
+}
+
+/// Same equivalence with the protocol under attack: NACK/retry storms and
+/// injected delay spikes reorder event *recording* heavily (retries stretch
+/// transactions across phases recorded on different clusters), and the
+/// watermark flush must still reproduce the merge exactly — with interval
+/// records interleaved this time.
+#[test]
+fn streamed_trace_survives_nack_and_delay_faults() {
+    let plan = FaultPlan::parse("nack:0.25,delay:0.05:150").expect("fault spec");
+    let trace = TraceConfig::full(1 << 16).with_interval(500);
+    let (machine, stats, stream) = run_streamed(trace, Some(plan), 0xBEEF);
+    assert!(stats.faults.retries > 0, "no retry was injected");
+    assert!(stats.faults.delay_spikes > 0, "no delay spike was injected");
+    let (_, dropped) = machine.trace_counts();
+    assert_eq!(dropped, 0, "ring too small for the equivalence to hold");
+    let post_hoc: String = machine
+        .trace_events()
+        .iter()
+        .map(|e| format!("{}\n", e.to_json()))
+        .collect();
+    assert_eq!(extract_trace_lines(&stream), post_hoc);
+    let summary = validate_stream(&stream).unwrap_or_else(|e| panic!("stream invalid: {e}"));
+    assert!(summary.intervals > 0, "intervals were configured");
+    assert!(summary.run_ended);
+}
+
+/// Regression: a duplicated request from an already-completed transaction
+/// can be re-delivered to the home *after* a successor transaction on the
+/// same (requester, block) has begun — and, because the successor's begin
+/// is stamped a cache-lookup ahead of the pop that created it, the stale
+/// delivery's cycle can precede that begin. The lifecycle hooks must not
+/// attribute predecessor traffic to the live transaction, or the exported
+/// trace shows a transaction whose home_lookup predates its begin and
+/// `validate_trace` rejects the file.
+#[test]
+fn stale_duplicate_deliveries_are_not_attributed_to_successor_txns() {
+    for seed in [0xBEEFu64, 0x7E1E, 11, 23, 99] {
+        let plan = FaultPlan::parse("nack:0.05,dup:0.1,delay:0.05:150").expect("fault spec");
+        let mut cfg = MachineConfig::tiny(6)
+            .with_fault(plan)
+            .with_trace(TraceConfig::full(1 << 16));
+        cfg.watchdog_cycles = 1_000_000;
+        let programs = random_programs(cfg.processors(), 400, 12, 0.5, seed);
+        let mut machine = Machine::new(cfg, programs);
+        let stats = machine.try_run().expect("faulty run must still quiesce");
+        assert!(stats.faults.duplicates > 0, "no duplicate was injected");
+        let jsonl: String = machine
+            .trace_events()
+            .iter()
+            .map(|e| format!("{}\n", e.to_json()))
+            .collect();
+        validate_trace(&jsonl)
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: stale attribution leaked: {e}"));
+    }
+}
+
+/// Attaching a stream may not move the simulation: the exported stats of a
+/// streamed run are bit-identical to the same seed traced without a sink,
+/// and to the untraced baseline.
+#[test]
+fn attached_stream_does_not_perturb_the_run() {
+    let (_, base) = run_with_trace(None, 0x7E1E);
+    let (_, _, _) = run_streamed(TraceConfig::full(1 << 16), None, 0x7E1E);
+    let (_, streamed, _) = run_streamed(TraceConfig::full(1 << 16), None, 0x7E1E);
+    assert_eq!(base.to_json().to_string(), streamed.to_json().to_string());
+}
+
+/// The bounded-channel sink never blocks the simulation and never lies
+/// about loss: lines delivered plus lines dropped equals the lines an
+/// unbounded sink captured for the identical run, and the drop counter is
+/// visible while the machine still owns the sink.
+#[test]
+fn channel_sink_accounts_for_every_dropped_line() {
+    let (_, _, full) = run_streamed(TraceConfig::full(1 << 16), None, 0x7E1E);
+    let total = full.lines().count() as u64;
+
+    let mut cfg = MachineConfig::tiny(6);
+    cfg.trace = Some(TraceConfig::full(1 << 16));
+    let programs = random_programs(cfg.processors(), 250, 24, 0.4, 0x7E1E);
+    let mut machine = Machine::new(cfg, programs);
+    const CAPACITY: usize = 8;
+    let (sink, rx) = ChannelSink::bounded(CAPACITY);
+    let drops = sink.drop_counter();
+    machine.attach_stream(Box::new(sink), None);
+    // Nobody drains `rx` during the run, so the channel fills and every
+    // further line must be counted as dropped, not block the machine.
+    machine.try_run().expect("backpressured run must quiesce");
+    let delivered = rx.try_iter().count() as u64;
+    let dropped = drops.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(delivered, CAPACITY as u64, "channel holds exactly its bound");
+    assert!(dropped > 0, "run too small to overflow the channel");
+    // The unstreamed twin had a run_meta line this run did not (attach_stream
+    // got `None`), hence the -1.
+    assert_eq!(delivered + dropped, total - 1);
+}
+
+/// Critical-path decomposition is exact, not approximate: for every
+/// completed transaction, per-phase queueing + service equals the phase
+/// duration, the phase costs sum to the transaction's end-to-end latency,
+/// and the report is ordered slowest-first.
+#[test]
+fn critical_path_costs_tile_every_transaction() {
+    let plan = FaultPlan::nack(0.25);
+    let trace = TraceConfig::full(1 << 16);
+    let (machine, _, _) = run_streamed(trace, Some(plan), 0xBEEF);
+    let tree = SpanTree::from_events(&machine.trace_events());
+    let report = analyze(&tree);
+    assert!(!report.txns.is_empty(), "no completed transaction to analyze");
+    for txn in &report.txns {
+        let mut total = 0;
+        for phase in &txn.phases {
+            assert_eq!(
+                phase.queueing + phase.service,
+                phase.duration(),
+                "txn {} phase {} does not tile",
+                txn.txn,
+                phase.phase
+            );
+            total += phase.duration();
+        }
+        assert_eq!(
+            total, txn.latency,
+            "txn {} phases do not sum to its latency",
+            txn.txn
+        );
+        assert_eq!(txn.queueing + txn.service, txn.latency);
+    }
+    for pair in report.txns.windows(2) {
+        assert!(pair[0].latency >= pair[1].latency, "report must be sorted");
+    }
+    assert_eq!(
+        report.total_queueing() + report.total_service(),
+        report.txns.iter().map(|t| t.latency).sum::<u64>()
+    );
+    // Under a 25% NACK plan some transaction must have spent time waiting
+    // on the network (queueing), not just in flight.
+    assert!(report.total_queueing() > 0, "no queueing under a NACK storm?");
+    let doc = report.to_json(5).to_string();
+    assert!(doc.contains("\"schema\":\"scd-critical/v1\""), "{doc}");
+}
+
 /// Bounded rings evict oldest-first under pressure but never corrupt the
 /// merge: a truncated trace still replays cleanly and reports drops.
 #[test]
@@ -332,4 +522,43 @@ fn tiny_rings_evict_but_the_merge_still_validates() {
         .join("\n");
     let summary = validate_trace(&jsonl).unwrap_or_else(|e| panic!("replay failed: {e}"));
     assert_eq!(summary.events + dropped, recorded);
+}
+
+/// Ring eviction is a first-class statistic: an evicting run's
+/// `scd-run-stats/v1` document carries `trace.dropped_events`, the value
+/// matches the machine's counter, and the schema validator enforces the
+/// section's consistency (drops can never exceed recordings).
+#[test]
+fn dropped_events_surface_in_the_stats_document() {
+    let mut cfg = MachineConfig::tiny(6);
+    cfg.trace = Some(TraceConfig::full(8));
+    let programs = random_programs(cfg.processors(), 250, 24, 0.4, 0x7E1E);
+    let mut machine = Machine::new(cfg, programs);
+    let stats = machine.try_run().expect("run must quiesce");
+    let (recorded, dropped) = machine.trace_counts();
+    assert!(dropped > 0, "8-deep rings must overflow on this run");
+
+    let trace = machine.trace_json().expect("tracing was on");
+    assert_eq!(trace.get("recorded").and_then(Json::as_u64), Some(recorded));
+    assert_eq!(
+        trace.get("dropped_events").and_then(Json::as_u64),
+        Some(dropped)
+    );
+    let doc = stats
+        .to_json_document(None, None, None, Some(trace))
+        .to_string();
+    validate_stats_json(&doc).unwrap_or_else(|e| panic!("trace section broke: {e}\n{doc}"));
+
+    // An untraced run exports `trace: null`, and that validates too.
+    let (_, untraced) = run_with_trace(None, 0x7E1E);
+    let doc = untraced.to_json_document(None, None, None, None).to_string();
+    assert!(doc.contains("\"trace\":null"), "{doc}");
+    validate_stats_json(&doc).unwrap_or_else(|e| panic!("null trace broke: {e}"));
+
+    // And the validator rejects an over-claiming section.
+    let lying = Json::obj()
+        .with("recorded", Json::U64(1))
+        .with("dropped_events", Json::U64(2));
+    let doc = stats.to_json_document(None, None, None, Some(lying)).to_string();
+    assert!(validate_stats_json(&doc).is_err(), "dropped > recorded passed");
 }
