@@ -44,6 +44,18 @@ pub fn run_app_with(app: &AppRun, cfg: MachineConfig) -> RunStats {
 /// configuration — bench points gain an attribution section without
 /// perturbing any tracked metric.
 pub fn run_app_attributed(app: &AppRun, cfg: MachineConfig) -> (RunStats, Option<Json>) {
+    let (stats, attrib, _) = run_app_attributed_traced(app, cfg);
+    (stats, attrib)
+}
+
+/// [`run_app_attributed`] plus the machine's `trace` bookkeeping section
+/// (`recorded` / `dropped_events`), which the sweep engine surfaces in
+/// each per-run `scd-sweep/v1` document so truncated telemetry is never
+/// silent.
+pub fn run_app_attributed_traced(
+    app: &AppRun,
+    cfg: MachineConfig,
+) -> (RunStats, Option<Json>, Option<Json>) {
     assert_eq!(
         app.programs.len(),
         cfg.processors(),
@@ -54,7 +66,8 @@ pub fn run_app_attributed(app: &AppRun, cfg: MachineConfig) -> (RunStats, Option
     let mut machine = Machine::new(cfg.with_trace(tc), app.boxed_programs());
     let stats = machine.run();
     let attrib = machine.attribution_json(stats.cycles);
-    (stats, attrib)
+    let trace = machine.trace_json();
+    (stats, attrib, trace)
 }
 
 /// Ratio of data-set size to total cache size used by the sparse-directory
@@ -184,7 +197,7 @@ pub fn bench_point_document(
         .with("scheme", Json::Str(scheme_name.into()))
         .with("shared_refs", Json::U64(app.shared_refs()))
         .with("shared_bytes", Json::U64(app.shared_bytes));
-    stats.to_json_document(Some(run), None, attribution, None)
+    stats.to_json_document(Some(run), None, attribution, None, None)
 }
 
 /// Writes `content` to `results/<name>` (creating the directory), and

@@ -30,7 +30,7 @@ use scd_core::{Replacement, Scheme};
 use scd_machine::{MachineConfig, RunStats};
 use scd_trace::Json;
 
-use crate::runner::{run_app_attributed, slug, sparse_config_with};
+use crate::runner::{run_app_attributed_traced, slug, sparse_config_with};
 
 // The whole point of the engine is moving configs and reference programs
 // across worker threads; keep that property machine-checked.
@@ -283,6 +283,9 @@ pub struct SweepRun {
     /// The `scd-attrib/v1` section (traffic attribution is always on for
     /// sweep points, as in the trajectory baselines).
     pub attribution: Option<Json>,
+    /// The machine's trace bookkeeping (`recorded` / `dropped_events`),
+    /// surfaced per run so telemetry truncation is never silent.
+    pub trace: Option<Json>,
     /// Wall-clock seconds this point took on its worker.
     pub wall_seconds: f64,
 }
@@ -311,11 +314,12 @@ fn execute(desc: RunDescriptor, apps: &[AppRun], spec: &SweepSpec) -> SweepRun {
     let app = &apps[desc.app_idx];
     let cfg = build_config(&desc, app, spec);
     let t0 = Instant::now();
-    let (stats, attribution) = run_app_attributed(app, cfg);
+    let (stats, attribution, trace) = run_app_attributed_traced(app, cfg);
     SweepRun {
         desc,
         stats,
         attribution,
+        trace,
         wall_seconds: t0.elapsed().as_secs_f64(),
     }
 }
@@ -550,7 +554,7 @@ pub fn sweep_document(outcome: &SweepOutcome, spec: &SweepSpec, include_timing: 
                 .with("shared_refs", Json::U64(app.shared_refs()))
                 .with("shared_bytes", Json::U64(app.shared_bytes));
             run.stats
-                .to_json_document(Some(meta), None, run.attribution.clone(), None)
+                .to_json_document(Some(meta), None, run.attribution.clone(), run.trace.clone(), None)
         })
         .collect();
 
@@ -603,7 +607,7 @@ pub fn sweep_document(outcome: &SweepOutcome, spec: &SweepSpec, include_timing: 
     };
 
     Json::obj()
-        .with("schema", Json::Str("scd-sweep/v1".into()))
+        .with("schema", Json::Str(scd_trace::SWEEP_SCHEMA.into()))
         .with("grid", grid)
         .with("runs", Json::Arr(runs))
         .with("timing", timing)

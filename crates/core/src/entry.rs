@@ -32,6 +32,24 @@ pub enum DirState {
     Dirty,
 }
 
+/// Which sharer-set representation a [`DirEntry`] currently uses, as a
+/// telemetry-facing view of the private internals (the observatory
+/// counts overflow modes per scheme without re-deriving them from
+/// superset sizes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReprKind {
+    /// Precise full bit vector.
+    Full,
+    /// Precise pointer list.
+    Pointers,
+    /// `Dir_i B` after overflow.
+    Broadcast,
+    /// `Dir_i X` after overflow.
+    Composite,
+    /// `Dir_i CV_r` after overflow.
+    Coarse,
+}
+
 /// Result of recording a new sharer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AddSharer {
@@ -379,6 +397,29 @@ impl DirEntry {
         matches!(self.repr, Repr::Full(_) | Repr::Pointers(_))
     }
 
+    /// Which representation the entry currently uses (telemetry view;
+    /// the protocol itself only asks [`DirEntry::is_precise`]).
+    pub fn repr_kind(&self) -> ReprKind {
+        match &self.repr {
+            Repr::Full(_) => ReprKind::Full,
+            Repr::Pointers(_) => ReprKind::Pointers,
+            Repr::Broadcast => ReprKind::Broadcast,
+            Repr::Composite { .. } => ReprKind::Composite,
+            Repr::Coarse { .. } => ReprKind::Coarse,
+        }
+    }
+
+    /// Region bits currently set, when the entry has degraded to the
+    /// coarse-vector representation (`None` otherwise). Together with
+    /// [`DirEntry::sharer_superset`] this measures region-bit waste: a
+    /// set bit stands for `r` clusters, however many actually share.
+    pub fn coarse_regions_set(&self) -> Option<usize> {
+        match &self.repr {
+            Repr::Coarse { regions } => Some(regions.len()),
+            _ => None,
+        }
+    }
+
     /// The full set of clusters the entry considers potential sharers.
     ///
     /// Always a superset of the true sharer set (for `Dir_i NB` the true set
@@ -692,6 +733,64 @@ mod tests {
         e.add_sharer(9);
         e.add_sharer(1); // overflow with i = 1
         assert_eq!(sharers(&e), vec![0, 1, 2, 3, 8, 9]);
+    }
+
+    #[test]
+    fn coarse_region_accounting_exactly_at_overflow() {
+        // Dir3CV2 on 32 clusters. Three sharers stay precise (pointer
+        // repr, no region bits); the fourth flips to coarse with exactly
+        // one region bit per occupied region.
+        let mut e = DirEntry::new(Scheme::dir_cv(3, 2), P);
+        for n in [4, 9, 20] {
+            e.add_sharer(n);
+        }
+        assert_eq!(e.repr_kind(), ReprKind::Pointers);
+        assert_eq!(e.coarse_regions_set(), None);
+        e.add_sharer(21); // 21 shares region {20,21} with 20
+        assert_eq!(e.repr_kind(), ReprKind::Coarse);
+        // 4 sharers in 3 distinct regions → 3 region bits set, superset 6.
+        assert_eq!(e.coarse_regions_set(), Some(3));
+        assert_eq!(e.sharer_superset().len(), 6);
+        // Region-bit utilization: 4 present of 6 covered.
+        assert!(e.covers(5) && e.covers(8), "rounded-up neighbours covered");
+    }
+
+    #[test]
+    fn coarse_region_accounting_one_sharer_per_region_worst_case() {
+        // Dir1CV4 on 32 clusters: sharers 0, 4, 8, ... land one per
+        // region, the worst case for region-bit utilization — every set
+        // bit drags in r−1 absent neighbours.
+        let regions = P / 4;
+        let mut e = DirEntry::new(Scheme::dir_cv(1, 4), P);
+        for g in 0..regions {
+            e.add_sharer((g * 4) as NodeId);
+        }
+        assert_eq!(e.repr_kind(), ReprKind::Coarse);
+        assert_eq!(e.coarse_regions_set(), Some(regions));
+        // Superset covers the whole machine although only 1/4 are sharers.
+        assert_eq!(e.sharer_superset().len(), P);
+        let targets = e.invalidation_targets(0);
+        assert_eq!(targets.len(), P - 1, "write by node 0 spares only itself");
+    }
+
+    #[test]
+    fn repr_kind_tracks_every_representation() {
+        let mut full = DirEntry::new(Scheme::dir_n(), P);
+        full.add_sharer(3);
+        assert_eq!(full.repr_kind(), ReprKind::Full);
+        assert_eq!(full.coarse_regions_set(), None);
+
+        let mut b = DirEntry::new(Scheme::dir_b(1), P);
+        b.add_sharer(0);
+        assert_eq!(b.repr_kind(), ReprKind::Pointers);
+        b.add_sharer(1);
+        assert_eq!(b.repr_kind(), ReprKind::Broadcast);
+
+        let mut x = DirEntry::new(Scheme::dir_x(3), P);
+        for n in [0b00000, 0b11111, 0b00001, 0b10000] {
+            x.add_sharer(n);
+        }
+        assert_eq!(x.repr_kind(), ReprKind::Composite);
     }
 
     #[test]

@@ -45,10 +45,10 @@ pub mod scheme;
 pub mod sparse;
 pub mod store;
 
-pub use entry::{AddSharer, DirEntry, DirState, MAX_POINTERS};
+pub use entry::{AddSharer, DirEntry, DirState, ReprKind, MAX_POINTERS};
 pub use node_set::{NodeId, NodeSet};
 pub use overhead::{overhead, DirectoryChoice, MachineSpec, OverheadReport};
 pub use scheme::{ptr_bits, NbVictim, Scheme};
-pub use sparse::{Replacement, SparseDirectory, SparseStats};
+pub use sparse::{ChurnStats, Replacement, SparseDirectory, SparseStats, CHURN_DISTANCE_BUCKETS};
 pub use overflow::{OverflowAdd, OverflowDirectory, OverflowStats};
 pub use store::{DirectoryStore, EntryAccess, Organization, RecordSharer};

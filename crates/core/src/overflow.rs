@@ -224,6 +224,18 @@ impl OverflowDirectory {
         self.small.values().filter(|e| !e.is_empty()).count() + self.wide.live_entries()
     }
 
+    /// Visits every live entry (small then wide) with its key. Small-array
+    /// visit order is unspecified (hash map), so callers must aggregate
+    /// order-independently.
+    pub fn for_each_live(&self, mut f: impl FnMut(u64, &DirEntry)) {
+        for (&k, e) in &self.small {
+            if !e.is_empty() {
+                f(k, e);
+            }
+        }
+        self.wide.for_each_live(&mut f);
+    }
+
     /// State bits per *block* of the small array (pointers only — no
     /// broadcast/mode bits — plus dirty and a promoted flag).
     pub fn small_bits_per_block(i: usize, clusters: usize) -> usize {

@@ -58,6 +58,88 @@ pub struct SparseStats {
     pub replacements: u64,
 }
 
+/// Log₂ distance buckets in [`ChurnStats::reref_distance`]; bucket `b`
+/// counts re-references at `2^b ..= 2^(b+1)-1` allocations after the
+/// eviction (the last bucket saturates).
+pub const CHURN_DISTANCE_BUCKETS: usize = 16;
+
+/// Victims the churn tracker remembers at once. Evictions beyond the cap
+/// forget their oldest record, so a very late re-reference of a long-ago
+/// victim may go uncounted — the bound keeps the tracker O(1) per access
+/// whatever the run length.
+pub const CHURN_VICTIM_CAP: usize = 4096;
+
+/// Replacement-churn telemetry: how soon displaced victims come back.
+///
+/// A sparse directory that keeps evicting entries the application is
+/// about to touch again (short re-reference distances) is thrashing —
+/// its invalidations were pure waste. Gated behind
+/// [`SparseDirectory::enable_churn_tracking`] and excluded from
+/// [`SparseDirectory::fingerprint`]: pure observation, never behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChurnStats {
+    /// Replacements observed while tracking was enabled.
+    pub replacements: u64,
+    /// Allocations of a key that a tracked replacement had evicted.
+    pub rerefs: u64,
+    /// Re-reference distances (allocations between eviction and return),
+    /// log₂-bucketed.
+    pub reref_distance: [u64; CHURN_DISTANCE_BUCKETS],
+}
+
+impl ChurnStats {
+    /// Accumulates `other` (per-home stats into a machine total).
+    pub fn merge(&mut self, other: &ChurnStats) {
+        self.replacements += other.replacements;
+        self.rerefs += other.rerefs;
+        for (a, b) in self.reref_distance.iter_mut().zip(other.reref_distance) {
+            *a += b;
+        }
+    }
+
+    fn bucket(distance: u64) -> usize {
+        let b = if distance == 0 {
+            0
+        } else {
+            63 - distance.leading_zeros() as usize
+        };
+        b.min(CHURN_DISTANCE_BUCKETS - 1)
+    }
+}
+
+/// The gated tracker: a bounded map from evicted key to the allocation
+/// clock at eviction time.
+#[derive(Clone, Debug, Default)]
+struct ChurnTracker {
+    stats: ChurnStats,
+    /// Allocation counter (the distance unit).
+    clock: u64,
+    evicted_at: std::collections::HashMap<u64, u64>,
+    fifo: std::collections::VecDeque<u64>,
+}
+
+impl ChurnTracker {
+    fn on_access(&mut self, key: u64) {
+        self.clock += 1;
+        if let Some(t) = self.evicted_at.remove(&key) {
+            self.stats.rerefs += 1;
+            self.stats.reref_distance[ChurnStats::bucket(self.clock - t)] += 1;
+        }
+    }
+
+    fn on_replacement(&mut self, victim_key: u64) {
+        self.stats.replacements += 1;
+        if self.evicted_at.insert(victim_key, self.clock).is_none() {
+            self.fifo.push_back(victim_key);
+            if self.fifo.len() > CHURN_VICTIM_CAP {
+                if let Some(old) = self.fifo.pop_front() {
+                    self.evicted_at.remove(&old);
+                }
+            }
+        }
+    }
+}
+
 /// Result of [`SparseDirectory::allocate`].
 pub enum Allocation<'a> {
     /// The key was already resident.
@@ -94,6 +176,8 @@ pub struct SparseDirectory {
     stats: SparseStats,
     /// xorshift64* state for the random policy (deterministic per seed).
     rng_state: u64,
+    /// Replacement-churn telemetry; `None` until enabled (zero cost off).
+    churn: Option<Box<ChurnTracker>>,
 }
 
 impl SparseDirectory {
@@ -134,7 +218,22 @@ impl SparseDirectory {
             ],
             stats: SparseStats::default(),
             rng_state: seed | 1,
+            churn: None,
         }
+    }
+
+    /// Turns on replacement-churn tracking ([`ChurnStats`]). Idempotent;
+    /// off by default because the victim map costs a hash probe per
+    /// allocation.
+    pub fn enable_churn_tracking(&mut self) {
+        if self.churn.is_none() {
+            self.churn = Some(Box::default());
+        }
+    }
+
+    /// Churn telemetry, if tracking was enabled.
+    pub fn churn_stats(&self) -> Option<ChurnStats> {
+        self.churn.as_ref().map(|c| c.stats)
     }
 
     /// Total number of directory slots.
@@ -213,6 +312,9 @@ impl SparseDirectory {
         banned: impl Fn(u64) -> bool,
     ) -> Option<Allocation<'_>> {
         let range = self.set_range(key);
+        if let Some(churn) = &mut self.churn {
+            churn.on_access(key);
+        }
 
         // 1. Hit?
         if let Some(idx) = range
@@ -268,8 +370,11 @@ impl SparseDirectory {
             }
         };
         self.stats.replacements += 1;
+        let victim_key = self.slots[victim_idx].key;
+        if let Some(churn) = &mut self.churn {
+            churn.on_replacement(victim_key);
+        }
         let slot = &mut self.slots[victim_idx];
-        let victim_key = slot.key;
         let mut victim = DirEntry::new(self.scheme, self.clusters);
         std::mem::swap(&mut victim, &mut slot.entry);
         slot.key = key;
@@ -324,6 +429,16 @@ impl SparseDirectory {
             .filter(|s| s.valid)
             .map(|s| s.key)
             .collect()
+    }
+
+    /// Visits every live (valid, non-empty) entry with its key. Iteration
+    /// order is slot order — deterministic for a given access history.
+    pub fn for_each_live(&self, mut f: impl FnMut(u64, &DirEntry)) {
+        for s in &self.slots {
+            if s.valid && !s.entry.is_empty() {
+                f(s.key, &s.entry);
+            }
+        }
     }
 
     /// Number of currently live (valid, non-empty) entries.
@@ -551,6 +666,130 @@ mod tests {
     #[should_panic(expected = "multiple of associativity")]
     fn entries_must_be_multiple_of_ways() {
         dir(5, 2, Replacement::Lru);
+    }
+
+    #[test]
+    fn churn_tracking_counts_rerefs_with_log2_distances() {
+        // 4 sets x 1 way; keys 0, 4, 8 conflict in set 0.
+        let mut d = dir(4, 1, Replacement::Lru);
+        assert_eq!(d.churn_stats(), None, "off by default");
+        d.enable_churn_tracking();
+        assert_eq!(d.churn_stats(), Some(ChurnStats::default()));
+
+        let live = |d: &mut SparseDirectory, k, t| match d.allocate(k, t) {
+            Allocation::Hit(e) | Allocation::Inserted(e) => {
+                e.add_sharer(0);
+            }
+            Allocation::Replaced { entry, .. } => {
+                entry.add_sharer(0);
+            }
+        };
+        live(&mut d, 0, 0); // clock 1: insert
+        live(&mut d, 4, 1); // clock 2: evicts 0
+        live(&mut d, 0, 2); // clock 3: evicts 4, re-refs 0 at distance 1
+        live(&mut d, 8, 3); // clock 4: evicts 0
+        live(&mut d, 4, 4); // clock 5: evicts 8, re-refs 4 at distance 2
+        let c = d.churn_stats().unwrap();
+        assert_eq!(c.replacements, 4);
+        assert_eq!(c.rerefs, 2);
+        assert_eq!(c.reref_distance[0], 1, "distance 1 → bucket 0");
+        assert_eq!(c.reref_distance[1], 1, "distance 2 → bucket 1");
+        assert_eq!(c.reref_distance[2..].iter().sum::<u64>(), 0);
+        assert!(c.rerefs <= c.replacements);
+    }
+
+    #[test]
+    fn churn_tracking_does_not_perturb_behavior_or_fingerprint() {
+        use std::hash::Hasher;
+        let run = |track: bool| {
+            let mut d = SparseDirectory::new(Scheme::dir_n(), P, 4, 2, Replacement::Random, 9);
+            if track {
+                d.enable_churn_tracking();
+            }
+            let mut victims = vec![];
+            for k in 0..20u64 {
+                match d.allocate(k, k) {
+                    Allocation::Hit(e) | Allocation::Inserted(e) => {
+                        e.add_sharer(0);
+                    }
+                    Allocation::Replaced {
+                        victim_key, entry, ..
+                    } => {
+                        entry.add_sharer(0);
+                        victims.push(victim_key);
+                    }
+                }
+            }
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            d.fingerprint(&mut h);
+            (victims, h.finish(), d.stats())
+        };
+        assert_eq!(run(false), run(true), "telemetry must be invisible");
+    }
+
+    #[test]
+    fn churn_merge_accumulates_per_home_stats() {
+        let mut total = ChurnStats::default();
+        let mut a = ChurnStats::default();
+        a.replacements = 3;
+        a.rerefs = 1;
+        a.reref_distance[0] = 1;
+        let mut b = ChurnStats::default();
+        b.replacements = 2;
+        b.rerefs = 2;
+        b.reref_distance[0] = 1;
+        b.reref_distance[5] = 1;
+        total.merge(&a);
+        total.merge(&b);
+        assert_eq!(total.replacements, 5);
+        assert_eq!(total.rerefs, 3);
+        assert_eq!(total.reref_distance[0], 2);
+        assert_eq!(total.reref_distance[5], 1);
+    }
+
+    #[test]
+    fn churn_victim_map_is_bounded() {
+        // Direct-mapped single set: every allocation after the first evicts.
+        let mut d = dir(1, 1, Replacement::Lru);
+        d.enable_churn_tracking();
+        for k in 0..(CHURN_VICTIM_CAP as u64 + 100) {
+            match d.allocate(k, k) {
+                Allocation::Hit(e) | Allocation::Inserted(e) => {
+                    e.add_sharer(0);
+                }
+                Allocation::Replaced { entry, .. } => {
+                    entry.add_sharer(0);
+                }
+            }
+        }
+        let c = d.churn.as_ref().unwrap();
+        assert!(c.evicted_at.len() <= CHURN_VICTIM_CAP);
+        assert_eq!(c.evicted_at.len(), c.fifo.len());
+        // Key 0 was evicted long ago and fell off the FIFO: returning to it
+        // replaces again (recorded) but the distance is lost, not counted.
+        assert_eq!(c.stats.rerefs, 0);
+    }
+
+    #[test]
+    fn for_each_live_visits_exactly_live_entries() {
+        let mut d = dir(8, 2, Replacement::Lru);
+        for k in [3u64, 9, 17] {
+            if let Allocation::Inserted(e) = d.allocate(k, k) {
+                e.add_sharer((k % 4) as u16);
+            } else {
+                panic!()
+            }
+        }
+        // Empty one entry out; it must not be visited.
+        d.lookup(9, 50).unwrap().clear();
+        let mut seen = vec![];
+        d.for_each_live(|k, e| {
+            assert!(!e.is_empty());
+            seen.push(k);
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, vec![3, 17]);
+        assert_eq!(d.live_entries(), 2);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::entry::{AddSharer, DirEntry};
 use crate::node_set::NodeId;
 use crate::overflow::{OverflowAdd, OverflowDirectory, OverflowStats};
 use crate::scheme::Scheme;
-use crate::sparse::{Allocation, Replacement, SparseDirectory, SparseStats};
+use crate::sparse::{Allocation, ChurnStats, Replacement, SparseDirectory, SparseStats};
 
 /// How a directory's entries are stored.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -284,6 +284,41 @@ impl DirectoryStore {
         match &self.backing {
             Backing::Overflow(od) => Some(od.stats()),
             _ => None,
+        }
+    }
+
+    /// Turns on sparse replacement-churn telemetry ([`ChurnStats`]).
+    /// No-op for complete and overflow backings, which never displace live
+    /// victims under pressure the same way (overflow wide-cache churn is
+    /// already visible in [`OverflowStats::displacements`]).
+    pub fn enable_churn_tracking(&mut self) {
+        if let Backing::Sparse(sd) = &mut self.backing {
+            sd.enable_churn_tracking();
+        }
+    }
+
+    /// Sparse replacement-churn telemetry, when sparse and enabled.
+    pub fn churn_stats(&self) -> Option<ChurnStats> {
+        match &self.backing {
+            Backing::Sparse(sd) => sd.churn_stats(),
+            _ => None,
+        }
+    }
+
+    /// Visits every live entry with its key. Visit order is unspecified for
+    /// map-backed organizations, so callers must aggregate
+    /// order-independently (e.g. into a sharer-count histogram).
+    pub fn for_each_live(&self, mut f: impl FnMut(u64, &DirEntry)) {
+        match &self.backing {
+            Backing::Complete(map) => {
+                for (&k, e) in map {
+                    if !e.is_empty() {
+                        f(k, e);
+                    }
+                }
+            }
+            Backing::Sparse(sd) => sd.for_each_live(f),
+            Backing::Overflow(od) => od.for_each_live(f),
         }
     }
 

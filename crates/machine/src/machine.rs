@@ -280,6 +280,38 @@ impl Clone for StreamState {
     }
 }
 
+/// Directory-observatory occupancy telemetry, only fed when
+/// `TraceConfig::patterns` is on (`patterns_active`). Everything here is
+/// read-only against the protocol: counters and sampled histograms.
+#[derive(Clone, Debug, Default)]
+struct Observatory {
+    /// Interval boundaries at which the live-entry scan ran.
+    samples: u64,
+    /// Aggregated sharer-count histogram over live entries at sample
+    /// points: `sharers[k]` = entry observations with a k-cluster
+    /// superset (index capped at the machine size).
+    sharers: Vec<u64>,
+    /// Write fan-outs observed (Grant-path invalidation decisions).
+    fanout_events: u64,
+    /// Fan-outs whose entry representation was still precise.
+    fanout_precise: u64,
+    /// Fan-outs sent from a broadcast-mode entry.
+    fanout_broadcast: u64,
+    /// Invalidation targets across all fan-outs.
+    fanout_targets: u64,
+    /// Targets that actually held the block (superset overshoot is
+    /// `targets - present`).
+    fanout_present: u64,
+    /// Fan-outs from a coarse-vector entry.
+    coarse_events: u64,
+    /// Region bits set across coarse fan-outs.
+    coarse_regions: u64,
+    /// Clusters covered by those region bits (targets).
+    coarse_covered: u64,
+    /// Covered clusters that actually held the block.
+    coarse_present: u64,
+}
+
 /// Per-cluster snapshot handed to the invariant checker: resident blocks
 /// with their highest state, the directory store, and the serializer.
 pub(crate) type ClusterView<'a> = (
@@ -344,6 +376,11 @@ pub struct Machine {
     attrib_active: bool,
     /// Per-class traffic attribution (only fed when `attrib_active`).
     attrib: Attribution,
+    /// Pre-computed `trace_cfg.patterns`: gates `inval` event recording
+    /// and the directory-occupancy sampling (inert and free when off).
+    patterns_active: bool,
+    /// Directory-occupancy telemetry (only fed when `patterns_active`).
+    obs: Observatory,
     /// Live traced transactions, keyed by (requester cluster, block).
     txn_live: HashMap<(usize, u64), TxnLive>,
     /// Last transaction id handed out.
@@ -373,7 +410,7 @@ impl Machine {
             cfg.processors(),
             "need one program per processor"
         );
-        let clusters = (0..cfg.clusters)
+        let clusters: Vec<ClusterNode> = (0..cfg.clusters)
             .map(|c| ClusterNode {
                 caches: ClusterCaches::new(cfg.procs_per_cluster, || {
                     CacheHierarchy::new(cfg.l1_blocks, cfg.l1_ways, cfg.l2_blocks, cfg.l2_ways)
@@ -428,6 +465,15 @@ impl Machine {
         if trace_cfg.attribution {
             network.enable_link_counters();
         }
+        let mut clusters = clusters;
+        if trace_cfg.patterns {
+            // Churn tracking rides the patterns flag: the sparse
+            // organizations start counting victim re-references from
+            // cycle 0 (no-op for complete/overflow backings).
+            for c in &mut clusters {
+                c.dir.enable_churn_tracking();
+            }
+        }
         Machine {
             queue: EventQueue::new(),
             arena: MsgArena::new(),
@@ -456,6 +502,11 @@ impl Machine {
             interval_base: IntervalBase::default(),
             attrib_active: trace_cfg.attribution,
             attrib: Attribution::new(AttribParams::with_block_bytes(cfg.block_bytes)),
+            patterns_active: trace_cfg.patterns,
+            obs: Observatory {
+                sharers: vec![0; cfg.clusters + 1],
+                ..Observatory::default()
+            },
             trace_cfg,
             trace_active,
             tracer,
@@ -776,6 +827,24 @@ impl Machine {
         );
     }
 
+    /// Directory-side invalidation event. Gated on the `patterns` flag —
+    /// not `trace_active` — so traces recorded without patterns stay
+    /// byte-identical to pre-observatory runs.
+    fn trace_inval(&mut self, t: Cycle, home: usize, block: u64, targets: u32, cause: &'static str) {
+        if !self.patterns_active {
+            return;
+        }
+        self.tracer.record(
+            home,
+            t,
+            EventKind::Inval {
+                block,
+                targets,
+                cause,
+            },
+        );
+    }
+
     /// The transaction completed at its requester: close it out and feed
     /// the phase-latency histograms.
     fn trace_txn_end(&mut self, t: Cycle, cl: usize, block: u64) {
@@ -831,6 +900,9 @@ impl Machine {
             if self.stream.on {
                 self.stream_interval(&snap);
             }
+            if self.patterns_active {
+                self.sample_patterns(snap.start, snap.end);
+            }
             self.interval_base = IntervalBase {
                 messages: net,
                 retries: self.faults.retries,
@@ -839,6 +911,30 @@ impl Machine {
             };
             self.interval_start = self.interval_next;
             self.interval_next += self.trace_cfg.interval;
+        }
+    }
+
+    /// Scans every home's live directory entries at an interval boundary
+    /// and folds the sharer-count distribution into the observatory;
+    /// when a stream is attached, also emits the window's `patterns`
+    /// record. O(live entries) per boundary, gated on `patterns_active`.
+    fn sample_patterns(&mut self, start: Cycle, end: Cycle) {
+        let cap = self.cfg.clusters;
+        let mut win = vec![0u64; cap + 1];
+        let mut live = 0u64;
+        for c in &self.clusters {
+            c.dir.for_each_live(|_, e| {
+                win[e.sharer_superset().len().min(cap)] += 1;
+                live += 1;
+            });
+        }
+        self.obs.samples += 1;
+        for (a, b) in self.obs.sharers.iter_mut().zip(&win) {
+            *a += b;
+        }
+        if let Some(sink) = self.stream.sink.as_mut() {
+            sink.emit(&scd_trace::patterns_record(start, end, live, &win).to_string());
+            sink.flush();
         }
     }
 
@@ -1010,6 +1106,74 @@ impl Machine {
                 .with("recorded", Json::U64(recorded))
                 .with("dropped_events", Json::U64(dropped))
         })
+    }
+
+    /// The `occupancy` section of the `scd-patterns/v1` document:
+    /// sampled sharer-count distribution over live directory entries,
+    /// write fan-out precision/waste (plus coarse-vector region-bit
+    /// utilization when the scheme is `Dir_i CV_r`), and sparse
+    /// replacement churn. None unless `TraceConfig::patterns` was on.
+    pub fn occupancy_json(&self) -> Option<Json> {
+        if !self.patterns_active {
+            return None;
+        }
+        let o = &self.obs;
+        let mut churn_total = scd_core::ChurnStats::default();
+        let mut churn_on = false;
+        for c in &self.clusters {
+            if let Some(s) = c.dir.churn_stats() {
+                churn_total.merge(&s);
+                churn_on = true;
+            }
+        }
+        let mut j = Json::obj()
+            .with("samples", Json::U64(o.samples))
+            .with(
+                "sharers",
+                Json::Arr(o.sharers.iter().map(|&c| Json::U64(c)).collect()),
+            )
+            .with(
+                "fanout",
+                Json::obj()
+                    .with("events", Json::U64(o.fanout_events))
+                    .with("precise", Json::U64(o.fanout_precise))
+                    .with("broadcast", Json::U64(o.fanout_broadcast))
+                    .with("targets", Json::U64(o.fanout_targets))
+                    .with("present", Json::U64(o.fanout_present)),
+            );
+        j.set(
+            "coarse",
+            if o.coarse_events > 0 {
+                Json::obj()
+                    .with("events", Json::U64(o.coarse_events))
+                    .with("regions_set", Json::U64(o.coarse_regions))
+                    .with("covered", Json::U64(o.coarse_covered))
+                    .with("present", Json::U64(o.coarse_present))
+            } else {
+                Json::Null
+            },
+        );
+        j.set(
+            "churn",
+            if churn_on {
+                Json::obj()
+                    .with("replacements", Json::U64(churn_total.replacements))
+                    .with("rerefs", Json::U64(churn_total.rerefs))
+                    .with(
+                        "reref_distance",
+                        Json::Arr(
+                            churn_total
+                                .reref_distance
+                                .iter()
+                                .map(|&c| Json::U64(c))
+                                .collect(),
+                        ),
+                    )
+            } else {
+                Json::Null
+            },
+        );
+        Some(j)
     }
 
     /// The metrics registry (empty unless `TraceConfig::metrics` was on).
@@ -2244,6 +2408,7 @@ impl Machine {
                 if is_write {
                     // Ownership transfer: zero invalidations.
                     self.inval_hist.record(0);
+                    self.trace_inval(t, home, block, 0, "write");
                 }
                 self.clusters[home]
                     .ser
@@ -2282,6 +2447,7 @@ impl Machine {
                     // the new reader can be recorded (an invalidation event
                     // of size 1, §6.1 Figure 4).
                     self.inval_hist.record(1);
+                    self.trace_inval(t, home, block, 1, "nb_evict");
                     let epoch = self.memory_version(home, block);
                     self.send(
                         t + tm.bus_memory,
@@ -2304,6 +2470,7 @@ impl Machine {
             }
             DirAction::Grant { inval_targets } => {
                 self.inval_hist.record(inval_targets.len());
+                self.trace_inval(t, home, block, inval_targets.len() as u32, "write");
                 if !inval_targets.is_empty() {
                     self.trace_txn_phase(t, home, requester, block, Phase::Fanout);
                 }
@@ -2478,9 +2645,14 @@ impl Machine {
     ) -> (DirAction, Option<ReplacementWork>) {
         let key = self.dir_key(block);
         let clusters = self.cfg.clusters as u64;
+        let patterns_active = self.patterns_active;
         let node = &mut self.clusters[home];
         let ser = &node.ser;
         let mut replacement = None;
+        // Fan-out precision sample, captured as plain data while the entry
+        // borrow is live and applied after it ends (the "present" check
+        // needs read access to every cluster's caches).
+        let mut fanout_sample: Option<(bool, scd_core::ReprKind, Option<usize>, NodeSet)> = None;
         // The pin check and the victim/blocker results translate between
         // home-local directory keys and global block numbers.
         let access = node
@@ -2529,6 +2701,14 @@ impl Machine {
                 if is_write {
                     let mut targets = entry.invalidation_targets(requester as NodeId);
                     targets.remove(home as NodeId);
+                    if patterns_active {
+                        fanout_sample = Some((
+                            entry.is_precise(),
+                            entry.repr_kind(),
+                            entry.coarse_regions_set(),
+                            targets.clone(),
+                        ));
+                    }
                     if requester == home {
                         // The home cluster's ownership is tracked by its bus
                         // snoop, not the directory.
@@ -2559,7 +2739,46 @@ impl Machine {
         // Release only after any sharer registration (the entry may have
         // been empty until the new sharer was recorded).
         self.clusters[home].dir.release_if_empty(key);
+        if let Some((precise, kind, regions, targets)) = fanout_sample {
+            self.observe_fanout(block, precise, kind, regions, &targets);
+        }
         (action, replacement)
+    }
+
+    /// Folds one write fan-out into the occupancy telemetry: how precise
+    /// the entry's representation was, and how much of the invalidation
+    /// superset actually held the block ("present" — the rest is
+    /// imprecision waste). Only called when `patterns_active`.
+    fn observe_fanout(
+        &mut self,
+        block: u64,
+        precise: bool,
+        kind: scd_core::ReprKind,
+        regions: Option<usize>,
+        targets: &NodeSet,
+    ) {
+        let mut present = 0u64;
+        targets.for_each_member(|c| {
+            if self.clusters[c as usize].caches.holds(block) {
+                present += 1;
+            }
+        });
+        let o = &mut self.obs;
+        o.fanout_events += 1;
+        if precise {
+            o.fanout_precise += 1;
+        }
+        if kind == scd_core::ReprKind::Broadcast {
+            o.fanout_broadcast += 1;
+        }
+        o.fanout_targets += targets.len() as u64;
+        o.fanout_present += present;
+        if let Some(r) = regions {
+            o.coarse_events += 1;
+            o.coarse_regions += r as u64;
+            o.coarse_covered += targets.len() as u64;
+            o.coarse_present += present;
+        }
     }
 
     /// Schedules the next replay of a parked request, if any. Replays run
@@ -2787,6 +3006,7 @@ impl Machine {
             for v in evicted {
                 self.counters.nb_evictions += 1;
                 self.inval_hist.record(1);
+                self.trace_inval(t, home, block, 1, "swb_evict");
                 self.send(
                     t + self.cfg.timing.bus_memory,
                     Msg {

@@ -235,17 +235,20 @@ impl RunStats {
     /// see `Machine::attribution_json`), and the trace bookkeeping
     /// section (or `null` when tracing was off; see
     /// `Machine::trace_json` — its `dropped_events` counter is how ring
-    /// eviction surfaces in exported documents). `meta` fields (app,
-    /// scheme, seed, ...) are prepended under `run` when provided, so
-    /// harnesses can label their outputs.
+    /// eviction surfaces in exported documents), and the directory
+    /// observatory section (or `null` when the patterns flag was off;
+    /// see `PatternTable::section_json`). `meta` fields (app, scheme,
+    /// seed, ...) are prepended under `run` when provided, so harnesses
+    /// can label their outputs.
     pub fn to_json_document(
         &self,
         run: Option<Json>,
         metrics: Option<&MetricsRegistry>,
         attribution: Option<Json>,
         trace: Option<Json>,
+        patterns: Option<Json>,
     ) -> Json {
-        let mut j = Json::obj().with("schema", Json::Str("scd-run-stats/v1".into()));
+        let mut j = Json::obj().with("schema", Json::Str(scd_trace::RUN_STATS_SCHEMA.into()));
         if let Some(run) = run {
             j.set("run", run);
         }
@@ -256,6 +259,7 @@ impl RunStats {
         );
         j.set("attribution", attribution.unwrap_or(Json::Null));
         j.set("trace", trace.unwrap_or(Json::Null));
+        j.set("patterns", patterns.unwrap_or(Json::Null));
         j
     }
 }

@@ -17,8 +17,9 @@
 use crate::event::{EventKind, TraceEvent};
 use crate::json::Json;
 
-/// Schema tag of the attribution JSON document section.
-pub const ATTRIB_SCHEMA: &str = "scd-attrib/v1";
+/// Schema tag of the attribution JSON document section (re-exported from
+/// the consolidated [`crate::schema`] registry).
+pub use crate::schema::ATTRIB_SCHEMA;
 
 /// The attribution taxonomy. Finer than the paper's four network classes:
 /// NACKs split out of replies, replacement writebacks out of requests,

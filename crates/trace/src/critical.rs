@@ -250,7 +250,7 @@ impl CriticalReport {
     /// rename).
     pub fn to_json(&self, k: usize) -> Json {
         Json::obj()
-            .with("schema", Json::Str("scd-critical/v1".into()))
+            .with("schema", Json::Str(crate::schema::CRITICAL_SCHEMA.into()))
             .with("analyzed", Json::U64(self.txns.len() as u64))
             .with("skipped", Json::U64(self.skipped as u64))
             .with("total_queueing", Json::U64(self.total_queueing()))

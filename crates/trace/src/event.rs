@@ -87,6 +87,22 @@ pub enum EventKind {
         /// Backoff delay in cycles before the reissue.
         backoff: u64,
     },
+    /// The home directory decided an invalidation set: one event per
+    /// directory write transaction (and per `Dir_i NB` pointer-overflow
+    /// eviction), weighted by the invalidation messages sent. The
+    /// event-stream mirror of the `RunStats::invalidations` histogram,
+    /// and the raw input of the sharing-pattern classifier.
+    Inval {
+        /// The block whose sharers were invalidated.
+        block: u64,
+        /// Invalidation messages sent (0 for a write that found a dirty
+        /// owner to forward to — an ownership transfer, no fan-out).
+        targets: u32,
+        /// Why: `"write"` for a write fan-out, `"nb_evict"` for a
+        /// `Dir_i NB` read-caused pointer eviction, `"swb_evict"` for a
+        /// sharing-writeback-close eviction.
+        cause: &'static str,
+    },
     /// A sparse-directory (or overflow wide-slot) entry was displaced and
     /// its covered copies flushed.
     Replacement {
@@ -134,6 +150,7 @@ impl EventKind {
             EventKind::TxnEnd { .. } => "txn_end",
             EventKind::Nack { .. } => "nack",
             EventKind::Retry { .. } => "retry",
+            EventKind::Inval { .. } => "inval",
             EventKind::Replacement { .. } => "replacement",
             EventKind::MsgSend { .. } => "msg_send",
             EventKind::MsgDeliver { .. } => "msg_deliver",
@@ -199,6 +216,15 @@ impl TraceEvent {
                 j.set("block", Json::U64(*block));
                 j.set("attempt", Json::U64(*attempt as u64));
                 j.set("backoff", Json::U64(*backoff));
+            }
+            EventKind::Inval {
+                block,
+                targets,
+                cause,
+            } => {
+                j.set("block", Json::U64(*block));
+                j.set("targets", Json::U64(*targets as u64));
+                j.set("cause", Json::Str((*cause).into()));
             }
             EventKind::Replacement {
                 victim,
@@ -279,6 +305,7 @@ mod tests {
             EventKind::TxnEnd { txn: 1, block: 2, latency: 10, retries: 0 },
             EventKind::Nack { txn: 1, block: 2 },
             EventKind::Retry { txn: 1, block: 2, attempt: 1, backoff: 15 },
+            EventKind::Inval { block: 2, targets: 3, cause: "write" },
             EventKind::Replacement { victim: 2, targets: 3, dirty: true },
             EventKind::MsgSend {
                 src: 0, dst: 1, msg: "read_req", class: "request", block: Some(2), hops: 1,

@@ -37,9 +37,11 @@ pub mod critical;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod patterns;
 pub mod perfetto;
 pub mod replay;
 pub mod report;
+pub mod schema;
 pub mod sink;
 pub mod span;
 pub mod tracer;
@@ -52,12 +54,19 @@ pub use critical::{analyze, BlockingEdge, CriticalReport, PhaseCost, TxnCost};
 pub use event::{EventKind, Phase, TraceEvent};
 pub use json::Json;
 pub use metrics::{IntervalSnapshot, MetricsRegistry, TxnTimeline, LATENCY_BUCKET_CAP};
+pub use patterns::{
+    validate_patterns_json, validate_patterns_section, PatternClass, PatternTable,
+    PATTERN_CLASSES,
+};
 pub use perfetto::{to_perfetto, validate_perfetto, PerfettoSummary};
 pub use replay::{validate_stats_json, validate_trace, TraceSummary};
+pub use schema::{
+    CRITICAL_SCHEMA, METRICS_SCHEMA, PATTERNS_SCHEMA, RUN_STATS_SCHEMA, SWEEP_SCHEMA,
+};
 pub use sink::{
-    attrib_delta_record, event_line, extract_trace_lines, interval_record, run_end_record,
-    run_meta_record, validate_stream, BufferSink, ChannelSink, JsonlFileSink, StreamSummary,
-    TraceSink, EVENT_TYPES,
+    attrib_delta_record, event_line, extract_trace_lines, interval_record, patterns_record,
+    run_end_record, run_meta_record, validate_stream, BufferSink, ChannelSink, JsonlFileSink,
+    StreamSummary, TraceSink, EVENT_TYPES,
 };
 pub use report::{
     compare_docs, compare_throughput, doc_label, throughput_rates, tracked_metrics, Comparison,

@@ -162,7 +162,7 @@ impl MetricsRegistry {
     /// The registry as a stable-schema JSON object.
     pub fn to_json(&self) -> Json {
         Json::obj()
-            .with("schema", Json::Str("scd-metrics/v1".into()))
+            .with("schema", Json::Str(crate::schema::METRICS_SCHEMA.into()))
             .with("transactions", Json::U64(self.transactions()))
             .with(
                 "latency",

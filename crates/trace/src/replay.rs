@@ -59,7 +59,7 @@ fn req_u64(obj: &Json, key: &str, line: usize) -> Result<u64, String> {
 ///    non-decreasing `backoff` (exponential backoff never shrinks), and a
 ///    `txn_end.retries` no smaller than the retry events observed.
 pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
-    const KNOWN: [&str; 8] = crate::sink::EVENT_TYPES;
+    const KNOWN: [&str; 9] = crate::sink::EVENT_TYPES;
     let mut summary = TraceSummary::default();
     let mut last_seq: Option<u64> = None;
     let mut last_cycle: Option<u64> = None;
@@ -111,6 +111,16 @@ pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
         last_cycle = Some(cycle);
         summary.events += 1;
         *summary.by_type.entry(ty.to_string()).or_insert(0) += 1;
+
+        if ty == "inval" {
+            // Directory-side event: no per-txn lifecycle obligations, but
+            // the classifier's inputs must be present and well-typed.
+            req_u64(&obj, "block", line_no)?;
+            req_u64(&obj, "targets", line_no)?;
+            obj.get("cause")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("line {line_no}: inval without `cause`"))?;
+        }
 
         if matches!(ty, "txn_begin" | "txn_phase" | "txn_end" | "nack" | "retry") {
             let txn = req_u64(&obj, "txn", line_no)?;
@@ -238,7 +248,7 @@ pub fn validate_stats_json(text: &str) -> Result<(), String> {
         .get("schema")
         .and_then(Json::as_str)
         .ok_or("missing `schema`")?;
-    if schema != "scd-run-stats/v1" {
+    if schema != crate::schema::RUN_STATS_SCHEMA {
         return Err(format!("unexpected schema `{schema}`"));
     }
     let stats = j.get("stats").ok_or("missing `stats`")?;
@@ -271,7 +281,7 @@ pub fn validate_stats_json(text: &str) -> Result<(), String> {
                 .get("schema")
                 .and_then(Json::as_str)
                 .ok_or("metrics.schema missing")?;
-            if ms != "scd-metrics/v1" {
+            if ms != crate::schema::METRICS_SCHEMA {
                 return Err(format!("unexpected metrics schema `{ms}`"));
             }
         }
@@ -279,6 +289,11 @@ pub fn validate_stats_json(text: &str) -> Result<(), String> {
     if let Some(attrib) = j.get("attribution") {
         if *attrib != Json::Null {
             crate::attrib::validate_attrib_json(attrib)?;
+        }
+    }
+    if let Some(patterns) = j.get("patterns") {
+        if *patterns != Json::Null {
+            crate::patterns::validate_patterns_section(patterns)?;
         }
     }
     if let Some(trace) = j.get("trace") {

@@ -143,7 +143,7 @@ pub fn tracked_metrics(doc: &Json) -> Result<Vec<(&'static str, f64)>, String> {
         .get("schema")
         .and_then(Json::as_str)
         .ok_or("missing `schema`")?;
-    if schema != "scd-run-stats/v1" {
+    if schema != crate::schema::RUN_STATS_SCHEMA {
         return Err(format!("unexpected schema `{schema}`"));
     }
     let stats = doc.get("stats").ok_or("missing `stats`")?;
@@ -333,7 +333,7 @@ pub fn throughput_rates(doc: &Json) -> Result<Vec<(String, f64)>, String> {
         .get("schema")
         .and_then(Json::as_str)
         .ok_or("missing `schema`")?;
-    if schema != "scd-sweep/v1" {
+    if schema != crate::schema::SWEEP_SCHEMA {
         return Err(format!(
             "unexpected schema `{schema}` (throughput gating reads scd-sweep/v1 documents)"
         ));

@@ -21,9 +21,10 @@
 //!   and counts it, it never stalls the caller.
 //!
 //! Stream-only records (`run_meta`, `interval`, `attrib_delta`,
-//! `run_end`, and the sweep engine's `sweep_begin`/`sweep_run`/
-//! `sweep_end`) share the JSONL transport and are distinguished by their
-//! `type` field, which is disjoint from the eight trace-event types.
+//! `patterns`, `run_end`, and the sweep engine's `sweep_begin`/
+//! `sweep_run`/`sweep_end`) share the JSONL transport and are
+//! distinguished by their `type` field, which is disjoint from the nine
+//! trace-event types.
 
 use std::collections::BTreeSet;
 use std::io::Write as _;
@@ -36,15 +37,16 @@ use crate::json::Json;
 use crate::metrics::IntervalSnapshot;
 use crate::replay::{validate_trace, TraceSummary};
 
-/// The eight trace-event `type`s (the JSONL envelope of
+/// The nine trace-event `type`s (the JSONL envelope of
 /// [`TraceEvent::to_json`]). Stream-only record types must stay disjoint
 /// from this set so a stream can be split back into events and records.
-pub const EVENT_TYPES: [&str; 8] = [
+pub const EVENT_TYPES: [&str; 9] = [
     "txn_begin",
     "txn_phase",
     "txn_end",
     "nack",
     "retry",
+    "inval",
     "replacement",
     "msg_send",
     "msg_deliver",
@@ -242,6 +244,23 @@ pub fn attrib_delta_record(
         )
 }
 
+/// `patterns`: one directory-occupancy sample, emitted at each interval
+/// boundary when the observatory is on. `sharers[i]` counts live
+/// directory entries currently recording `i` sharers (index 0 counts
+/// dirty/single-owner entries as 1 — the histogram is over the sharer
+/// superset each scheme would invalidate), trailing zeros trimmed.
+pub fn patterns_record(start: u64, end: u64, live_entries: u64, sharers: &[u64]) -> Json {
+    Json::obj()
+        .with("type", Json::Str("patterns".into()))
+        .with("start", Json::U64(start))
+        .with("end", Json::U64(end))
+        .with("live_entries", Json::U64(live_entries))
+        .with(
+            "sharers",
+            Json::Arr(sharers.iter().map(|&n| Json::U64(n)).collect()),
+        )
+}
+
 /// `run_end`: the closing record of a single-run stream. `recorded` and
 /// `dropped_events` mirror the tracer's counters, so a consumer can tell
 /// how much ring history the post-hoc file will be missing.
@@ -285,6 +304,8 @@ pub struct StreamSummary {
     pub intervals: usize,
     /// Attribution-delta records.
     pub attrib_deltas: usize,
+    /// Directory-occupancy (`patterns`) sample records.
+    pub patterns_samples: usize,
     /// Sweep per-run progress records.
     pub sweep_runs: usize,
     /// Whether a `run_end` record closed the stream.
@@ -385,6 +406,28 @@ pub fn validate_stream(text: &str) -> Result<StreamSummary, String> {
                 }
                 obj.get("classes")
                     .ok_or_else(|| format!("line {line_no}: attrib_delta without `classes`"))?;
+            }
+            "patterns" => {
+                summary.patterns_samples += 1;
+                let start = req_u64(&obj, "start", line_no)?;
+                let end = req_u64(&obj, "end", line_no)?;
+                if end <= start {
+                    return Err(format!(
+                        "line {line_no}: patterns window [{start}, {end}) is empty"
+                    ));
+                }
+                let live = req_u64(&obj, "live_entries", line_no)?;
+                let sharers = obj
+                    .get("sharers")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("line {line_no}: patterns without `sharers`"))?;
+                let counted: u64 = sharers.iter().filter_map(Json::as_u64).sum();
+                if counted > live {
+                    return Err(format!(
+                        "line {line_no}: patterns sharer histogram counts {counted} \
+                         entries but only {live} are live"
+                    ));
+                }
             }
             "run_end" => {
                 let recorded = req_u64(&obj, "recorded", line_no)?;
@@ -613,11 +656,24 @@ mod tests {
     }
 
     #[test]
+    fn validates_patterns_samples() {
+        let ok = format!("{}\n", patterns_record(0, 100, 3, &[1, 2]));
+        let s = validate_stream(&ok).expect("valid patterns record");
+        assert_eq!(s.patterns_samples, 1);
+        let over = format!("{}\n", patterns_record(0, 100, 1, &[1, 2]));
+        let err = validate_stream(&over).unwrap_err();
+        assert!(err.contains("only 1 are live"), "{err}");
+        let empty = format!("{}\n", patterns_record(5, 5, 0, &[]));
+        assert!(validate_stream(&empty).unwrap_err().contains("empty"));
+    }
+
+    #[test]
     fn stream_record_types_stay_disjoint_from_event_types() {
         for ty in [
             "run_meta",
             "interval",
             "attrib_delta",
+            "patterns",
             "run_end",
             "sweep_begin",
             "sweep_run",

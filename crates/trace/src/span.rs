@@ -250,6 +250,10 @@ impl SpanTree {
                         }
                     }
                 }
+                // Directory-side observatory events carry no span
+                // structure: invalidation decisions are already visible
+                // as fan-out messages when message tracing is on.
+                EventKind::Inval { .. } => {}
                 EventKind::Replacement { .. } => {}
             }
         }

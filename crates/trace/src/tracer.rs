@@ -28,6 +28,11 @@ pub struct TraceConfig {
     /// Collect per-class byte/flit traffic attribution and per-link
     /// occupancy counters (the `scd-attrib/v1` document section).
     pub attribution: bool,
+    /// Run the directory observatory: `inval` trace events, interval
+    /// sharer-distribution samples, fan-out precision/waste counters,
+    /// and sparse-directory churn tracking (the `scd-patterns/v1`
+    /// document).
+    pub patterns: bool,
 }
 
 impl TraceConfig {
@@ -39,7 +44,11 @@ impl TraceConfig {
 
     /// Whether any recording is enabled.
     pub fn is_active(&self) -> bool {
-        self.ring_capacity > 0 || self.metrics || self.interval > 0 || self.attribution
+        self.ring_capacity > 0
+            || self.metrics
+            || self.interval > 0
+            || self.attribution
+            || self.patterns
     }
 
     /// Standard tracing: transaction lifecycle + messages into rings of
@@ -52,6 +61,7 @@ impl TraceConfig {
             metrics: true,
             interval: 0,
             attribution: true,
+            patterns: false,
         }
     }
 
@@ -64,6 +74,7 @@ impl TraceConfig {
             metrics: true,
             interval: 0,
             attribution: false,
+            patterns: false,
         }
     }
 
@@ -76,6 +87,13 @@ impl TraceConfig {
     /// Builder: toggle traffic/occupancy attribution.
     pub fn with_attribution(mut self, on: bool) -> Self {
         self.attribution = on;
+        self
+    }
+
+    /// Builder: toggle the directory observatory (sharing-pattern
+    /// classifier events + occupancy telemetry).
+    pub fn with_patterns(mut self, on: bool) -> Self {
+        self.patterns = on;
         self
     }
 }
@@ -235,8 +253,10 @@ mod tests {
         assert!(TraceConfig::full(16).is_active());
         assert!(TraceConfig::none().with_interval(100).is_active());
         assert!(TraceConfig::none().with_attribution(true).is_active());
+        assert!(TraceConfig::none().with_patterns(true).is_active());
         assert!(TraceConfig::full(16).attribution);
         assert!(!TraceConfig::lifecycle(16).attribution);
+        assert!(!TraceConfig::full(16).patterns, "observatory is opt-in");
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Sharing-pattern report from a recorded transaction trace.
+//!
+//! Replays a `scdsim --trace-out` JSONL file through the
+//! [`scd::trace::PatternTable`] classifier and renders the directory
+//! observatory's view of the run: per-class block counts (Weber–Gupta
+//! taxonomy), the busiest blocks with their classified lifecycle, and
+//! the measured invalidation distribution (Figure-2 data from a real
+//! run). The classifier is a pure function of the event stream, so this
+//! replay produces byte-identical classifier/invalidation sections to
+//! the online `scdsim --patterns-out` path — `--compare` checks exactly
+//! that, and CI runs it on every push.
+//!
+//! ```text
+//! scd-patterns <trace.jsonl> [--out <patterns.json>]
+//!              [--compare <patterns.json>] [--json]
+//! ```
+
+use scd::stats::table::{render_bars, render_table, Align};
+use scd::trace::{Json, PatternTable};
+use std::process::exit;
+
+const HELP: &str = "\
+scd-patterns: classify sharing patterns from a recorded trace
+
+usage: scd-patterns <trace.jsonl> [--out <file>] [--compare <file>] [--json]
+
+  <trace.jsonl>    transaction trace recorded with scdsim --trace-out
+                   (the trace must have been recorded with --patterns-out
+                   also active, so it carries inval events)
+  --out <file>     write the scd-patterns/v1 document (occupancy is null:
+                   a replay cannot see live directory state)
+  --compare <file> parse an online document (scdsim --patterns-out) and
+                   check its classifier + invalidation sections are
+                   byte-identical to this replay's; exits 1 on mismatch
+  --json           print the document to stdout instead of the report
+  -h, --help       show this help
+";
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("scd-patterns: cannot read {path}: {e}");
+            exit(2);
+        }
+    }
+}
+
+/// The three stream-derived sections of a patterns document, as one
+/// canonical string — the unit of online-vs-replay comparison.
+fn stream_sections(doc: &Json) -> Result<String, String> {
+    let mut j = Json::obj();
+    for key in ["thresholds", "classifier", "invalidations"] {
+        j.set(key, doc.get(key).cloned().ok_or_else(|| format!("missing `{key}`"))?);
+    }
+    Ok(j.to_string())
+}
+
+fn render_report(table: &PatternTable) -> String {
+    let mut out = String::new();
+
+    let classes: Vec<Vec<String>> = table
+        .class_counts()
+        .into_iter()
+        .map(|(label, count)| {
+            let pct = if table.tracked_blocks() == 0 {
+                0.0
+            } else {
+                100.0 * count as f64 / table.tracked_blocks() as f64
+            };
+            vec![label.to_string(), count.to_string(), format!("{pct:.1}%")]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &["class", "blocks", "share"],
+        &[Align::Left],
+        &classes,
+    ));
+    out.push_str(&format!(
+        "\n{} events observed, {} blocks tracked\n\n",
+        table.events(),
+        table.tracked_blocks()
+    ));
+
+    let dist = table.inval_dist();
+    if dist.iter().any(|&n| n > 0) {
+        let rows: Vec<(String, f64)> = dist
+            .iter()
+            .enumerate()
+            .map(|(n, &count)| (format!("{n} inv"), count as f64))
+            .collect();
+        out.push_str(&render_bars(
+            &format!(
+                "invalidation distribution (mean {:.2} per decision)",
+                table.inval_mean()
+            ),
+            &rows,
+            40,
+        ));
+        out.push('\n');
+    } else {
+        out.push_str("no invalidation events in trace (recorded without --patterns-out?)\n");
+    }
+    out
+}
+
+fn main() {
+    let mut trace_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut compare_path: Option<String> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{HELP}");
+                return;
+            }
+            "--out" | "--compare" => {
+                let Some(path) = args.next() else {
+                    eprintln!("scd-patterns: {arg} needs a file argument");
+                    exit(2);
+                };
+                if arg == "--out" {
+                    out_path = Some(path);
+                } else {
+                    compare_path = Some(path);
+                }
+            }
+            "--json" => json = true,
+            path if !path.starts_with('-') => {
+                if trace_path.replace(path.to_string()).is_some() {
+                    eprintln!("scd-patterns: more than one trace file given\n{HELP}");
+                    exit(2);
+                }
+            }
+            other => {
+                eprintln!("scd-patterns: unknown flag {other}\n{HELP}");
+                exit(2);
+            }
+        }
+    }
+    let Some(trace_path) = trace_path else {
+        eprintln!("scd-patterns: no trace file given\n{HELP}");
+        exit(2);
+    };
+
+    let table = match PatternTable::from_trace(&read(&trace_path)) {
+        Ok(table) => table,
+        Err(e) => {
+            eprintln!("scd-patterns: {trace_path}: {e}");
+            exit(1);
+        }
+    };
+    let doc = table.document(None, None);
+
+    if let Some(path) = &out_path {
+        std::fs::write(path, format!("{doc}\n")).unwrap_or_else(|e| {
+            eprintln!("scd-patterns: cannot write {path}: {e}");
+            exit(2);
+        });
+        println!("patterns written to {path}");
+    }
+
+    if json {
+        println!("{doc}");
+    } else {
+        print!("{}", render_report(&table));
+    }
+
+    if let Some(path) = &compare_path {
+        let online = match Json::parse(&read(path)) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("scd-patterns: {path}: {e}");
+                exit(1);
+            }
+        };
+        let (online_sections, replay_sections) =
+            match (stream_sections(&online), stream_sections(&doc)) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("scd-patterns: {path}: {e}");
+                    exit(1);
+                }
+            };
+        if online_sections == replay_sections {
+            println!("compare: OK — replay matches {path} byte-for-byte");
+        } else {
+            eprintln!(
+                "compare: MISMATCH — replayed classifier/invalidations differ from {path}\n\
+                 online: {online_sections}\n\
+                 replay: {replay_sections}"
+            );
+            exit(1);
+        }
+    }
+}

@@ -71,18 +71,22 @@ impl Tail {
             return Vec::new();
         }
         self.partial.extend_from_slice(&buf);
-        let mut lines = Vec::new();
-        while let Some(pos) = self.partial.iter().position(|&b| b == b'\n') {
-            let rest = self.partial.split_off(pos + 1);
-            let mut line = std::mem::replace(&mut self.partial, rest);
-            line.pop(); // the newline
-            if let Ok(s) = String::from_utf8(line) {
-                if !s.trim().is_empty() {
-                    lines.push(s);
-                }
-            }
-        }
-        lines
+        // Split once at the last newline and slice the complete region in
+        // a single pass. (Splitting the buffer per line was quadratic in
+        // the poll size — a first poll over a multi-megabyte stream, the
+        // CI --once case, recopied the whole remainder for every line.)
+        let Some(last_nl) = self.partial.iter().rposition(|&b| b == b'\n') else {
+            return Vec::new();
+        };
+        let rest = self.partial.split_off(last_nl + 1);
+        let complete = std::mem::replace(&mut self.partial, rest);
+        complete
+            .split(|&b| b == b'\n')
+            .filter(|line| !line.is_empty())
+            .filter_map(|line| std::str::from_utf8(line).ok())
+            .filter(|s| !s.trim().is_empty())
+            .map(str::to_string)
+            .collect()
     }
 }
 
@@ -107,6 +111,12 @@ struct Dash {
     retries_total: u64,
     /// Flits per (src, dst), accumulated from attribution deltas.
     links: HashMap<(usize, usize), u64>,
+    /// Latest directory-observatory sample: live entries and the
+    /// sharer-count histogram (`sharers[n]` = live entries with `n`
+    /// sharers), plus how many samples the stream carried so far.
+    live_entries: u64,
+    sharers: Vec<u64>,
+    patterns_samples: u64,
     /// Sweep progress: (completed, total, elapsed, eta) from the latest
     /// `sweep_run`, total seeded by `sweep_begin`.
     sweep: Option<(u64, u64, f64, f64)>,
@@ -158,6 +168,16 @@ impl Dash {
                         *self.links.entry((from as usize, to as usize)).or_insert(0) += flits;
                     }
                 }
+            }
+            "patterns" => {
+                self.cycle = self
+                    .cycle
+                    .max(j.get("end").and_then(Json::as_u64).unwrap_or(0));
+                self.live_entries = j.get("live_entries").and_then(Json::as_u64).unwrap_or(0);
+                if let Some(sharers) = j.get("sharers").and_then(Json::as_arr) {
+                    self.sharers = sharers.iter().filter_map(Json::as_u64).collect();
+                }
+                self.patterns_samples += 1;
             }
             "run_end" => {
                 self.closed = true;
@@ -241,7 +261,7 @@ impl Dash {
                 run.get("clusters").and_then(Json::as_u64).unwrap_or(0)
             );
         } else {
-            let _ = writeln!(s, "scd-top — waiting for run_meta / sweep records");
+            let _ = writeln!(s, "scd-top — waiting for stream (no run_meta / sweep records yet)");
         }
         let _ = writeln!(
             s,
@@ -315,6 +335,29 @@ impl Dash {
             }
         }
 
+        if self.patterns_samples > 0 {
+            let _ = writeln!(
+                s,
+                "\nsharer distribution (window {}, {} live entries, sample {})",
+                self.cycle, self.live_entries, self.patterns_samples
+            );
+            let max = self.sharers.iter().copied().max().unwrap_or(0).max(1);
+            const BAR: usize = 30;
+            for (n, &count) in self.sharers.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                let fill = ((count * BAR as u64) / max) as usize;
+                let _ = writeln!(
+                    s,
+                    "  {:>3} sharers {:>8}  {}",
+                    n,
+                    count,
+                    "#".repeat(fill.max(1))
+                );
+            }
+        }
+
         if let Some((done, total, elapsed, eta)) = self.sweep {
             let width = 40usize;
             let fill = if total == 0 {
@@ -373,14 +416,24 @@ fn main() {
         usage_err("need a stream file to follow");
     };
 
-    // The producer may not have created the file yet: wait for it (bounded
-    // so a typo'd path fails rather than hanging forever).
+    // The producer may not have created the file yet. In follow mode,
+    // wait for it (bounded so a typo'd path fails rather than hanging
+    // forever); in --once mode a not-yet-created stream is the same
+    // "waiting" state as an empty one — render the waiting frame and
+    // exit cleanly so CI probes racing the producer don't flake.
     let t0 = std::time::Instant::now();
     let mut tail = loop {
         match Tail::open(&path) {
             Ok(t) => break t,
+            Err(_) if once => {
+                print!(
+                    "{}",
+                    Dash::default().render(t0.elapsed().as_secs_f64(), top_links)
+                );
+                return;
+            }
             Err(e) => {
-                if once || t0.elapsed().as_secs() > 30 {
+                if t0.elapsed().as_secs() > 30 {
                     eprintln!("scd-top: cannot open {path}: {e}");
                     std::process::exit(1);
                 }

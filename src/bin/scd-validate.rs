@@ -23,7 +23,8 @@
 //! streamed trace against the post-hoc `--trace-out` file.
 
 use scd::trace::{
-    extract_trace_lines, validate_perfetto, validate_stats_json, validate_stream, validate_trace,
+    extract_trace_lines, validate_patterns_json, validate_perfetto, validate_stats_json,
+    validate_stream, validate_trace,
 };
 use std::process::exit;
 
@@ -31,13 +32,19 @@ const HELP: &str = "\
 scd-validate: check scd telemetry files against their schemas
 
 usage: scd-validate [--trace <file>]... [--stats <file>]...
-                    [--perfetto <file>]... [--stream <file>]...
-                    [--extract-trace <file>] [<file>]...
+                    [--patterns <file>]... [--perfetto <file>]...
+                    [--stream <file>]... [--extract-trace <file>]
+                    [<file>]...
 
   --trace <file>         validate a JSONL transaction trace
                          (scdsim --trace-out)
   --stats <file>         validate an scd-run-stats/v1 document
                          (scdsim --stats-json, BENCH_*.json)
+  --patterns <file>      validate an scd-patterns/v1 document
+                         (scdsim --patterns-out, scd-patterns --out):
+                         class counts sum to tracked blocks, the
+                         invalidation distribution sums to its counters,
+                         occupancy invariants hold
   --perfetto <file>      validate a chrome trace_event export
                          (scdsim --perfetto-out)
   --stream <file>        validate a live telemetry stream
@@ -54,6 +61,7 @@ usage: scd-validate [--trace <file>]... [--stats <file>]...
 enum Kind {
     Trace,
     Stats,
+    Patterns,
     Perfetto,
     Stream,
     ExtractTrace,
@@ -78,13 +86,15 @@ fn main() {
                 print!("{HELP}");
                 return;
             }
-            "--trace" | "--stats" | "--perfetto" | "--stream" | "--extract-trace" => {
+            "--trace" | "--stats" | "--patterns" | "--perfetto" | "--stream"
+            | "--extract-trace" => {
                 let Some(path) = args.next() else {
                     eprintln!("scd-validate: {arg} needs a file argument");
                     exit(2);
                 };
                 let kind = match arg.as_str() {
                     "--trace" => Kind::Trace,
+                    "--patterns" => Kind::Patterns,
                     "--perfetto" => Kind::Perfetto,
                     "--stream" => Kind::Stream,
                     "--extract-trace" => Kind::ExtractTrace,
@@ -132,6 +142,13 @@ fn main() {
             },
             Kind::Stats => match validate_stats_json(&text) {
                 Ok(()) => println!("{path}: OK — scd-run-stats/v1"),
+                Err(e) => {
+                    eprintln!("{path}: FAIL — {e}");
+                    failures += 1;
+                }
+            },
+            Kind::Patterns => match validate_patterns_json(&text) {
+                Ok(()) => println!("{path}: OK — scd-patterns/v1"),
                 Err(e) => {
                     eprintln!("{path}: FAIL — {e}");
                     failures += 1;

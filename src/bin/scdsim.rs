@@ -21,6 +21,8 @@
 //!   --trace-buffer <n>               trace ring capacity per cluster
 //!   --stream-out <path>              stream telemetry JSONL during the run
 //!   --stats-json <path>              write scd-run-stats/v1 JSON
+//!   --patterns-out <path>            write the scd-patterns/v1 directory
+//!                                    observatory document
 //!   --interval-stats <n>             sample traffic/occupancy every n cycles
 //!   --perfetto-out <path>            write a chrome://tracing span profile
 //!   --folded-out <path>              write folded stacks for flamegraphs
@@ -32,7 +34,7 @@ use scd::apps::{dwf, locusroute, lu, mp3d, AppRun, DwfParams, LocusRouteParams, 
 use scd::core::{Replacement, Scheme};
 use scd::machine::{Machine, MachineConfig};
 use scd::noc::FaultPlan;
-use scd::trace::{analyze, to_perfetto, Json, JsonlFileSink, SpanTree, TraceConfig};
+use scd::trace::{analyze, to_perfetto, Json, JsonlFileSink, PatternTable, SpanTree, TraceConfig};
 
 fn usage() -> ! {
     eprintln!("{}", HELP.trim());
@@ -74,6 +76,12 @@ usage: scdsim [options]
   --stats-json <path>                         write the scd-run-stats/v1
                                               document (stats + metrics +
                                               traffic attribution)
+  --patterns-out <path>                       classify per-block sharing
+                                              patterns (Weber/Gupta taxonomy)
+                                              and write the scd-patterns/v1
+                                              document: classifier + measured
+                                              invalidation distribution +
+                                              directory occupancy telemetry
   --interval-stats <n>                        sample traffic/retries/occupancy
                                               every n cycles, print the table
   --perfetto-out <path>                       derive the causal span tree and
@@ -163,6 +171,7 @@ fn main() {
     let mut stream_out: Option<String> = None;
     let mut critical: Option<usize> = None;
     let mut stats_json: Option<String> = None;
+    let mut patterns_out: Option<String> = None;
     let mut interval: u64 = 0;
     let mut perfetto_out: Option<String> = None;
     let mut folded_out: Option<String> = None;
@@ -220,6 +229,7 @@ fn main() {
             "--stream-out" => stream_out = Some(val()),
             "--critical" => critical = Some(val().parse().unwrap_or_else(|_| usage())),
             "--stats-json" => stats_json = Some(val()),
+            "--patterns-out" => patterns_out = Some(val()),
             "--interval-stats" => interval = val().parse().unwrap_or_else(|_| usage()),
             "--perfetto-out" => perfetto_out = Some(val()),
             "--folded-out" => folded_out = Some(val()),
@@ -250,9 +260,12 @@ fn main() {
     // Any telemetry request also turns on traffic attribution (counters
     // only — the run stays bit-identical).
     let want_metrics = stats_json.is_some() || interval > 0;
+    // The sharing-pattern classifier consumes txn_begin/inval events, so
+    // --patterns-out implies full event recording and the patterns flag.
     let want_events =
         trace_out.is_some() || trace_buffer.is_some() || perfetto_out.is_some()
-            || folded_out.is_some() || stream_out.is_some() || critical.is_some();
+            || folded_out.is_some() || stream_out.is_some() || critical.is_some()
+            || patterns_out.is_some();
     if want_events || want_metrics {
         let mut tc = if want_events {
             TraceConfig::full(trace_buffer.unwrap_or(4096))
@@ -262,6 +275,12 @@ fn main() {
         tc.metrics = tc.metrics || want_metrics;
         tc.interval = interval;
         tc.attribution = true;
+        tc.patterns = patterns_out.is_some();
+        if tc.patterns && tc.interval == 0 {
+            // Occupancy sampling runs at interval boundaries; give the
+            // observatory a time base when the user didn't pick one.
+            tc.interval = 10_000;
+        }
         cfg = cfg.with_trace(tc);
     }
     if let Some((entries, ways, policy)) = sparse {
@@ -321,6 +340,25 @@ fn main() {
     if let Some(path) = &trace_out {
         write_trace(&machine, path);
     }
+    if let Some(path) = &patterns_out {
+        // Online classification: feed the retained events through the
+        // same single code path the replay tool uses, so the two outputs
+        // are byte-identical for the same event history.
+        let mut table = PatternTable::new();
+        for ev in machine.trace_events() {
+            table.observe_event(&ev.to_json());
+        }
+        let doc = table.document(Some(run_meta.clone()), machine.occupancy_json());
+        if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1)
+        }
+        eprintln!(
+            "patterns written to {path}: {} blocks classified over {} events",
+            table.tracked_blocks(),
+            table.events(),
+        );
+    }
     if perfetto_out.is_some() || folded_out.is_some() || critical.is_some() {
         let events = machine.trace_events();
         let tree = SpanTree::from_events(&events);
@@ -366,6 +404,13 @@ fn main() {
             want_metrics.then(|| machine.metrics()),
             machine.attribution_json(stats.cycles),
             machine.trace_json(),
+            patterns_out.is_some().then(|| {
+                let mut table = PatternTable::new();
+                for ev in machine.trace_events() {
+                    table.observe_event(&ev.to_json());
+                }
+                table.section_json()
+            }),
         );
         if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
             eprintln!("cannot write {path}: {e}");

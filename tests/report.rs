@@ -167,7 +167,7 @@ fn accepts_real_stats_documents() {
         .collect();
     let mut machine = Machine::new(cfg, programs);
     let stats = machine.try_run().expect("run must quiesce");
-    let doc = stats.to_json_document(None, None, None, None).to_string();
+    let doc = stats.to_json_document(None, None, None, None, None).to_string();
     let path = scratch("real", "live.json", &doc);
     let out = run(&[path.to_str().unwrap()]);
     let stdout = String::from_utf8(out.stdout).unwrap();

@@ -151,7 +151,7 @@ fn metrics_registry_reports_latency_histograms() {
         "percentiles must be monotone"
     );
     let doc = stats
-        .to_json_document(None, Some(m), None, machine.trace_json())
+        .to_json_document(None, Some(m), None, machine.trace_json(), None)
         .to_string();
     validate_stats_json(&doc).unwrap_or_else(|e| panic!("schema broke: {e}\n{doc}"));
 }
@@ -174,7 +174,7 @@ fn attribution_counters_do_not_perturb_the_run() {
         "every message the traffic tally saw must be classified"
     );
     let doc = stats
-        .to_json_document(None, None, machine.attribution_json(stats.cycles), None)
+        .to_json_document(None, None, machine.attribution_json(stats.cycles), None, None)
         .to_string();
     validate_stats_json(&doc).unwrap_or_else(|e| panic!("attrib schema broke: {e}\n{doc}"));
 }
@@ -545,13 +545,13 @@ fn dropped_events_surface_in_the_stats_document() {
         Some(dropped)
     );
     let doc = stats
-        .to_json_document(None, None, None, Some(trace))
+        .to_json_document(None, None, None, Some(trace), None)
         .to_string();
     validate_stats_json(&doc).unwrap_or_else(|e| panic!("trace section broke: {e}\n{doc}"));
 
     // An untraced run exports `trace: null`, and that validates too.
     let (_, untraced) = run_with_trace(None, 0x7E1E);
-    let doc = untraced.to_json_document(None, None, None, None).to_string();
+    let doc = untraced.to_json_document(None, None, None, None, None).to_string();
     assert!(doc.contains("\"trace\":null"), "{doc}");
     validate_stats_json(&doc).unwrap_or_else(|e| panic!("null trace broke: {e}"));
 
@@ -559,6 +559,57 @@ fn dropped_events_surface_in_the_stats_document() {
     let lying = Json::obj()
         .with("recorded", Json::U64(1))
         .with("dropped_events", Json::U64(2));
-    let doc = stats.to_json_document(None, None, None, Some(lying)).to_string();
+    let doc = stats.to_json_document(None, None, None, Some(lying), None).to_string();
     assert!(validate_stats_json(&doc).is_err(), "dropped > recorded passed");
+}
+
+/// The directory observatory obeys the same inert contract as the rest of
+/// the trace subsystem: a patterns-enabled run does not move a cycle or a
+/// message, and its occupancy section validates inside the standalone
+/// `scd-patterns/v1` document.
+#[test]
+fn patterns_telemetry_does_not_perturb_and_validates() {
+    use scd::trace::{validate_patterns_json, PatternTable};
+    let (_, base) = run_with_trace(None, 0x7E1E);
+    let mut tc = TraceConfig::full(1 << 16);
+    tc.patterns = true;
+    tc.interval = 200;
+    let (machine, stats) = run_with_trace(Some(tc), 0x7E1E);
+    assert_eq!(base.to_json().to_string(), stats.to_json().to_string());
+
+    let occupancy = machine.occupancy_json().expect("patterns were on");
+    let mut table = PatternTable::new();
+    for ev in machine.trace_events() {
+        table.observe_event(&ev.to_json());
+    }
+    assert!(table.tracked_blocks() > 0, "run touched shared blocks");
+    let doc = table.document(None, Some(occupancy)).to_string();
+    validate_patterns_json(&doc).unwrap_or_else(|e| panic!("patterns doc broke: {e}\n{doc}"));
+}
+
+/// The classifier is a pure function of the `(cycle, seq)`-ordered event
+/// stream: feeding the live machine's merged events and replaying the
+/// rendered JSONL text of the same events must produce byte-identical
+/// documents (the `scdsim --patterns-out` vs `scd-patterns` contract CI
+/// checks on real runs).
+#[test]
+fn online_patterns_match_trace_replay_byte_for_byte() {
+    use scd::trace::PatternTable;
+    let mut tc = TraceConfig::full(1 << 16);
+    tc.patterns = true;
+    let (machine, _) = run_with_trace(Some(tc), 0xBEEF);
+    let mut online = PatternTable::new();
+    let mut text = String::new();
+    for ev in machine.trace_events() {
+        let j = ev.to_json();
+        online.observe_event(&j);
+        text.push_str(&j.to_string());
+        text.push('\n');
+    }
+    let replay = PatternTable::from_trace(&text).expect("trace replays");
+    assert_eq!(
+        online.document(None, None).to_string(),
+        replay.document(None, None).to_string()
+    );
+    assert!(online.events() > 0);
 }
