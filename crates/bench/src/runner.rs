@@ -3,7 +3,7 @@
 
 use scd_apps::AppRun;
 use scd_core::Scheme;
-use scd_machine::{Machine, MachineConfig, RunStats};
+use scd_machine::{Machine, MachineConfig, RunStats, ShardedMachine};
 use scd_trace::{Json, TraceConfig};
 
 /// The paper's four evaluated schemes for 32 processors with a ~13%
@@ -56,6 +56,20 @@ pub fn run_app_attributed_traced(
     app: &AppRun,
     cfg: MachineConfig,
 ) -> (RunStats, Option<Json>, Option<Json>) {
+    run_app_attributed_traced_sharded(app, cfg, 1)
+        .expect("a 1-shard run accepts any configuration")
+}
+
+/// [`run_app_attributed_traced`] on a machine partitioned across `shards`
+/// worker threads. Statistics, attribution, and trace bookkeeping are
+/// byte-identical to the serial run for any shard count; `Err` reports a
+/// configuration the conservative-window engine cannot shard (zero
+/// lookahead, link contention, the patterns observatory).
+pub fn run_app_attributed_traced_sharded(
+    app: &AppRun,
+    cfg: MachineConfig,
+    shards: usize,
+) -> Result<(RunStats, Option<Json>, Option<Json>), String> {
     assert_eq!(
         app.programs.len(),
         cfg.processors(),
@@ -63,11 +77,11 @@ pub fn run_app_attributed_traced(
     );
     let mut tc = TraceConfig::none();
     tc.attribution = true;
-    let mut machine = Machine::new(cfg.with_trace(tc), app.boxed_programs());
+    let mut machine = ShardedMachine::new(cfg.with_trace(tc), app.boxed_programs(), shards)?;
     let stats = machine.run();
     let attrib = machine.attribution_json(stats.cycles);
     let trace = machine.trace_json();
-    (stats, attrib, trace)
+    Ok((stats, attrib, trace))
 }
 
 /// Ratio of data-set size to total cache size used by the sparse-directory

@@ -30,7 +30,7 @@ use scd_core::{Replacement, Scheme};
 use scd_machine::{MachineConfig, RunStats};
 use scd_trace::Json;
 
-use crate::runner::{run_app_attributed_traced, slug, sparse_config_with};
+use crate::runner::{run_app_attributed_traced_sharded, slug, sparse_config_with};
 
 // The whole point of the engine is moving configs and reference programs
 // across worker threads; keep that property machine-checked.
@@ -172,6 +172,11 @@ pub struct SweepSpec {
     pub scale: f64,
     /// Cluster count (one processor per cluster, as in the paper's runs).
     pub clusters: usize,
+    /// Shards (worker threads) *inside* each machine — orthogonal to
+    /// `--jobs`, which parallelizes *across* grid points. Results are
+    /// byte-identical for any value, so this is pure execution policy and
+    /// never appears in the deterministic document sections.
+    pub shards: usize,
 }
 
 impl SweepSpec {
@@ -185,6 +190,7 @@ impl SweepSpec {
             seeds: vec![0xD45B],
             scale,
             clusters: 32,
+            shards: 1,
         }
     }
 
@@ -314,7 +320,9 @@ fn execute(desc: RunDescriptor, apps: &[AppRun], spec: &SweepSpec) -> SweepRun {
     let app = &apps[desc.app_idx];
     let cfg = build_config(&desc, app, spec);
     let t0 = Instant::now();
-    let (stats, attribution, trace) = run_app_attributed_traced(app, cfg);
+    let (stats, attribution, trace) =
+        run_app_attributed_traced_sharded(app, cfg, spec.shards.max(1))
+            .unwrap_or_else(|e| panic!("cannot shard sweep point {}: {e}", desc.id));
     SweepRun {
         desc,
         stats,
@@ -589,6 +597,7 @@ pub fn sweep_document(outcome: &SweepOutcome, spec: &SweepSpec, include_timing: 
         let total_events: u64 = outcome.runs.iter().map(|run| run.stats.events_delivered).sum();
         Json::obj()
             .with("jobs", Json::U64(outcome.jobs as u64))
+            .with("shards", Json::U64(spec.shards.max(1) as u64))
             .with("wall_seconds", Json::F64(outcome.wall_seconds))
             .with("serial_seconds", Json::F64(serial))
             .with(
@@ -632,6 +641,7 @@ mod tests {
             seeds: vec![7],
             scale: 0.02,
             clusters: 4,
+            shards: 1,
         }
     }
 
@@ -698,6 +708,22 @@ mod tests {
         let a = sweep_document(&serial, &spec, false).to_string();
         let b = sweep_document(&parallel, &spec, false).to_string();
         assert_eq!(a, b);
+    }
+
+    /// `--shards` is execution policy: partitioning each machine across
+    /// worker threads leaves the deterministic document byte-identical,
+    /// and composes with `--jobs`.
+    #[test]
+    fn sharded_machines_leave_the_sweep_document_byte_identical() {
+        let spec = micro_spec();
+        let baseline = sweep_document(&run_sweep(&spec, 1), &spec, false).to_string();
+        let mut sharded = spec.clone();
+        sharded.shards = 2;
+        let outcome = run_sweep(&sharded, 2);
+        assert_eq!(
+            sweep_document(&outcome, &sharded, false).to_string(),
+            baseline
+        );
     }
 
     /// Progress callbacks arrive once per run with a monotone `completed`

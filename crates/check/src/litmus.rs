@@ -251,14 +251,8 @@ pub fn select(names: &str) -> Result<Vec<Litmus>, String> {
 }
 
 impl Litmus {
-    /// Builds a machine running this litmus under `scenario`, optionally
-    /// mutated and/or trace-enabled (for counterexample emission).
-    pub fn build(
-        &self,
-        scenario: &Scenario,
-        mutation: Option<Mutation>,
-        trace: bool,
-    ) -> Machine {
+    /// The machine configuration for this litmus under `scenario`.
+    pub fn config(&self, scenario: &Scenario, trace: bool) -> MachineConfig {
         let mut cfg = MachineConfig::tiny(self.clusters);
         match &scenario.organization {
             &Organization::Overflow {
@@ -277,16 +271,46 @@ impl Litmus {
         if trace {
             cfg = cfg.with_trace(TraceConfig::full(16 * 1024));
         }
-        let programs: Vec<Box<dyn ThreadProgram>> = self
-            .programs
+        cfg
+    }
+
+    /// The boxed per-processor programs for this litmus.
+    pub fn boxed_programs(&self) -> Vec<Box<dyn ThreadProgram>> {
+        self.programs
             .iter()
             .map(|ops| Box::new(ScriptProgram::new(ops.clone())) as Box<dyn ThreadProgram>)
-            .collect();
-        let mut m = Machine::new(cfg, programs);
+            .collect()
+    }
+
+    /// Builds a machine running this litmus under `scenario`, optionally
+    /// mutated and/or trace-enabled (for counterexample emission).
+    pub fn build(
+        &self,
+        scenario: &Scenario,
+        mutation: Option<Mutation>,
+        trace: bool,
+    ) -> Machine {
+        let mut m = Machine::new(self.config(scenario, trace), self.boxed_programs());
         if let Some(mu) = mutation {
             m.arm_mutation(mu);
         }
         m
+    }
+
+    /// Builds the same litmus machine partitioned across `shards` worker
+    /// threads (conservative time windows) — results are byte-identical
+    /// to [`Litmus::build`] with no mutation armed.
+    pub fn build_sharded(
+        &self,
+        scenario: &Scenario,
+        trace: bool,
+        shards: usize,
+    ) -> Result<scd_machine::ShardedMachine, String> {
+        scd_machine::ShardedMachine::new(
+            self.config(scenario, trace),
+            self.boxed_programs(),
+            shards,
+        )
     }
 }
 

@@ -730,13 +730,17 @@ mod tests {
     #[test]
     fn churn_merge_accumulates_per_home_stats() {
         let mut total = ChurnStats::default();
-        let mut a = ChurnStats::default();
-        a.replacements = 3;
-        a.rerefs = 1;
+        let mut a = ChurnStats {
+            replacements: 3,
+            rerefs: 1,
+            ..Default::default()
+        };
         a.reref_distance[0] = 1;
-        let mut b = ChurnStats::default();
-        b.replacements = 2;
-        b.rerefs = 2;
+        let mut b = ChurnStats {
+            replacements: 2,
+            rerefs: 2,
+            ..Default::default()
+        };
         b.reref_distance[0] = 1;
         b.reref_distance[5] = 1;
         total.merge(&a);

@@ -83,7 +83,16 @@ impl std::error::Error for Violation {}
 /// Verifies the quiescent invariants; returns the first violation found.
 pub fn verify_quiescent(machine: &Machine) -> Result<(), Violation> {
     let (cfg, views) = machine.checker_view();
+    verify_views(cfg, &views)
+}
 
+/// The quiescent check over an explicit set of cluster views — the shard
+/// coordinator composes one view per cluster from that cluster's owning
+/// worker, so the machine-wide invariants are checked across shards.
+pub(crate) fn verify_views(
+    cfg: &crate::config::MachineConfig,
+    views: &[crate::machine::ClusterView<'_>],
+) -> Result<(), Violation> {
     // Gather machine-wide residency: block -> (dirty holders, all holders).
     let mut residency: std::collections::HashMap<u64, (Vec<usize>, Vec<usize>)> =
         std::collections::HashMap::new();

@@ -33,5 +33,6 @@ pub use checker::Violation;
 pub use config::{MachineConfig, Timing};
 pub use error::{PostMortem, SimError};
 pub use machine::explore::{Choice, FaultEdges, Mutation};
+pub use machine::shard::ShardedMachine;
 pub use machine::Machine;
 pub use stats::{FaultCounters, RunStats};

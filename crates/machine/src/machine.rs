@@ -39,7 +39,7 @@ use scd_protocol::{
     MsgArena, MsgKind, MsgRef, Rac, UnlockOutcome,
 };
 use scd_protocol::rac::{MshrKind, StartOutcome};
-use scd_sim::{Cycle, EventQueue, RingLog, SimRng};
+use scd_sim::{Cycle, EventQueue, RingLog, SimRng, Stamp};
 use scd_stats::{Histogram, MessageClass, Traffic};
 use scd_tango::{Op, ThreadProgram};
 use scd_trace::{
@@ -52,6 +52,7 @@ use crate::error::{BlockedProc, ClusterDiag, PostMortem, SimError};
 use crate::stats::{FaultCounters, ProtocolCounters, RunStats, StallBreakdown};
 
 pub mod explore;
+pub mod shard;
 
 /// Simulator events. The hot variant, `Deliver`, carries an 8-byte
 /// [`MsgRef`] into the message arena rather than the ~40-byte [`Msg`]
@@ -205,6 +206,79 @@ struct TxnLive {
     retries: u32,
 }
 
+/// Home-side view of a live traced transaction, keyed like [`TxnLive`]
+/// by (requester cluster, block). The home consults this — never the
+/// requester's `txn_live` map, which may live on another shard — when it
+/// records `HomeLookup`/`Fanout` phases; the flags make each phase
+/// set-once per transaction id.
+#[derive(Clone, Copy)]
+struct PhaseSlot {
+    id: u64,
+    issue: Cycle,
+    hl_done: bool,
+    fo_done: bool,
+}
+
+/// Cross-shard telemetry notes exchanged at window barriers. Notes ride
+/// the barrier, not the simulated network: they carry trace metadata whose
+/// happens-before edges (a home services a request at least one network
+/// leg after it was issued; a requester completes at least one leg after
+/// the home's phase) guarantee the note is applied before any event that
+/// reads it. Within one shard, notes are applied immediately.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum TxnNote {
+    /// Requester → home: a traced transaction began.
+    Begin {
+        /// Requester cluster (keys the home's phase slot).
+        requester: usize,
+        /// The block.
+        block: u64,
+        /// The transaction id (cluster-encoded, see `trace_txn_begin`).
+        id: u64,
+        /// The issue cycle.
+        issue: Cycle,
+    },
+    /// Home → requester: a lifecycle phase was recorded at the home.
+    Phase {
+        /// Requester cluster.
+        requester: usize,
+        /// The block.
+        block: u64,
+        /// The transaction id the home recorded the phase under.
+        id: u64,
+        /// Which phase.
+        phase: Phase,
+        /// When the home recorded it.
+        at: Cycle,
+    },
+}
+
+/// A delivery bound for a cluster another shard owns: exported at the end
+/// of the window and merged into the destination shard's wheel at the
+/// barrier, carrying the canonical stamp drawn at the (source-side) send.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Outbound {
+    pub(crate) deliver_at: Cycle,
+    pub(crate) stamp: Stamp,
+    pub(crate) msg: Msg,
+}
+
+/// One shard's contribution to one interval boundary `end`: the per-window
+/// counter deltas its clusters produced plus its share of the occupancy
+/// sample. The coordinator sums pieces across shards into the exact
+/// [`IntervalSnapshot`] a solo run would have produced, and the
+/// attribution deltas into the streamed `attrib_delta` record.
+#[derive(Clone, Debug)]
+pub(crate) struct IntervalPiece {
+    pub(crate) snap: IntervalSnapshot,
+    /// Per-class attribution counter deltas over the window (all zero when
+    /// attribution is off).
+    pub(crate) attrib_delta: [scd_trace::ClassCounters; AttribClass::ALL.len()],
+    /// Per-link flit deltas over the window (empty when attribution is
+    /// off).
+    pub(crate) link_delta: Vec<((usize, usize), u64)>,
+}
+
 /// Counter baselines at the last interval boundary, so each
 /// [`IntervalSnapshot`] reports per-window deltas.
 #[derive(Clone, Default)]
@@ -216,13 +290,20 @@ struct IntervalBase {
 }
 
 /// A recorded event waiting for the stream watermark to pass it.
-/// Ordered by `(cycle, seq)` — *reversed*, so [`std::collections::BinaryHeap`]
-/// (a max-heap) pops the earliest event first.
+/// Ordered by the canonical `(cycle, cluster, per-cluster seq)` trace
+/// order — *reversed*, so [`std::collections::BinaryHeap`] (a max-heap)
+/// pops the earliest event first.
 struct PendingEvent(TraceEvent);
+
+impl PendingEvent {
+    fn key(&self) -> (u64, u32, u64) {
+        (self.0.cycle, self.0.cluster, self.0.seq)
+    }
+}
 
 impl PartialEq for PendingEvent {
     fn eq(&self, other: &Self) -> bool {
-        (self.0.cycle, self.0.seq) == (other.0.cycle, other.0.seq)
+        self.key() == other.key()
     }
 }
 impl Eq for PendingEvent {}
@@ -233,7 +314,7 @@ impl PartialOrd for PendingEvent {
 }
 impl Ord for PendingEvent {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (other.0.cycle, other.0.seq).cmp(&(self.0.cycle, self.0.seq))
+        other.key().cmp(&self.key())
     }
 }
 
@@ -252,6 +333,10 @@ struct StreamState {
     on: bool,
     /// Recorded events the watermark has not passed yet.
     pending: std::collections::BinaryHeap<PendingEvent>,
+    /// Events emitted so far: each emitted line's `seq` is renumbered to
+    /// its 1-based position in the canonical emission order, matching what
+    /// `Tracer::merged` assigns post-hoc.
+    emitted: u64,
     /// Per-class attribution counters at the last emitted delta.
     attrib_base: [scd_trace::ClassCounters; scd_trace::AttribClass::ALL.len()],
     /// Per-link flit counters at the last emitted delta.
@@ -264,6 +349,7 @@ impl StreamState {
             sink: None,
             on: false,
             pending: std::collections::BinaryHeap::new(),
+            emitted: 0,
             attrib_base: Default::default(),
             link_base: HashMap::new(),
         }
@@ -350,9 +436,14 @@ pub struct Machine {
     /// Pre-computed `fault_plan.is_active()`: an inert plan must cost
     /// nothing and never consume randomness, so every hook gates on this.
     fault_active: bool,
-    /// Dedicated stream for fault placement, forked from the master seed so
-    /// enabling faults never perturbs any other consumer's stream.
-    fault_rng: SimRng,
+    /// Per-directed-channel fault streams, keyed `(src, dst)` and derived
+    /// lazily as a pure function of the master seed. Send-side draws
+    /// (reorder/delay/dup) and deliver-side draws (nack injection) use
+    /// separate streams so each is consumed in its own channel-local order
+    /// — which makes fault placement a function of per-channel traffic
+    /// history alone, identical for any shard count.
+    fault_send_rng: HashMap<(usize, usize), SimRng>,
+    fault_nack_rng: HashMap<(usize, usize), SimRng>,
     faults: FaultCounters,
     /// Latest scheduled request-class delivery per (src, dst), so injected
     /// latency spikes keep each channel FIFO.
@@ -382,9 +473,16 @@ pub struct Machine {
     /// Directory-occupancy telemetry (only fed when `patterns_active`).
     obs: Observatory,
     /// Live traced transactions, keyed by (requester cluster, block).
+    /// Requester-side state, touched only while processing events of the
+    /// requester's own cluster.
     txn_live: HashMap<(usize, u64), TxnLive>,
-    /// Last transaction id handed out.
-    txn_next: u64,
+    /// Home-side phase slots, keyed by (requester cluster, block) and fed
+    /// by `TxnNote::Begin`. Touched only while processing home events.
+    txn_phase: HashMap<(usize, u64), PhaseSlot>,
+    /// Per-requester-cluster transaction id counters. Ids encode the
+    /// cluster in the high bits so each cluster hands them out locally —
+    /// no global counter to race on across shards.
+    txn_seq: Vec<u64>,
     /// Next interval-snapshot boundary (0 when sampling is off).
     interval_next: Cycle,
     /// Start cycle of the current interval window.
@@ -397,6 +495,34 @@ pub struct Machine {
     /// Live telemetry stream (inert until [`Machine::attach_stream`];
     /// detached again by `Clone`).
     stream: StreamState,
+    /// First cluster this machine owns. A solo machine owns `[0, clusters)`;
+    /// a shard owns a contiguous sub-range and exports everything else.
+    shard_base: usize,
+    /// Number of clusters this machine owns.
+    shard_count: usize,
+    /// Pre-computed `shard_count == cfg.clusters`: gates the per-event
+    /// watchdog/limit checks and stream pumping that the shard coordinator
+    /// takes over in a sharded run.
+    solo: bool,
+    /// Per-cluster canonical-stamp counters: every scheduled event is
+    /// stamped `(cluster, emit_seq[cluster]++)` from the cluster context
+    /// that emitted it, making same-cycle delivery order a pure function
+    /// of per-cluster local history (identical for any shard count).
+    emit_seq: Vec<u64>,
+    /// Deliveries bound for clusters other shards own, drained at window
+    /// barriers.
+    outbox: Vec<Outbound>,
+    /// Cross-shard telemetry notes, drained at window barriers.
+    note_outbox: Vec<TxnNote>,
+    /// End of the current conservative window (exclusive); used to check
+    /// the lookahead invariant on exported deliveries. `u64::MAX` in solo
+    /// mode.
+    window_end: Cycle,
+    /// Interval-boundary pieces for the coordinator (non-solo runs only).
+    interval_pieces: Vec<IntervalPiece>,
+    /// Attribution baselines for piece deltas (non-solo runs only).
+    piece_attrib_base: [scd_trace::ClassCounters; AttribClass::ALL.len()],
+    piece_link_base: HashMap<(usize, usize), u64>,
 }
 
 impl Machine {
@@ -405,10 +531,32 @@ impl Machine {
     /// # Panics
     /// If the number of programs does not match `cfg.processors()`.
     pub fn new(cfg: MachineConfig, programs: Vec<Box<dyn ThreadProgram>>) -> Self {
+        let clusters = cfg.clusters;
+        Self::new_shard(cfg, programs, 0, clusters)
+    }
+
+    /// Builds one shard of a machine: it owns clusters
+    /// `[shard_base, shard_base + shard_count)` and their processors. The
+    /// full-size cluster/processor tables are still allocated (so every
+    /// index site works unchanged), but non-owned processors are inert
+    /// stubs marked `Done`, `start` seeds only owned processors, and
+    /// deliveries addressed to non-owned clusters are exported through the
+    /// outbox instead of being scheduled locally. A solo machine is simply
+    /// the shard that owns everything.
+    pub(crate) fn new_shard(
+        cfg: MachineConfig,
+        programs: Vec<Box<dyn ThreadProgram>>,
+        shard_base: usize,
+        shard_count: usize,
+    ) -> Self {
         assert_eq!(
             programs.len(),
             cfg.processors(),
             "need one program per processor"
+        );
+        assert!(
+            shard_base + shard_count <= cfg.clusters && shard_count > 0,
+            "shard range out of bounds"
         );
         let clusters: Vec<ClusterNode> = (0..cfg.clusters)
             .map(|c| ClusterNode {
@@ -438,22 +586,33 @@ impl Machine {
         if let Some(occ) = cfg.link_occupancy {
             network = network.with_contention(occ);
         }
+        let owned = shard_base..shard_base + shard_count;
         let procs = programs
             .into_iter()
-            .map(|program| ProcState {
-                program,
-                pending: None,
-                status: ProcStatus::Running,
-                blocked_since: 0,
-                blocked_on_sync: false,
-                mem_stall: 0,
-                sync_stall: 0,
-                finish: 0,
+            .enumerate()
+            .map(|(p, program)| {
+                let mine = owned.contains(&(p / cfg.procs_per_cluster));
+                ProcState {
+                    program,
+                    pending: None,
+                    // Non-owned processors live on another shard; marking
+                    // them Done keeps every index site valid while this
+                    // shard never runs them.
+                    status: if mine {
+                        ProcStatus::Running
+                    } else {
+                        ProcStatus::Done
+                    },
+                    blocked_since: 0,
+                    blocked_on_sync: false,
+                    mem_stall: 0,
+                    sync_stall: 0,
+                    finish: 0,
+                }
             })
             .collect::<Vec<_>>();
-        let running = procs.len();
+        let running = shard_count * cfg.procs_per_cluster;
         let fault_plan = cfg.fault_plan.unwrap_or_default();
-        let fault_rng = SimRng::new(cfg.seed).fork(0xFA17);
         let event_log = RingLog::new(cfg.event_log);
         let trace_cfg = cfg.trace.unwrap_or_else(TraceConfig::none);
         let trace_active = trace_cfg.is_active();
@@ -492,7 +651,8 @@ impl Machine {
             versions_assigned: 0,
             fault_active: fault_plan.is_active(),
             fault_plan,
-            fault_rng,
+            fault_send_rng: HashMap::new(),
+            fault_nack_rng: HashMap::new(),
             faults: FaultCounters::default(),
             chan_clamp: HashMap::new(),
             last_progress: 0,
@@ -512,11 +672,84 @@ impl Machine {
             tracer,
             metrics: MetricsRegistry::new(),
             txn_live: HashMap::new(),
-            txn_next: 0,
+            txn_phase: HashMap::new(),
+            txn_seq: vec![0; cfg.clusters],
             mutation: None,
             stream: StreamState::inert(),
+            shard_base,
+            shard_count,
+            solo: shard_count == cfg.clusters,
+            emit_seq: vec![0; cfg.clusters],
+            outbox: Vec::new(),
+            note_outbox: Vec::new(),
+            window_end: Cycle::MAX,
+            interval_pieces: Vec::new(),
+            piece_attrib_base: Default::default(),
+            piece_link_base: HashMap::new(),
             cfg,
         }
+    }
+
+    /// Whether this machine owns `cluster` (always true for a solo
+    /// machine).
+    #[inline]
+    fn owns(&self, cluster: usize) -> bool {
+        cluster.wrapping_sub(self.shard_base) < self.shard_count
+    }
+
+    /// Draws the next canonical stamp from `cluster`'s emission counter.
+    /// Every schedule site stamps from the cluster context doing the
+    /// emitting, which is always the cluster whose event is currently
+    /// being processed — so counters are only ever bumped by the owning
+    /// shard, in an order that is pure local history.
+    #[inline]
+    fn stamp(&mut self, cluster: usize) -> Stamp {
+        let k = self.emit_seq[cluster];
+        self.emit_seq[cluster] = k + 1;
+        Stamp {
+            lane: cluster as u32,
+            seq: k,
+        }
+    }
+
+    /// Schedules a local event at `time`, stamped from `cluster`'s context.
+    #[inline]
+    fn sched(&mut self, cluster: usize, time: Cycle, ev: Ev) {
+        let stamp = self.stamp(cluster);
+        self.queue.schedule_at_stamped(time, stamp, ev);
+    }
+
+    /// Routes one finalized delivery: scheduled locally when this shard
+    /// owns the destination, exported through the outbox otherwise. The
+    /// stamp is drawn from the *source* cluster either way, so the
+    /// destination shard inserts it exactly where a solo run would have.
+    fn deliver_or_export(&mut self, deliver_at: Cycle, msg: Msg) {
+        let stamp = self.stamp(msg.src);
+        if self.owns(msg.dst) {
+            let r = self.arena.alloc(msg);
+            self.queue.schedule_at_stamped(deliver_at, stamp, Ev::Deliver(r));
+        } else {
+            // The conservative-window invariant: a cross-shard delivery
+            // can never land inside the window that produced it.
+            assert!(
+                deliver_at >= self.window_end,
+                "cross-shard delivery at {deliver_at} inside window ending {}",
+                self.window_end
+            );
+            self.outbox.push(Outbound {
+                deliver_at,
+                stamp,
+                msg,
+            });
+        }
+    }
+
+    /// Merges one delivery exported by another shard into the local wheel.
+    pub(crate) fn import_delivery(&mut self, ob: Outbound) {
+        debug_assert!(self.owns(ob.msg.dst));
+        let r = self.arena.alloc(ob.msg);
+        self.queue
+            .schedule_at_stamped(ob.deliver_at, ob.stamp, Ev::Deliver(r));
     }
 
     /// The configuration this machine was built with.
@@ -623,8 +856,34 @@ impl Machine {
                 return self.faulty_schedule(ready_at + lat, msg);
             }
         }
-        let r = self.arena.alloc(msg);
-        self.queue.schedule_at(ready_at + lat, Ev::Deliver(r));
+        self.deliver_or_export(ready_at + lat, msg);
+    }
+
+    /// The per-channel fault stream for `(src, dst)`: a pure function of
+    /// the master seed and the channel, so any shard (or a solo run)
+    /// derives the identical stream. `side` separates send-side draws from
+    /// deliver-side (nack) draws.
+    fn channel_rng(seed: u64, src: usize, dst: usize, side: u64) -> SimRng {
+        let mut x = seed ^ 0xFA17_5EED_0000_0000;
+        for v in [src as u64, dst as u64, side] {
+            x = (x ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            x ^= x >> 29;
+        }
+        SimRng::new(x)
+    }
+
+    fn send_rng(&mut self, src: usize, dst: usize) -> &mut SimRng {
+        let seed = self.cfg.seed;
+        self.fault_send_rng
+            .entry((src, dst))
+            .or_insert_with(|| Self::channel_rng(seed, src, dst, 1))
+    }
+
+    fn nack_rng(&mut self, src: usize, dst: usize) -> &mut SimRng {
+        let seed = self.cfg.seed;
+        self.fault_nack_rng
+            .entry((src, dst))
+            .or_insert_with(|| Self::channel_rng(seed, src, dst, 2))
     }
 
     /// Applies the fault plan to one inter-cluster delivery: latency spikes
@@ -645,21 +904,25 @@ impl Machine {
         if coherence_req
             && plan.reorder_window > 0
             && plan.reorder_prob > 0.0
-            && self.fault_rng.chance(plan.reorder_prob)
+            && self.send_rng(msg.src, msg.dst).chance(plan.reorder_prob)
         {
             // Jitter *outside* the channel clamp: the request may land
             // behind traffic sent after it, or — when a spike holds the
             // clamp high — ahead of traffic sent before it, such as its own
             // cluster's writeback.
-            deliver_at += self.fault_rng.range(1, plan.reorder_window + 1);
+            deliver_at += self
+                .send_rng(msg.src, msg.dst)
+                .range(1, plan.reorder_window + 1);
             self.faults.reorders += 1;
             clamp_exempt = true;
         } else if request_class
             && plan.delay_cycles > 0
             && plan.delay_prob > 0.0
-            && self.fault_rng.chance(plan.delay_prob)
+            && self.send_rng(msg.src, msg.dst).chance(plan.delay_prob)
         {
-            deliver_at += self.fault_rng.range(1, plan.delay_cycles + 1);
+            deliver_at += self
+                .send_rng(msg.src, msg.dst)
+                .range(1, plan.delay_cycles + 1);
             self.faults.delay_spikes += 1;
         }
         if request_class && !clamp_exempt {
@@ -669,21 +932,25 @@ impl Machine {
             deliver_at = deliver_at.max(*clamp);
             *clamp = deliver_at;
         }
-        let r = self.arena.alloc(msg);
-        self.queue.schedule_at(deliver_at, Ev::Deliver(r));
-        if matches!(msg.kind, MsgKind::ReadReq { .. })
+        let dup_gap = if matches!(msg.kind, MsgKind::ReadReq { .. })
             && plan.dup_prob > 0.0
-            && self.fault_rng.chance(plan.dup_prob)
+            && self.send_rng(msg.src, msg.dst).chance(plan.dup_prob)
         {
             // At-least-once delivery, reads only: re-servicing a read is
             // idempotent (sharer registration is superset-safe and the
             // stray reply is dropped at the RAC), while re-servicing a
             // write would record a second ownership grant. The duplicate
             // gets its own arena slot: each handle is taken exactly once.
-            let gap = self.fault_rng.range(1, self.cfg.timing.bus_memory.max(1) + 1);
-            let dup = self.arena.alloc(msg);
-            self.queue.schedule_at(deliver_at + gap, Ev::Deliver(dup));
+            let hi = self.cfg.timing.bus_memory.max(1) + 1;
+            let gap = self.send_rng(msg.src, msg.dst).range(1, hi);
             self.faults.duplicates += 1;
+            Some(gap)
+        } else {
+            None
+        };
+        self.deliver_or_export(deliver_at, msg);
+        if let Some(gap) = dup_gap {
+            self.deliver_or_export(deliver_at + gap, msg);
         }
     }
 
@@ -702,12 +969,14 @@ impl Machine {
 
     fn resume(&mut self, at: Cycle, p: usize) {
         self.unblock(at, p);
-        self.queue.schedule_at(at, Ev::ProcNext(p));
+        let cl = self.cluster_of(p);
+        self.sched(cl, at, Ev::ProcNext(p));
     }
 
     fn retry(&mut self, at: Cycle, p: usize) {
         self.unblock(at, p);
-        self.queue.schedule_at(at, Ev::ProcRetry(p));
+        let cl = self.cluster_of(p);
+        self.sched(cl, at, Ev::ProcRetry(p));
     }
 
     fn block(&mut self, at: Cycle, p: usize, on_sync: bool) {
@@ -731,8 +1000,13 @@ impl Machine {
         if !self.trace_active || self.txn_live.contains_key(&(cl, block)) {
             return;
         }
-        self.txn_next += 1;
-        let id = self.txn_next;
+        // Transaction ids are minted per requester cluster (cluster in the
+        // high bits, a cluster-local sequence below) so a sharded run and
+        // the serial engine assign the same id to the same transaction — a
+        // single global counter would encode the interleaving of unrelated
+        // clusters into every exported trace.
+        self.txn_seq[cl] += 1;
+        let id = ((cl as u64) << 40) | self.txn_seq[cl];
         self.txn_live.insert(
             (cl, block),
             TxnLive {
@@ -746,10 +1020,23 @@ impl Machine {
         );
         self.tracer
             .record(cl, t, EventKind::TxnBegin { txn: id, block, write });
+        self.route_note(TxnNote::Begin {
+            requester: cl,
+            block,
+            id,
+            issue: t,
+        });
     }
 
     /// The home directory first serviced the transaction (set-once:
     /// queued replays and re-entrant processing don't re-record).
+    ///
+    /// Phase attribution is *home-side* state ([`PhaseSlot`], fed by
+    /// [`TxnNote::Begin`]): the home must decide whether a delivery belongs
+    /// to the live transaction without reading the requester's `txn_live`
+    /// table, which under sharding may live on another worker. The
+    /// recorded timestamp travels back to the requester as a
+    /// [`TxnNote::Phase`] for the end-of-transaction timeline.
     fn trace_txn_phase(
         &mut self,
         t: Cycle,
@@ -761,7 +1048,7 @@ impl Machine {
         if !self.trace_active {
             return;
         }
-        let Some(live) = self.txn_live.get_mut(&(requester, block)) else {
+        let Some(slot) = self.txn_phase.get_mut(&(requester, block)) else {
             return;
         };
         // A delivery timestamped before the live transaction began is
@@ -770,21 +1057,90 @@ impl Machine {
         // — observable because begins are stamped a cache-lookup ahead of
         // the pop that created them). It must not be attributed here, or
         // the exported lifecycle runs backwards.
-        if t < live.issue {
+        if t < slot.issue {
             return;
         }
-        let slot = match phase {
-            Phase::HomeLookup => &mut live.home_lookup,
-            Phase::Fanout => &mut live.fanout,
+        let done = match phase {
+            Phase::HomeLookup => &mut slot.hl_done,
+            Phase::Fanout => &mut slot.fo_done,
             _ => return,
         };
-        if slot.is_some() {
+        if *done {
             return;
         }
-        *slot = Some(t);
-        let txn = live.id;
+        *done = true;
+        let id = slot.id;
         self.tracer
-            .record(home, t, EventKind::TxnPhase { txn, block, phase });
+            .record(home, t, EventKind::TxnPhase { txn: id, block, phase });
+        self.route_note(TxnNote::Phase {
+            requester,
+            block,
+            id,
+            phase,
+            at: t,
+        });
+    }
+
+    /// Applies a telemetry note locally when its target cluster lives on
+    /// this shard, otherwise queues it for the coordinator to ferry across
+    /// the next window barrier. In a solo machine every note applies
+    /// immediately, reproducing the old direct-update behavior exactly.
+    fn route_note(&mut self, note: TxnNote) {
+        let target = match &note {
+            TxnNote::Begin { block, .. } => (*block as usize) % self.cfg.clusters,
+            TxnNote::Phase { requester, .. } => *requester,
+        };
+        if self.owns(target) {
+            self.apply_note(note);
+        } else {
+            self.note_outbox.push(note);
+        }
+    }
+
+    /// Applies one telemetry note to this machine's tables. Called
+    /// directly by [`Machine::route_note`] for local targets and by the
+    /// shard coordinator when ferrying notes across a window barrier.
+    pub(crate) fn apply_note(&mut self, note: TxnNote) {
+        match note {
+            TxnNote::Begin {
+                requester,
+                block,
+                id,
+                issue,
+            } => {
+                self.txn_phase.insert(
+                    (requester, block),
+                    PhaseSlot {
+                        id,
+                        issue,
+                        hl_done: false,
+                        fo_done: false,
+                    },
+                );
+            }
+            TxnNote::Phase {
+                requester,
+                block,
+                id,
+                phase,
+                at,
+            } => {
+                let Some(live) = self.txn_live.get_mut(&(requester, block)) else {
+                    return;
+                };
+                if live.id != id {
+                    return; // note for an already-completed predecessor
+                }
+                let slot = match phase {
+                    Phase::HomeLookup => &mut live.home_lookup,
+                    Phase::Fanout => &mut live.fanout,
+                    _ => return,
+                };
+                if slot.is_none() {
+                    *slot = Some(at);
+                }
+            }
+        }
     }
 
     /// The requester received a NACK for its outstanding transaction.
@@ -896,12 +1252,19 @@ impl Machine {
                 occupancy,
                 ops_retired: ops - self.interval_base.ops,
             };
-            self.metrics.push_interval(snap);
-            if self.stream.on {
-                self.stream_interval(&snap);
-            }
-            if self.patterns_active {
-                self.sample_patterns(snap.start, snap.end);
+            if self.solo {
+                self.metrics.push_interval(snap);
+                if self.stream.on {
+                    self.stream_interval(&snap);
+                }
+                if self.patterns_active {
+                    self.sample_patterns(snap.start, snap.end);
+                }
+            } else {
+                // A shard only sees its own slice of the machine: park the
+                // window's deltas as a piece and let the coordinator sum
+                // pieces across shards into the exact serial record.
+                self.push_interval_piece(snap);
             }
             self.interval_base = IntervalBase {
                 messages: net,
@@ -911,6 +1274,54 @@ impl Machine {
             };
             self.interval_start = self.interval_next;
             self.interval_next += self.trace_cfg.interval;
+        }
+    }
+
+    /// Captures this shard's contribution to one closed interval window.
+    /// Occupancy and message/op deltas come out exact because each
+    /// cluster (and each message's source accounting) belongs to exactly
+    /// one shard; the coordinator sums pieces per boundary.
+    fn push_interval_piece(&mut self, snap: IntervalSnapshot) {
+        let mut attrib_delta =
+            [scd_trace::ClassCounters::default(); AttribClass::ALL.len()];
+        let mut link_delta = Vec::new();
+        if self.attrib_active {
+            let cur = self.attrib.counters();
+            for (d, (c, b)) in attrib_delta
+                .iter_mut()
+                .zip(cur.iter().zip(self.piece_attrib_base.iter()))
+            {
+                *d = c.minus(*b);
+            }
+            self.piece_attrib_base = cur;
+            let base = &mut self.piece_link_base;
+            link_delta = self
+                .network
+                .link_traffic()
+                .into_iter()
+                .filter_map(|((src, dst), c)| {
+                    let prev = base.insert((src, dst), c.flits).unwrap_or(0);
+                    let d = c.flits.saturating_sub(prev);
+                    (d > 0).then_some(((src, dst), d))
+                })
+                .collect();
+        }
+        self.interval_pieces.push(IntervalPiece {
+            snap,
+            attrib_delta,
+            link_delta,
+        });
+    }
+
+    /// Forces every interval boundary at or below `h` to close even when
+    /// no local event lands past it: an idle shard still owes the
+    /// coordinator a (zero-delta) piece for each window the fleet
+    /// finished. Safe because any boundary `b <= h` with no local events
+    /// in `[b, h)` closes with exactly the deltas it would have closed
+    /// with lazily.
+    pub(crate) fn force_intervals_to(&mut self, h: Cycle) {
+        if self.trace_active && self.trace_cfg.interval > 0 {
+            self.trace_intervals(h);
         }
     }
 
@@ -996,15 +1407,22 @@ impl Machine {
     /// Emits every pending event with `cycle < watermark`, in
     /// `(cycle, seq)` order.
     fn stream_flush_below(&mut self, watermark: Cycle) {
-        let Some(sink) = self.stream.sink.as_mut() else {
+        let stream = &mut self.stream;
+        let Some(sink) = stream.sink.as_mut() else {
             return;
         };
-        while let Some(top) = self.stream.pending.peek() {
+        while let Some(top) = stream.pending.peek() {
             if top.0.cycle >= watermark {
                 break;
             }
-            let ev = self.stream.pending.pop().expect("peeked above");
-            sink.emit(&ev.0.to_json().to_string());
+            let mut ev = stream.pending.pop().expect("peeked above").0;
+            // Recorded seqs are per-cluster lane counters; the emitted
+            // stream renumbers them into the global `(cycle, cluster,
+            // lane-seq)` merge rank, the same numbering the post-hoc
+            // `Tracer::merged` view assigns.
+            stream.emitted += 1;
+            ev.seq = stream.emitted;
+            sink.emit(&ev.to_json().to_string());
         }
     }
 
@@ -1297,12 +1715,40 @@ impl Machine {
         self.finalize()
     }
 
+    /// Processes every pending event strictly below `horizon` — one
+    /// conservative window of a sharded run. Returns the time of the last
+    /// event processed, if any. Anything popped inside the window can only
+    /// schedule locally (at or after the pop time) or export through the
+    /// outbox (`deliver_or_export` asserts exports never fall before
+    /// `horizon`). After the pops, any interval boundary at or below
+    /// `horizon` that no local event crossed is force-closed: its window
+    /// content is final because every local event below `horizon` has been
+    /// processed and none of them reached the boundary.
+    fn run_window(&mut self, horizon: Cycle) -> Result<Option<Cycle>, SimError> {
+        self.window_end = horizon;
+        let mut last = None;
+        while let Some(t) = self.queue.peek_time() {
+            if t >= horizon {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked a pending event");
+            self.process_event(t, ev)?;
+            last = Some(t);
+        }
+        self.force_intervals_to(horizon);
+        Ok(last)
+    }
+
     /// Seeds the event queue with every processor's first fetch. Separated
     /// from [`Machine::try_run`] so the exploration API can drive the same
     /// machine one chosen event at a time.
     fn start(&mut self) {
         for p in 0..self.procs.len() {
-            self.queue.schedule_at(0, Ev::ProcNext(p));
+            let cl = self.cluster_of(p);
+            if !self.owns(cl) {
+                continue; // another shard seeds this processor
+            }
+            self.sched(cl, 0, Ev::ProcNext(p));
         }
     }
 
@@ -1320,7 +1766,12 @@ impl Machine {
                 );
                 return Err(SimError::MaxCycles(self.post_mortem(t, detail)));
             }
-            if self.cfg.watchdog_cycles > 0
+            // The livelock watchdog compares against *global* progress, so
+            // under sharding it moves to the coordinator's barrier (a shard
+            // legitimately idles while a remote transaction it depends on
+            // makes progress on another worker).
+            if self.solo
+                && self.cfg.watchdog_cycles > 0
                 && self.running > 0
                 && t.saturating_sub(self.last_progress) > self.cfg.watchdog_cycles
             {
@@ -1590,7 +2041,8 @@ impl Machine {
                 self.running -= 1;
             }
             Op::Compute(c) => {
-                self.queue.schedule_at(t + c, Ev::ProcNext(p));
+                let cl = self.cluster_of(p);
+                self.sched(cl, t + c, Ev::ProcNext(p));
             }
             Op::Read(addr) => self.mem_access(t, p, addr, MshrKind::Read),
             Op::Write(addr) => self.mem_access(t, p, addr, MshrKind::Write),
@@ -1845,7 +2297,8 @@ impl Machine {
         }
         if self.fault_active && src != dst && self.fault_plan.nack_prob > 0.0 {
             if let MsgKind::ReadReq { block } | MsgKind::WriteReq { block } = kind {
-                if self.fault_rng.chance(self.fault_plan.nack_prob) {
+                let nack_prob = self.fault_plan.nack_prob;
+                if self.nack_rng(src, dst).chance(nack_prob) {
                     // The home refuses the request without touching any
                     // state; the requester backs off and retries. Decided
                     // at delivery rather than in `home_request` so replayed
@@ -2790,8 +3243,7 @@ impl Machine {
         if !self.clusters[home].ser.is_busy(block)
             && self.clusters[home].ser.pending_len(block) > 0
         {
-            self.queue
-                .schedule_at(t + self.cfg.timing.dir_lookup, Ev::Replay { home, block });
+            self.sched(home, t + self.cfg.timing.dir_lookup, Ev::Replay { home, block });
         }
     }
 

@@ -11,6 +11,6 @@ pub mod queue;
 pub mod ring;
 pub mod rng;
 
-pub use queue::{Cycle, EventQueue};
+pub use queue::{Cycle, EventQueue, Stamp};
 pub use ring::RingLog;
 pub use rng::SimRng;

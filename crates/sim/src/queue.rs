@@ -1,4 +1,4 @@
-//! Time-ordered event queue with FIFO tie-breaking.
+//! Time-ordered event queue with deterministic same-cycle tie-breaking.
 //!
 //! Implemented as a **hierarchical timing wheel** rather than a comparison
 //! heap: the near future lives in a power-of-two ring of buckets indexed by
@@ -8,28 +8,61 @@
 //! comparisons per operation), which matters because every simulated
 //! message, processor step and replay goes through this queue.
 //!
-//! # Why delivery order is bit-identical to the old heap
+//! # Delivery order
 //!
-//! The heap ordered events by `(time, seq)` where `seq` was a global
-//! schedule counter — time order with FIFO tie-breaking. The wheel
-//! reproduces that order *structurally*:
+//! Events are delivered in `(time, stamp)` order, where the [`Stamp`] is a
+//! `(lane, seq)` pair:
 //!
-//! * The ring window is always `WHEEL_SLOTS` cycles and aligned to a
-//!   multiple of `WHEEL_SLOTS`, so within one window a bucket holds events
-//!   of exactly **one** cycle value — scanning buckets upward from `now`'s
-//!   slot enumerates pending times in increasing order.
-//! * Within a bucket, events are only ever **appended**: direct schedules
-//!   arrive in increasing `seq` by construction, and an overflow cascade
-//!   happens only when the ring is completely empty, moving events in
-//!   their original (seq-sorted, because the overflow level is itself
-//!   append-only) order before any later — hence larger-`seq` — schedule
-//!   can target the same bucket. Popping from the front is therefore FIFO
-//!   per cycle, exactly the heap's tie-break.
+//! * [`EventQueue::schedule`]/[`EventQueue::schedule_at`] assign the
+//!   sentinel lane `u32::MAX` and a global schedule counter, which makes
+//!   same-cycle delivery FIFO in schedule order — the classic heap
+//!   tie-break, and the behaviour every pre-existing caller sees.
+//! * [`EventQueue::schedule_at_stamped`] lets the caller supply the stamp.
+//!   A sharded simulation uses per-lane (per-cluster) monotone counters so
+//!   the same-cycle order is a pure function of each lane's local history —
+//!   independent of the global interleaving in which the schedules were
+//!   issued, and therefore identical whether the machine runs on one
+//!   thread or many.
+//!
+//! Structurally: the ring window is always `WHEEL_SLOTS` cycles and aligned
+//! to a multiple of `WHEEL_SLOTS`, so within one window a bucket holds
+//! events of exactly **one** cycle value — scanning buckets upward from
+//! `now`'s slot enumerates pending times in increasing order. Within a
+//! bucket, events are kept sorted by stamp (insertion binary-searches the
+//! position; the append fast path covers FIFO callers), so popping from the
+//! front yields the bucket minimum.
 
 use std::collections::VecDeque;
 
 /// Simulation time, in processor cycles.
 pub type Cycle = u64;
+
+/// Deterministic same-cycle delivery rank: events scheduled for the same
+/// cycle are delivered in ascending `(lane, seq)` order.
+///
+/// Callers that don't care use the plain `schedule` APIs, which stamp
+/// events with the sentinel lane `u32::MAX` and a global counter (FIFO).
+/// Callers that need an interleaving-independent order (the sharded
+/// machine) stamp each event from a per-lane monotone counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Stamp {
+    /// The emitting lane (a cluster index in the machine; `u32::MAX` for
+    /// plain FIFO schedules).
+    pub lane: u32,
+    /// Monotone sequence number within the lane.
+    pub seq: u64,
+}
+
+impl Stamp {
+    /// The sentinel stamp used by the plain `schedule` APIs: sorts after
+    /// every lane-stamped event of the same cycle, FIFO among itself.
+    fn fifo(seq: u64) -> Self {
+        Stamp {
+            lane: u32::MAX,
+            seq,
+        }
+    }
+}
 
 /// log2 of the near-future ring size.
 const WHEEL_BITS: u32 = 10;
@@ -43,9 +76,8 @@ const WHEEL_WORDS: usize = WHEEL_SLOTS / 64;
 #[derive(Clone)]
 struct Scheduled<E> {
     time: Cycle,
-    /// Global schedule order, kept for debug-time FIFO verification (the
-    /// delivery order itself is structural; see module docs).
-    seq: u64,
+    /// Same-cycle delivery rank (see [`Stamp`]).
+    stamp: Stamp,
     event: E,
 }
 
@@ -137,13 +169,26 @@ impl<E> EventQueue<E> {
 
     fn bucket_push(slots: &mut [VecDeque<Scheduled<E>>], occupied: &mut [u64; WHEEL_WORDS], s: Scheduled<E>) {
         let slot = (s.time & WHEEL_MASK) as usize;
-        debug_assert!(
-            slots[slot].back().is_none_or(|prev| {
-                prev.time == s.time && prev.seq < s.seq
-            }),
-            "bucket append out of (time, seq) order"
+        let bucket = &mut slots[slot];
+        // One time value per bucket within a window — a cheap always-on
+        // check (this is the invariant that makes the bucket the same-cycle
+        // ready set). Was debug-only; promoted after the debug-only-check
+        // class of bugs this module has already paid for.
+        assert!(
+            bucket.front().is_none_or(|prev| prev.time == s.time),
+            "bucket holds mixed cycles ({} vs {})",
+            bucket.front().map(|p| p.time).unwrap_or(0),
+            s.time
         );
-        slots[slot].push_back(s);
+        // Keep the bucket sorted by stamp. FIFO callers always append
+        // (their stamps are globally monotone), so the common case is O(1);
+        // lane-stamped insertions binary-search their position.
+        if bucket.back().is_none_or(|prev| prev.stamp <= s.stamp) {
+            bucket.push_back(s);
+        } else {
+            let pos = bucket.partition_point(|e| e.stamp <= s.stamp);
+            bucket.insert(pos, s);
+        }
         occupied[slot / 64] |= 1 << (slot % 64);
     }
 
@@ -170,17 +215,24 @@ impl<E> EventQueue<E> {
     /// # Panics
     /// If `time` is in the past — causality violations are always bugs.
     pub fn schedule_at(&mut self, time: Cycle, event: E) {
+        let stamp = Stamp::fifo(self.seq);
+        self.seq += 1;
+        self.schedule_at_stamped(time, stamp, event);
+    }
+
+    /// Schedules `event` at absolute cycle `time` with an explicit
+    /// same-cycle delivery [`Stamp`]. Events of one cycle are delivered in
+    /// ascending stamp order regardless of the order they were scheduled.
+    ///
+    /// # Panics
+    /// If `time` is in the past — causality violations are always bugs.
+    pub fn schedule_at_stamped(&mut self, time: Cycle, stamp: Stamp, event: E) {
         assert!(
             time >= self.now,
             "event scheduled in the past ({time} < {})",
             self.now
         );
-        let s = Scheduled {
-            time,
-            seq: self.seq,
-            event,
-        };
-        self.seq += 1;
+        let s = Scheduled { time, stamp, event };
         if self.in_window(time) {
             Self::bucket_push(&mut self.slots, &mut self.occupied, s);
             self.in_wheel += 1;
@@ -193,7 +245,9 @@ impl<E> EventQueue<E> {
     /// First occupied bucket at or after `start` in wrapped slot order.
     /// Only called while the ring holds at least one event.
     fn next_occupied(&self, start: usize) -> usize {
-        debug_assert!(self.in_wheel > 0);
+        // Always-on: if `in_wheel` accounting drifted, the scan below would
+        // spin forever on an all-zero bitmap.
+        assert!(self.in_wheel > 0, "in_wheel accounting out of sync");
         let mut word = start / 64;
         let masked = self.occupied[word] & (!0u64 << (start % 64));
         if masked != 0 {
@@ -209,18 +263,16 @@ impl<E> EventQueue<E> {
 
     /// Advances the window to the one containing the earliest overflow
     /// event and cascades every overflow event that now fits into the ring.
-    /// Only called when the ring is empty and the overflow level is not —
-    /// which is what makes cascaded bucket appends precede any later
-    /// (larger-seq) direct schedule of the same cycle.
+    /// Only called when the ring is empty and the overflow level is not.
+    /// Sorted bucket insertion makes the cascade order-independent: buckets
+    /// end up stamp-sorted whatever order the overflow level held.
     fn cascade(&mut self) {
-        debug_assert_eq!(self.in_wheel, 0);
-        debug_assert!(!self.overflow.is_empty());
+        assert_eq!(self.in_wheel, 0, "cascade with a non-empty ring");
+        assert!(!self.overflow.is_empty(), "cascade with an empty overflow");
         let base = self.overflow_min & !WHEEL_MASK;
-        debug_assert!(base > self.wheel_base);
+        assert!(base > self.wheel_base, "cascade must advance the window");
         self.wheel_base = base;
         self.overflow_min = u64::MAX;
-        // `overflow` is in schedule order; moving a subsequence into the
-        // (empty) buckets and keeping the rest both preserve that order.
         let pending = std::mem::take(&mut self.overflow);
         for s in pending {
             if self.in_window(s.time) {
@@ -231,7 +283,9 @@ impl<E> EventQueue<E> {
                 self.overflow.push(s);
             }
         }
-        debug_assert!(self.in_wheel > 0, "cascade must land the minimum");
+        // Was debug-only; a cascade that strands the minimum in overflow
+        // would silently reorder deliveries.
+        assert!(self.in_wheel > 0, "cascade must land the minimum");
     }
 
     /// Delivers the next event, advancing the clock to its time.
@@ -250,7 +304,9 @@ impl<E> EventQueue<E> {
             self.occupied[slot / 64] &= !(1 << (slot % 64));
         }
         self.in_wheel -= 1;
-        debug_assert!(s.time >= self.now);
+        // Always-on: delivering into the past would silently corrupt the
+        // clock for every later event.
+        assert!(s.time >= self.now, "delivery would move the clock backwards");
         self.now = s.time;
         self.delivered += 1;
         Some((s.time, s.event))
@@ -270,7 +326,7 @@ impl<E> EventQueue<E> {
     }
 
     /// The **ready set**: every event scheduled for the earliest pending
-    /// cycle, in FIFO (schedule) order, without consuming any of them.
+    /// cycle, in delivery (stamp) order, without consuming any of them.
     ///
     /// Because a ring bucket holds events of exactly one cycle value (see
     /// module docs), the ready set is simply the earliest occupied bucket;
@@ -284,8 +340,8 @@ impl<E> EventQueue<E> {
         Some((time, bucket.iter().map(|s| &s.event).collect()))
     }
 
-    /// Delivers the `idx`-th event of the ready set (FIFO order within the
-    /// earliest cycle), advancing the clock to its time. `pop_ready(0)` is
+    /// Delivers the `idx`-th event of the ready set (delivery order within
+    /// the earliest cycle), advancing the clock to its time. `pop_ready(0)` is
     /// exactly [`EventQueue::pop`]; larger indices let an explorer branch
     /// over alternative same-cycle delivery orders. Returns `None` if the
     /// queue is empty or `idx` is out of range.
@@ -297,15 +353,16 @@ impl<E> EventQueue<E> {
             self.occupied[slot / 64] &= !(1 << (slot % 64));
         }
         self.in_wheel -= 1;
-        debug_assert!(s.time >= self.now);
+        assert!(s.time >= self.now, "delivery would move the clock backwards");
         self.now = s.time;
         self.delivered += 1;
         Some((s.time, s.event))
     }
 
-    /// Visits every pending event in delivery order (time-sorted, FIFO
-    /// within a cycle) as `(time, &event)`. Intended for state inspection
-    /// and canonical fingerprinting; O(n log n), so keep it off hot paths.
+    /// Visits every pending event in delivery order (time-sorted, stamp
+    /// order within a cycle) as `(time, &event)`. Intended for state
+    /// inspection and canonical fingerprinting; O(n log n), so keep it off
+    /// hot paths.
     pub fn for_each_pending(&self, mut f: impl FnMut(Cycle, &E)) {
         let mut all: Vec<&Scheduled<E>> = self
             .slots
@@ -313,7 +370,7 @@ impl<E> EventQueue<E> {
             .flat_map(|b| b.iter())
             .chain(self.overflow.iter())
             .collect();
-        all.sort_by_key(|s| (s.time, s.seq));
+        all.sort_by_key(|s| (s.time, s.stamp));
         for s in all {
             f(s.time, &s.event);
         }
@@ -510,6 +567,71 @@ mod tests {
         let mut seen = Vec::new();
         q.for_each_pending(|t, &e| seen.push((t, e)));
         assert_eq!(seen, vec![(4, 10), (4, 11), (9, 20), (far, 30)]);
+    }
+
+    fn st(lane: u32, seq: u64) -> Stamp {
+        Stamp { lane, seq }
+    }
+
+    /// Lane-stamped events of one cycle come out in stamp order regardless
+    /// of the order they were scheduled — the property the sharded machine
+    /// relies on for interleaving-independent delivery.
+    #[test]
+    fn stamped_events_sort_within_a_cycle() {
+        let mut q = EventQueue::new();
+        q.schedule_at_stamped(5, st(2, 0), "c2");
+        q.schedule_at_stamped(5, st(0, 1), "a1");
+        q.schedule_at_stamped(5, st(1, 0), "b0");
+        q.schedule_at_stamped(5, st(0, 0), "a0");
+        q.schedule_at_stamped(3, st(9, 9), "early");
+        assert_eq!(q.pop(), Some((3, "early")));
+        assert_eq!(q.pop(), Some((5, "a0")));
+        assert_eq!(q.pop(), Some((5, "a1")));
+        assert_eq!(q.pop(), Some((5, "b0")));
+        assert_eq!(q.pop(), Some((5, "c2")));
+    }
+
+    /// Plain schedules use the sentinel lane, so they sort after every
+    /// lane-stamped event of the same cycle and stay FIFO among themselves.
+    #[test]
+    fn plain_schedules_sort_after_stamped_and_stay_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule_at(7, "plain-first");
+        q.schedule_at_stamped(7, st(3, 100), "stamped");
+        q.schedule_at(7, "plain-second");
+        assert_eq!(q.pop(), Some((7, "stamped")));
+        assert_eq!(q.pop(), Some((7, "plain-first")));
+        assert_eq!(q.pop(), Some((7, "plain-second")));
+    }
+
+    /// Stamp order survives the overflow cascade: far-future events land in
+    /// their bucket sorted even though the overflow level held them in
+    /// schedule order.
+    #[test]
+    fn cascade_restores_stamp_order() {
+        let mut q = EventQueue::new();
+        let far = 4 * WHEEL_SLOTS as u64 + 9;
+        q.schedule_at_stamped(far, st(5, 0), 50u32);
+        q.schedule_at_stamped(far, st(1, 1), 11);
+        q.schedule_at_stamped(far, st(1, 0), 10);
+        assert_eq!(q.pop(), Some((far, 10)));
+        assert_eq!(q.pop(), Some((far, 11)));
+        assert_eq!(q.pop(), Some((far, 50)));
+    }
+
+    /// `for_each_pending` and `ready_set` both present stamp order.
+    #[test]
+    fn pending_and_ready_views_use_stamp_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at_stamped(4, st(1, 0), 'b');
+        q.schedule_at_stamped(4, st(0, 7), 'a');
+        q.schedule_at_stamped(8, st(0, 8), 'z');
+        let mut seen = Vec::new();
+        q.for_each_pending(|t, &e| seen.push((t, e)));
+        assert_eq!(seen, vec![(4, 'a'), (4, 'b'), (8, 'z')]);
+        let (t, ready) = q.ready_set().unwrap();
+        assert_eq!(t, 4);
+        assert_eq!(ready, vec![&'a', &'b']);
     }
 
     /// Interleaved schedule/pop churn with mixed near/far delays matches a

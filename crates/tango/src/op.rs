@@ -41,7 +41,10 @@ impl Op {
 /// `next_op` is called exactly once per completed operation; returning
 /// [`Op::Done`] retires the process (after which `next_op` is not called
 /// again).
-pub trait ThreadProgram {
+///
+/// Programs are `Send` so a sharded machine can hand each shard's
+/// processors to a worker thread.
+pub trait ThreadProgram: Send {
     /// Produce the next operation. Must eventually return [`Op::Done`].
     fn next_op(&mut self) -> Op;
 

@@ -67,10 +67,16 @@ impl Json {
 
     /// The value as u64, accepting integral floats (the parser reads all
     /// numbers as one lexical class).
+    ///
+    /// The bound is strict: `u64::MAX as f64` rounds *up* to 2^64 (the
+    /// nearest representable double), so `v <= u64::MAX as f64` would let
+    /// a JSON number equal to 2^64 through and `as u64` would silently
+    /// saturate it to `u64::MAX`. `v < 2^64` rejects it exactly — every
+    /// double strictly below that bound is a representable u64.
     pub fn as_u64(&self) -> Option<u64> {
         match *self {
             Json::U64(v) => Some(v),
-            Json::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+            Json::F64(v) if v >= 0.0 && v.fract() == 0.0 && v < u64::MAX as f64 => {
                 Some(v as u64)
             }
             _ => None,
@@ -422,6 +428,26 @@ mod tests {
             j.to_string(),
             r#"{"schema":"scd/v1","n":42,"mean":1.5,"flag":true,"items":[1,null]}"#
         );
+    }
+
+    /// Regression: `u64::MAX as f64` rounds up to 2^64, so the old
+    /// `v <= u64::MAX as f64` guard accepted a JSON number equal to 2^64
+    /// and `as u64` saturated it to `u64::MAX`. The strict bound rejects
+    /// exactly at the boundary.
+    #[test]
+    fn as_u64_rejects_two_to_the_64_exactly() {
+        let two_64 = 18446744073709551616.0_f64; // 2^64, representable
+        assert_eq!(two_64, u64::MAX as f64, "2^64 is what u64::MAX rounds to");
+        assert_eq!(Json::F64(two_64).as_u64(), None, "2^64 must not saturate");
+        // The largest double strictly below 2^64 is 2^64 - 2048 and is a
+        // valid u64; it must still convert.
+        let below = 18446744073709549568.0_f64;
+        assert!(below < two_64);
+        assert_eq!(Json::F64(below).as_u64(), Some(18446744073709549568));
+        // Parsed documents take the same path.
+        assert_eq!(Json::parse("18446744073709551616.0").unwrap().as_u64(), None);
+        assert_eq!(Json::F64(-1.0).as_u64(), None);
+        assert_eq!(Json::F64(1.5).as_u64(), None);
     }
 
     #[test]

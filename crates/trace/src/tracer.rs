@@ -101,14 +101,23 @@ impl TraceConfig {
 /// Per-cluster bounded event recorder.
 ///
 /// Each cluster owns a [`RingLog`] so a hot home cannot evict the history
-/// of a quiet requester; [`Tracer::merged`] re-establishes the global
-/// cycle order (ties broken by recording sequence, which is itself a
-/// valid causal order: the simulator records effects after causes within
-/// a cycle).
+/// of a quiet requester. Events carry a **per-cluster** sequence number at
+/// record time; [`Tracer::merged`] re-establishes the global canonical
+/// order `(cycle, cluster, per-cluster seq)` and renumbers `seq` to the
+/// event's position in that order. Within one cluster the per-cluster seq
+/// is the recording order (a valid causal order: the simulator records
+/// effects after causes within a cycle); across clusters the cluster index
+/// breaks same-cycle ties. The canonical order is a pure function of each
+/// cluster's local history, which is what lets a sharded machine — where
+/// clusters record on different worker threads — emit the exact byte
+/// stream a single-threaded run emits.
 #[derive(Debug)]
 pub struct Tracer {
     rings: Vec<RingLog<TraceEvent>>,
-    seq: u64,
+    /// Per-cluster recording counters (the `seq` stamped into events).
+    lane_seq: Vec<u64>,
+    /// Total events recorded across all clusters.
+    recorded: u64,
     dropped: u64,
     messages: bool,
     /// Streaming tap: when armed, every recorded event is also appended
@@ -123,7 +132,8 @@ impl Clone for Tracer {
     fn clone(&self) -> Self {
         Tracer {
             rings: self.rings.clone(),
-            seq: self.seq,
+            lane_seq: self.lane_seq.clone(),
+            recorded: self.recorded,
             dropped: self.dropped,
             messages: self.messages,
             mirror: None,
@@ -138,7 +148,8 @@ impl Tracer {
             rings: (0..clusters)
                 .map(|_| RingLog::new(cfg.ring_capacity))
                 .collect(),
-            seq: 0,
+            lane_seq: vec![0; clusters],
+            recorded: 0,
             dropped: 0,
             messages: cfg.messages,
             mirror: None,
@@ -149,7 +160,8 @@ impl Tracer {
     pub fn inert() -> Self {
         Tracer {
             rings: Vec::new(),
-            seq: 0,
+            lane_seq: Vec::new(),
+            recorded: 0,
             dropped: 0,
             messages: false,
             mirror: None,
@@ -178,17 +190,20 @@ impl Tracer {
         self.messages
     }
 
-    /// Records one event attributed to `cluster`.
+    /// Records one event attributed to `cluster`. The event's `seq` is the
+    /// cluster's local recording counter; [`Tracer::merged`] (or a stream
+    /// emitter) renumbers it to the global canonical position.
     pub fn record(&mut self, cluster: usize, cycle: u64, kind: EventKind) {
         let Some(ring) = self.rings.get_mut(cluster) else {
             return;
         };
-        self.seq += 1;
+        self.lane_seq[cluster] += 1;
+        self.recorded += 1;
         if ring.len() == ring.capacity() && ring.capacity() > 0 {
             self.dropped += 1;
         }
         let ev = TraceEvent {
-            seq: self.seq,
+            seq: self.lane_seq[cluster],
             cycle,
             cluster: cluster as u32,
             kind,
@@ -202,7 +217,7 @@ impl Tracer {
     /// Events recorded since the run began (including any since evicted
     /// from their rings).
     pub fn recorded(&self) -> u64 {
-        self.seq
+        self.recorded
     }
 
     /// Events evicted from full rings (lost history).
@@ -220,15 +235,27 @@ impl Tracer {
         events.into_iter().skip(skip).collect()
     }
 
-    /// All retained events merged into one global, cycle-ordered history
-    /// (ties broken by recording sequence).
+    /// All retained events merged into one global, canonically ordered
+    /// history — `(cycle, cluster, per-cluster seq)` — with each event's
+    /// `seq` renumbered to its 1-based position in that order.
     pub fn merged(&self) -> Vec<TraceEvent> {
-        let mut all: Vec<TraceEvent> = self
-            .rings
-            .iter()
+        Self::merged_from([self])
+    }
+
+    /// Merges the retained events of several tracers (e.g. one per shard,
+    /// each having recorded a disjoint cluster set) into one canonically
+    /// ordered, renumbered history. Equivalent to [`Tracer::merged`] on a
+    /// tracer that recorded everything itself.
+    pub fn merged_from<'a>(parts: impl IntoIterator<Item = &'a Tracer>) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = parts
+            .into_iter()
+            .flat_map(|t| t.rings.iter())
             .flat_map(|r| r.iter().cloned())
             .collect();
-        all.sort_by_key(|e| (e.cycle, e.seq));
+        all.sort_by_key(|e| (e.cycle, e.cluster, e.seq));
+        for (i, e) in all.iter_mut().enumerate() {
+            e.seq = i as u64 + 1;
+        }
         all
     }
 }
@@ -260,7 +287,7 @@ mod tests {
     }
 
     #[test]
-    fn merge_orders_by_cycle_then_seq() {
+    fn merge_orders_by_cycle_then_cluster_and_renumbers() {
         let mut t = Tracer::new(2, &TraceConfig::full(8));
         t.record(1, 50, phase(1));
         t.record(0, 10, phase(2));
@@ -268,10 +295,34 @@ mod tests {
         let merged = t.merged();
         assert_eq!(merged.len(), 3);
         assert_eq!(merged[0].cycle, 10);
-        // Same cycle: recording order wins.
-        assert_eq!(merged[1].kind, phase(1));
-        assert_eq!(merged[2].kind, phase(3));
+        // Same cycle: the lower cluster index wins, regardless of which
+        // cluster recorded first (shard-order independence).
+        assert_eq!(merged[1].kind, phase(3));
+        assert_eq!(merged[2].kind, phase(1));
         assert!(merged.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        // Seq is renumbered to the 1-based canonical position.
+        assert_eq!(
+            merged.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    /// Two tracers over disjoint cluster sets merge into the same history
+    /// a single tracer would have recorded.
+    #[test]
+    fn merged_from_shards_matches_single_tracer() {
+        let mut whole = Tracer::new(2, &TraceConfig::full(8));
+        whole.record(1, 50, phase(1));
+        whole.record(0, 10, phase(2));
+        whole.record(0, 50, phase(3));
+        // Shard A owns cluster 0, shard B owns cluster 1; each records
+        // only its own clusters, in its own local order.
+        let mut a = Tracer::new(2, &TraceConfig::full(8));
+        let mut b = Tracer::new(2, &TraceConfig::full(8));
+        b.record(1, 50, phase(1));
+        a.record(0, 10, phase(2));
+        a.record(0, 50, phase(3));
+        assert_eq!(Tracer::merged_from([&a, &b]), whole.merged());
     }
 
     #[test]

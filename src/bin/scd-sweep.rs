@@ -20,7 +20,13 @@ scd-sweep: run an app x scheme x sparse x seed grid on a worker pool
 
 usage: scd-sweep [options]
 
-  --jobs <n>          worker threads (default: all hardware threads)
+  --jobs <n>          worker threads across grid points
+                      (default: all hardware threads)
+  --shards <n>        worker threads *inside* each machine (conservative
+                      time-window partitioning; results are byte-identical
+                      to --shards 1, so this only changes wall-clock).
+                      Composes with --jobs: total threads ~ jobs x shards
+                      (default 1)
   --apps <a,..>       lu,dwf,mp3d,locusroute (default: all four)
   --schemes <s,..>    full | b:I | nb:I | x:I | cv:I:R
                       (default: full,cv:3:2,b:3,nb:3 — the paper's SS5 suite)
@@ -88,6 +94,7 @@ fn main() {
         seeds: vec![0xD45B],
         scale: 1.0,
         clusters: 32,
+        shards: 1,
     };
     let mut out: Option<String> = None;
     let mut bench_out: Option<String> = None;
@@ -106,6 +113,13 @@ fn main() {
                 match v.parse::<usize>() {
                     Ok(n) if n >= 1 => jobs = Some(n),
                     _ => usage_err(&format!("bad --jobs `{v}` (want an integer >= 1)")),
+                }
+            }
+            "--shards" => {
+                let v = val();
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => spec.shards = n,
+                    _ => usage_err(&format!("bad --shards `{v}` (want an integer >= 1)")),
                 }
             }
             "--apps" => {
@@ -142,8 +156,9 @@ fn main() {
             "--stream-out" => stream_out = Some(val()),
             "--no-timing" => timing = false,
             "--trajectory" => {
-                let scale = spec.scale;
+                let (scale, shards) = (spec.scale, spec.shards);
                 spec = SweepSpec::trajectory(scale);
+                spec.shards = shards;
                 spec.sparse = vec![SparseVariant::Full, bench::CANONICAL_SPARSE];
             }
             "-h" | "--help" => {
@@ -179,11 +194,12 @@ fn main() {
     let points = spec.apps.len() * spec.schemes.len() * spec.sparse.len() * spec.seeds.len();
     eprintln!(
         "[scd-sweep] {points} grid points ({} apps x {} schemes x {} sparse x {} seeds), \
-         {jobs} jobs",
+         {jobs} jobs x {} shards",
         spec.apps.len(),
         spec.schemes.len(),
         spec.sparse.len(),
-        spec.seeds.len()
+        spec.seeds.len(),
+        spec.shards,
     );
 
     let mut sink: Option<JsonlFileSink> = stream_out.as_ref().map(|path| {

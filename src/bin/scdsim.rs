@@ -7,6 +7,7 @@
 //!       full | b:<i> | nb:<i> | x:<i> | cv:<i>:<r>
 //!   --clusters <n>                   cluster count       (default 32)
 //!   --procs-per-cluster <n>          processors/cluster  (default 1)
+//!   --shards <n>                     worker threads (byte-identical output)
 //!   --scale <f>                      problem scale       (default 1.0)
 //!   --seed <n>                       workload seed       (default 0xD45B)
 //!   --sparse <entries>:<ways>:<lru|rand|lra>   sparse directory per home
@@ -32,7 +33,7 @@
 use scd::apps::{dwf, locusroute, lu, mp3d, AppRun, DwfParams, LocusRouteParams, LuParams,
     Mp3dParams};
 use scd::core::{Replacement, Scheme};
-use scd::machine::{Machine, MachineConfig};
+use scd::machine::{MachineConfig, ShardedMachine};
 use scd::noc::FaultPlan;
 use scd::trace::{analyze, to_perfetto, Json, JsonlFileSink, PatternTable, SpanTree, TraceConfig};
 
@@ -50,6 +51,10 @@ usage: scdsim [options]
   --scheme <full|b:I|nb:I|x:I|cv:I:R>         directory scheme (default full)
   --clusters <n>                              cluster count (default 32)
   --procs-per-cluster <n>                     processors per cluster (default 1)
+  --shards <n>                                partition the machine across n
+                                              worker threads (conservative
+                                              time windows; every output is
+                                              byte-identical to --shards 1)
   --scale <f>                                 problem scale (default 1.0)
   --seed <n>                                  workload seed
   --sparse <entries>:<ways>:<lru|rand|lra>    sparse directory (per home)
@@ -102,7 +107,7 @@ usage: scdsim [options]
 "#;
 
 /// Writes the merged, cycle-ordered trace as JSONL and reports volume.
-fn write_trace(machine: &Machine, path: &str) {
+fn write_trace(machine: &ShardedMachine, path: &str) {
     use std::io::Write as _;
     let events = machine.trace_events();
     let (recorded, dropped) = machine.trace_counts();
@@ -153,6 +158,7 @@ fn main() {
     let mut scheme = Scheme::FullVector;
     let mut clusters = 32usize;
     let mut ppc = 1usize;
+    let mut shards = 1usize;
     let mut scale = 1.0f64;
     let mut seed = 0xD45Bu64;
     let mut sparse: Option<(usize, usize, Replacement)> = None;
@@ -184,6 +190,7 @@ fn main() {
             "--scheme" => scheme = parse_scheme(&val()),
             "--clusters" => clusters = val().parse().unwrap_or_else(|_| usage()),
             "--procs-per-cluster" => ppc = val().parse().unwrap_or_else(|_| usage()),
+            "--shards" => shards = val().parse().unwrap_or_else(|_| usage()),
             "--scale" => scale = val().parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
             "--sparse" => {
@@ -317,7 +324,11 @@ fn main() {
         .with("scale", Json::F64(scale));
 
     let wall = std::time::Instant::now();
-    let mut machine = Machine::new(cfg, app.boxed_programs());
+    let mut machine =
+        ShardedMachine::new(cfg, app.boxed_programs(), shards).unwrap_or_else(|e| {
+            eprintln!("cannot shard this configuration: {e}");
+            std::process::exit(2)
+        });
     if let Some(path) = &stream_out {
         let sink = match JsonlFileSink::create(std::path::Path::new(path)) {
             Ok(s) => s,

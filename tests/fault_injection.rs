@@ -157,6 +157,35 @@ fn combined_fault_modes_still_quiesce() {
     }
 }
 
+/// Fault placement is drawn from per-channel RNG streams keyed by
+/// (seed, src, dst), so partitioning the machine across worker threads
+/// must not move a single injection: a combined-mode faulty run under
+/// `--shards 2` is bit-identical to the serial run, scheme by scheme.
+#[test]
+fn combined_fault_modes_are_shard_invariant() {
+    use scd::machine::ShardedMachine;
+    let plan = FaultPlan::parse("nack:0.03,dup:0.02,delay:0.03:150,reorder:0.03:80")
+        .expect("valid spec");
+    for scheme in [Scheme::FullVector, Scheme::dir_nb(3), Scheme::dir_cv(3, 2)] {
+        let run = |shards: usize| {
+            let cfg = MachineConfig::tiny(6).with_scheme(scheme).with_fault(plan);
+            let programs = random_programs(cfg.processors(), 250, 24, 0.4, 0xFA065);
+            ShardedMachine::new(cfg, programs, shards)
+                .expect("tiny machines shard")
+                .try_run()
+                .unwrap_or_else(|e| panic!("faulty run failed to quiesce: {e}"))
+        };
+        let serial = run(1);
+        let sharded = run(2);
+        assert!(serial.faults.nacks > 0, "faults must actually fire");
+        assert_eq!(
+            serial.to_json().to_string(),
+            sharded.to_json().to_string(),
+            "scheme {scheme:?} diverged under 2 shards"
+        );
+    }
+}
+
 #[test]
 fn inert_plan_is_bit_identical_to_no_plan() {
     let run = |plan: Option<FaultPlan>| {
