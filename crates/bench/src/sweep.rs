@@ -27,7 +27,7 @@ use std::time::Instant;
 use scd_apps::{dwf, locusroute, lu, mp3d, AppRun, DwfParams, LocusRouteParams, LuParams,
     Mp3dParams};
 use scd_core::{Replacement, Scheme};
-use scd_machine::{MachineConfig, RunStats};
+use scd_machine::{MachineConfig, ProtocolKind, RunStats};
 use scd_trace::Json;
 
 use crate::runner::{run_app_attributed_traced_sharded, slug, sparse_config_with};
@@ -168,6 +168,11 @@ pub struct SweepSpec {
     pub sparse: Vec<SparseVariant>,
     /// Workload seeds.
     pub seeds: Vec<u64>,
+    /// Coherence protocol backends. `[Dash]` (the default everywhere)
+    /// reproduces the legacy single-protocol grid byte-for-byte; adding
+    /// `Tardis`/`Dls` multiplies the grid so one sweep compares the
+    /// protocol families on identical reference streams.
+    pub protocols: Vec<ProtocolKind>,
     /// Problem scale ∈ (0, 1].
     pub scale: f64,
     /// Cluster count (one processor per cluster, as in the paper's runs).
@@ -188,6 +193,7 @@ impl SweepSpec {
             schemes: vec![Scheme::dir_cv(4, 4)],
             sparse: vec![SparseVariant::Full, CANONICAL_SPARSE],
             seeds: vec![0xD45B],
+            protocols: vec![ProtocolKind::Dash],
             scale,
             clusters: 32,
             shards: 1,
@@ -195,26 +201,40 @@ impl SweepSpec {
     }
 
     /// The descriptor list in canonical (deterministic) order: apps outer,
-    /// then schemes, then sparse variants, then seeds.
+    /// then protocols, then schemes, then sparse variants, then seeds.
     pub fn descriptors(&self) -> Vec<RunDescriptor> {
         let mut descs = Vec::new();
         for (a, app) in self.apps.iter().enumerate() {
-            for scheme in &self.schemes {
-                for sparse in &self.sparse {
-                    for (s, &seed) in self.seeds.iter().enumerate() {
-                        let scheme_label =
-                            format!("{}{}", scheme.name(self.clusters), sparse.label_suffix());
-                        let id = format!("{app}/{}/s{seed}", slug(&scheme_label));
-                        descs.push(RunDescriptor {
-                            index: descs.len(),
-                            app_idx: a * self.seeds.len() + s,
-                            app: app.clone(),
-                            scheme: *scheme,
-                            sparse: *sparse,
-                            seed,
-                            scheme_label,
-                            id,
-                        });
+            for &protocol in &self.protocols {
+                for scheme in &self.schemes {
+                    for sparse in &self.sparse {
+                        for (s, &seed) in self.seeds.iter().enumerate() {
+                            let scheme_label =
+                                format!("{}{}", scheme.name(self.clusters), sparse.label_suffix());
+                            // Dash ids keep the legacy three-segment shape;
+                            // the other protocols gain their own segment so
+                            // grid points stay unambiguous.
+                            let id = if protocol == ProtocolKind::Dash {
+                                format!("{app}/{}/s{seed}", slug(&scheme_label))
+                            } else {
+                                format!(
+                                    "{app}/{}/{}/s{seed}",
+                                    protocol.name(),
+                                    slug(&scheme_label)
+                                )
+                            };
+                            descs.push(RunDescriptor {
+                                index: descs.len(),
+                                app_idx: a * self.seeds.len() + s,
+                                app: app.clone(),
+                                scheme: *scheme,
+                                sparse: *sparse,
+                                seed,
+                                protocol,
+                                scheme_label,
+                                id,
+                            });
+                        }
                     }
                 }
             }
@@ -259,6 +279,8 @@ pub struct RunDescriptor {
     pub sparse: SparseVariant,
     /// Workload seed.
     pub seed: u64,
+    /// Coherence protocol backend.
+    pub protocol: ProtocolKind,
     /// Display label, e.g. `Dir4CV4 Sparse` (drives bench file names).
     pub scheme_label: String,
     /// Stable run id, e.g. `lu/dir4cv4_sparse/s54363`.
@@ -268,7 +290,9 @@ pub struct RunDescriptor {
 /// The machine configuration for one descriptor (pure function of the
 /// descriptor, the app and the grid — workers call it independently).
 pub fn build_config(desc: &RunDescriptor, app: &AppRun, spec: &SweepSpec) -> MachineConfig {
-    let mut base = MachineConfig::paper_32().with_scheme(desc.scheme);
+    let mut base = MachineConfig::paper_32()
+        .with_scheme(desc.scheme)
+        .with_protocol(desc.protocol);
     base.clusters = spec.clusters;
     match desc.sparse {
         SparseVariant::Full => base,
@@ -522,7 +546,12 @@ pub fn run_sweep_with(
 /// non-deterministic, so determinism checks pass `false` (the CLI flag is
 /// `--no-timing`).
 pub fn sweep_document(outcome: &SweepOutcome, spec: &SweepSpec, include_timing: bool) -> Json {
-    let grid = Json::obj()
+    // A pure-DASH grid (every legacy sweep) keeps the document
+    // byte-identical to the pre-protocol schema: the `protocols` grid key
+    // and per-run `protocol` meta appear only once the grid crosses
+    // protocol families.
+    let multi_protocol = spec.protocols != [ProtocolKind::Dash];
+    let mut grid = Json::obj()
         .with(
             "apps",
             Json::Arr(spec.apps.iter().map(|a| Json::Str(a.clone())).collect()),
@@ -547,17 +576,32 @@ pub fn sweep_document(outcome: &SweepOutcome, spec: &SweepSpec, include_timing: 
         .with("scale", Json::F64(spec.scale))
         .with("clusters", Json::U64(spec.clusters as u64))
         .with("runs", Json::U64(outcome.runs.len() as u64));
+    if multi_protocol {
+        grid = grid.with(
+            "protocols",
+            Json::Arr(
+                spec.protocols
+                    .iter()
+                    .map(|p| Json::Str(p.name().into()))
+                    .collect(),
+            ),
+        );
+    }
 
     let runs = outcome
         .runs
         .iter()
         .map(|run| {
             let app = &outcome.apps[run.desc.app_idx];
-            let meta = Json::obj()
+            let mut meta = Json::obj()
                 .with("id", Json::Str(run.desc.id.clone()))
                 .with("app", Json::Str(app.name.into()))
                 .with("scheme", Json::Str(run.desc.scheme_label.clone()))
-                .with("sparse", Json::Str(run.desc.sparse.spec()))
+                .with("sparse", Json::Str(run.desc.sparse.spec()));
+            if multi_protocol {
+                meta = meta.with("protocol", Json::Str(run.desc.protocol.name().into()));
+            }
+            let meta = meta
                 .with("seed", Json::U64(run.desc.seed))
                 .with("shared_refs", Json::U64(app.shared_refs()))
                 .with("shared_bytes", Json::U64(app.shared_bytes));
@@ -639,6 +683,7 @@ mod tests {
                 },
             ],
             seeds: vec![7],
+            protocols: vec![ProtocolKind::Dash],
             scale: 0.02,
             clusters: 4,
             shards: 1,
@@ -694,6 +739,60 @@ mod tests {
         assert!(descs[4..].iter().all(|d| d.app == "mp3d"));
         assert_eq!(descs[0].id, "lu/dir2cv2/s7");
         assert_eq!(descs[1].id, "lu/dir2cv2_sparse_2x_2w_lru/s7");
+    }
+
+    /// Multi-protocol grids multiply the descriptor list per protocol,
+    /// give non-DASH points their own id segment, and stamp the grid and
+    /// per-run meta with the protocol — while a pure-DASH grid emits the
+    /// exact legacy document (no `protocols`/`protocol` keys at all).
+    #[test]
+    fn protocol_axis_multiplies_the_grid_and_stamps_the_document() {
+        let mut spec = micro_spec();
+        spec.apps = vec!["lu".into()];
+        spec.schemes = vec![Scheme::dir_cv(2, 2)];
+        spec.sparse = vec![SparseVariant::Full];
+        let legacy = sweep_document(&run_sweep(&spec, 1), &spec, false);
+        assert!(
+            legacy.get("grid").unwrap().get("protocols").is_none(),
+            "single-protocol grids must keep the legacy schema"
+        );
+        let legacy_meta = legacy.get("runs").and_then(Json::as_arr).unwrap()[0]
+            .get("run")
+            .unwrap();
+        assert!(legacy_meta.get("protocol").is_none());
+
+        spec.protocols = vec![ProtocolKind::Dash, ProtocolKind::Tardis, ProtocolKind::Dls];
+        let descs = spec.descriptors();
+        assert_eq!(descs.len(), 3);
+        assert_eq!(descs[0].id, "lu/dir2cv2/s7");
+        assert_eq!(descs[1].id, "lu/tardis/dir2cv2/s7");
+        assert_eq!(descs[2].id, "lu/dls/dir2cv2/s7");
+        let outcome = run_sweep(&spec, 1);
+        let doc = sweep_document(&outcome, &spec, false);
+        let grid_protocols = doc.get("grid").unwrap().get("protocols").unwrap();
+        assert_eq!(
+            grid_protocols.as_arr().unwrap().len(),
+            3,
+            "grid must list the protocol axis"
+        );
+        let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
+        for (run, expect) in runs.iter().zip(["dash", "tardis", "dls"]) {
+            assert_eq!(
+                run.get("run").unwrap().get("protocol").and_then(Json::as_str),
+                Some(expect)
+            );
+        }
+        // All three ran the same reference stream: identical shared-ref
+        // totals, protocol-specific traffic.
+        let refs: Vec<u64> = outcome
+            .runs
+            .iter()
+            .map(|r| r.stats.shared_reads + r.stats.shared_writes)
+            .collect();
+        assert_eq!(refs[0], refs[1]);
+        assert_eq!(refs[0], refs[2]);
+        assert!(outcome.runs[1].stats.tardis.is_some(), "tardis counters");
+        assert!(outcome.runs[2].stats.dls.is_some(), "dls counters");
     }
 
     /// The engine's core promise: the aggregated document (timing aside)

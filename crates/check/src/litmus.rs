@@ -11,7 +11,7 @@
 
 use scd_core::{Organization, Replacement, Scheme};
 use scd_machine::machine::explore::{FaultEdges, Mutation};
-use scd_machine::{Machine, MachineConfig};
+use scd_machine::{Machine, MachineConfig, ProtocolKind};
 use scd_tango::{Op, ScriptProgram, ThreadProgram};
 use scd_trace::TraceConfig;
 
@@ -32,14 +32,18 @@ pub struct Litmus {
     pub fault_budget: u32,
 }
 
-/// One directory configuration a litmus test is instantiated against.
+/// One machine configuration a litmus test is instantiated against: a
+/// coherence protocol, and (for the directory-based DASH backend) a
+/// directory scheme × organization pair.
 #[derive(Clone, Debug)]
 pub struct Scenario {
-    /// Display label, e.g. `dense/complete`.
+    /// Display label, e.g. `dense/complete` or `tardis`.
     pub label: String,
-    /// Directory entry format.
+    /// Coherence protocol backend.
+    pub protocol: ProtocolKind,
+    /// Directory entry format (ignored by the directoryless backends).
     pub scheme: Scheme,
-    /// Directory organization.
+    /// Directory organization (ignored by the directoryless backends).
     pub organization: Organization,
 }
 
@@ -175,6 +179,96 @@ pub fn corpus() -> Vec<Litmus> {
             },
             fault_budget: 1,
         },
+        Litmus {
+            name: "lease-expiry-stale-read",
+            summary: "reader's Tardis lease must expire before a second write's version",
+            clusters: 2,
+            // Block 1 is homed at cluster 1; cluster 1 reads its own
+            // block so the lease and the timestamp line live on the same
+            // node. The second write must jump `wts` past the granted
+            // read horizon — a write that merely increments it
+            // (`tardis-skip-wts-bump`) leaves the reader's lease live
+            // over the superseded version, and the barrier-synced `pts`
+            // then lets the stale copy satisfy the final read.
+            programs: vec![
+                vec![
+                    Write(a(1)),
+                    Op::Barrier(0),
+                    Compute(5),
+                    Write(a(1)),
+                    Op::Barrier(1),
+                ],
+                vec![Op::Barrier(0), Read(a(1)), Op::Barrier(1), Read(a(1))],
+            ],
+            faults: FaultEdges::none(),
+            fault_budget: 0,
+        },
+        Litmus {
+            name: "renew-write-race",
+            summary: "lease renewals race a writer bumping the block's timestamps",
+            clusters: 2,
+            // Cluster 1 leases blocks 0 and 1 early (low `pts`), then
+            // cluster 0's barrier-separated re-writes of block 1 ratchet
+            // `wts` — and, via the barrier-release piggyback, cluster
+            // 1's `pts` — past the early lease horizons. The phase-3
+            // re-read of block 1 renews against a bumped `wts` and must
+            // decline into a refetch; the final re-read of block 0
+            // renews against an unchanged `wts` and succeeds — racing
+            // cluster 0's (compute-delayed) closing write of the same
+            // block, which the delay edge can push to either side.
+            programs: vec![
+                vec![
+                    Write(a(0)),
+                    Op::Barrier(0),
+                    Write(a(1)),
+                    Op::Barrier(1),
+                    Write(a(1)),
+                    Op::Barrier(2),
+                    Write(a(1)),
+                    Op::Barrier(3),
+                    Compute(30),
+                    Write(a(0)),
+                ],
+                vec![
+                    Op::Barrier(0),
+                    Read(a(0)),
+                    Read(a(1)),
+                    Op::Barrier(1),
+                    Read(a(1)),
+                    Op::Barrier(2),
+                    Read(a(1)),
+                    Op::Barrier(3),
+                    Read(a(0)),
+                    Read(a(1)),
+                ],
+            ],
+            faults: FaultEdges {
+                nack: false,
+                delay: Some(7),
+                dup: None,
+            },
+            fault_budget: 1,
+        },
+        Litmus {
+            name: "write-after-shared-llc-hit",
+            summary: "remote DLS write must invalidate the home's own cached copy",
+            clusters: 2,
+            // Block 0 is homed at cluster 0, which caches it early (a
+            // home-local hit under DLS). Cluster 1's remote write lands
+            // at the LLC slice mid-window; a write that skips the home
+            // invalidation (`dls-skip-writeback`) leaves cluster 0
+            // re-reading its stale copy while the slice has moved on.
+            programs: vec![
+                vec![Read(a(0)), Compute(50), Read(a(0))],
+                vec![Compute(20), Read(a(0)), Write(a(0))],
+            ],
+            faults: FaultEdges {
+                nack: false,
+                delay: None,
+                dup: Some(9),
+            },
+            fault_budget: 1,
+        },
     ]
 }
 
@@ -207,6 +301,7 @@ pub fn scenarios() -> Vec<Scenario> {
         for (on, org) in &orgs {
             out.push(Scenario {
                 label: format!("{sn}/{on}"),
+                protocol: ProtocolKind::Dash,
                 scheme,
                 organization: org.clone(),
             });
@@ -214,6 +309,7 @@ pub fn scenarios() -> Vec<Scenario> {
     }
     out.push(Scenario {
         label: "dir1nb/overflow".to_string(),
+        protocol: ProtocolKind::Dash,
         scheme: Scheme::dir_nb(1),
         organization: Organization::Overflow {
             i: 1,
@@ -222,6 +318,16 @@ pub fn scenarios() -> Vec<Scenario> {
             policy: Replacement::Lru,
         },
     });
+    // The directoryless backends have no scheme/organization axis: one
+    // scenario each, named by the protocol.
+    for protocol in [ProtocolKind::Tardis, ProtocolKind::Dls] {
+        out.push(Scenario {
+            label: protocol.name().to_string(),
+            protocol,
+            scheme: Scheme::FullVector,
+            organization: Organization::Complete,
+        });
+    }
     out
 }
 
@@ -253,7 +359,7 @@ pub fn select(names: &str) -> Result<Vec<Litmus>, String> {
 impl Litmus {
     /// The machine configuration for this litmus under `scenario`.
     pub fn config(&self, scenario: &Scenario, trace: bool) -> MachineConfig {
-        let mut cfg = MachineConfig::tiny(self.clusters);
+        let mut cfg = MachineConfig::tiny(self.clusters).with_protocol(scenario.protocol);
         match &scenario.organization {
             &Organization::Overflow {
                 i,
@@ -332,18 +438,25 @@ mod tests {
     }
 
     #[test]
-    fn scenario_matrix_covers_schemes_and_orgs() {
+    fn scenario_matrix_covers_schemes_orgs_and_protocols() {
         let s = scenarios();
-        assert_eq!(s.len(), 11);
+        assert_eq!(s.len(), 13);
         assert!(s.iter().any(|x| x.label == "dense/complete"));
         assert!(s.iter().any(|x| x.label == "dir1cv2/sparse"));
         assert!(s.iter().any(|x| x.label.ends_with("/overflow")));
+        for p in ProtocolKind::ALL {
+            assert!(
+                s.iter().any(|x| x.protocol == p),
+                "no scenario exercises {p:?}"
+            );
+        }
     }
 
     #[test]
     fn litmus_machines_run_clean_on_the_default_path() {
-        // Every (litmus, scenario) pair must at minimum survive the
-        // deterministic (non-exploring) run with invariants on.
+        // Every (litmus, scenario) pair — all three protocols included —
+        // must at minimum survive the deterministic (non-exploring) run
+        // with invariants on.
         for l in corpus() {
             for sc in scenarios() {
                 let mut m = l.build(&sc, None, false);
@@ -351,6 +464,51 @@ mod tests {
                     panic!("{} under {}: {e}", l.name, sc.label);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn renew_litmus_actually_renews() {
+        // The renewal-race litmus is only worth its name if the default
+        // deterministic path drives at least one lease renewal.
+        let sc = scenarios()
+            .into_iter()
+            .find(|s| s.protocol == ProtocolKind::Tardis)
+            .unwrap();
+        let l = select("renew-write-race").unwrap().remove(0);
+        let mut m = l.build(&sc, None, false);
+        let stats = m.try_run().unwrap();
+        let t = stats.tardis.expect("tardis counters");
+        assert!(t.renewals > 0, "no renewal exercised: {t:?}");
+    }
+
+    #[test]
+    fn seeded_bugs_are_caught_at_quiescence() {
+        // Each backend's seeded mutation must trip its protocol checker
+        // even on the plain deterministic path of its target litmus.
+        let cases = [
+            (
+                "lease-expiry-stale-read",
+                ProtocolKind::Tardis,
+                Mutation::TardisSkipWtsBump,
+            ),
+            (
+                "write-after-shared-llc-hit",
+                ProtocolKind::Dls,
+                Mutation::DlsSkipWriteback,
+            ),
+        ];
+        for (name, proto, mutation) in cases {
+            let sc = scenarios()
+                .into_iter()
+                .find(|s| s.protocol == proto)
+                .unwrap();
+            let l = select(name).unwrap().remove(0);
+            let mut m = l.build(&sc, Some(mutation), false);
+            assert!(
+                m.try_run().is_err(),
+                "{name} under {proto:?} with {mutation:?}: violation not caught"
+            );
         }
     }
 }

@@ -1,10 +1,12 @@
-//! Coherence invariant verification.
+//! Coherence invariant verification, per protocol backend.
 //!
-//! Two entry points:
+//! Two entry points, both dispatching on `MachineConfig::protocol` so
+//! every backend is held to its own formulation of "one writer at a
+//! time":
 //!
 //! * [`verify_quiescent`] — after a run drains (no processors running, no
-//!   messages in flight), the following must hold for every block cached
-//!   anywhere:
+//!   messages in flight). Under **DASH** the following must hold for
+//!   every block cached anywhere:
 //!
 //!   1. **Single writer**: at most one cluster holds the block dirty.
 //!   2. **Owner tracking**: if a *non-home* cluster holds the block dirty,
@@ -15,12 +17,28 @@
 //!   4. No home block is left busy, and the home cluster itself is never
 //!      recorded in its own directory.
 //!
+//!   Under **Tardis** the single-writer guarantee is temporal, not
+//!   spatial: no line is ever dirty (writes are written through), every
+//!   resident copy carries a lease, and a lease over a superseded
+//!   version must already be expired relative to the home's write
+//!   timestamp — `lease.wts < home.wts` implies `home.wts > lease.rts`,
+//!   the "single writer per timestamp range" invariant. The directory
+//!   must stay empty (timestamps replace it).
+//!
+//!   Under **DLS** there is nothing to keep coherent: no non-home
+//!   cluster may hold any copy, the directory must stay empty, and at
+//!   quiescence a home-resident copy must carry the block's current
+//!   version (a remote write that failed to invalidate the home's
+//!   cached copy leaves a stale version behind — the seeded
+//!   `DlsSkipWriteback` bug).
+//!
 //! * [`verify_step`] — the subset that holds at *every* reachable state,
 //!   transient ones included, which the exploration API checks after each
-//!   transition: at most one dirty holder, and a dirty copy is exclusive
-//!   machine-wide. (Directory agreement is deliberately *not* checked
+//!   transition. (DASH directory agreement is deliberately *not* checked
 //!   mid-flight: entries legitimately lead or trail the caches while
-//!   requests, invalidations, and writebacks are in the air.)
+//!   requests, invalidations, and writebacks are in the air; likewise the
+//!   DLS version check waits for quiescence because a granted write's
+//!   fill may still be in the air.)
 //!
 //! Violations are reported as a structured [`Violation`] carrying the
 //! offending cluster and block so tooling — `scd-check` counterexamples,
@@ -28,7 +46,8 @@
 
 use scd_mem::LineState;
 
-use crate::machine::Machine;
+use crate::config::{MachineConfig, ProtocolKind};
+use crate::machine::{ClusterView, Machine};
 
 /// One invariant violation, locating the fault when known.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -80,6 +99,34 @@ impl std::fmt::Display for Violation {
 
 impl std::error::Error for Violation {}
 
+/// Machine-wide residency: block -> (dirty holders, all holders).
+fn residency(
+    views: &[ClusterView<'_>],
+) -> std::collections::HashMap<u64, (Vec<usize>, Vec<usize>)> {
+    let mut map: std::collections::HashMap<u64, (Vec<usize>, Vec<usize>)> =
+        std::collections::HashMap::new();
+    for (cl, view) in views.iter().enumerate() {
+        for (&block, &state) in &view.resident {
+            let e = map.entry(block).or_default();
+            if state == LineState::Dirty {
+                e.0.push(cl);
+            }
+            e.1.push(cl);
+        }
+    }
+    map
+}
+
+/// Blocks in deterministic reporting order, independent of hash-map
+/// iteration.
+fn sorted_blocks(
+    residency: &std::collections::HashMap<u64, (Vec<usize>, Vec<usize>)>,
+) -> Vec<u64> {
+    let mut blocks: Vec<u64> = residency.keys().copied().collect();
+    blocks.sort_unstable();
+    blocks
+}
+
 /// Verifies the quiescent invariants; returns the first violation found.
 pub fn verify_quiescent(machine: &Machine) -> Result<(), Violation> {
     let (cfg, views) = machine.checker_view();
@@ -90,38 +137,67 @@ pub fn verify_quiescent(machine: &Machine) -> Result<(), Violation> {
 /// coordinator composes one view per cluster from that cluster's owning
 /// worker, so the machine-wide invariants are checked across shards.
 pub(crate) fn verify_views(
-    cfg: &crate::config::MachineConfig,
-    views: &[crate::machine::ClusterView<'_>],
+    cfg: &MachineConfig,
+    views: &[ClusterView<'_>],
 ) -> Result<(), Violation> {
-    // Gather machine-wide residency: block -> (dirty holders, all holders).
-    let mut residency: std::collections::HashMap<u64, (Vec<usize>, Vec<usize>)> =
-        std::collections::HashMap::new();
-    for (cl, (resident, _, _)) in views.iter().enumerate() {
-        for (&block, &state) in resident {
-            let e = residency.entry(block).or_default();
-            if state == LineState::Dirty {
-                e.0.push(cl);
-            }
-            e.1.push(cl);
-        }
-    }
-
-    for (cl, (_, _, ser)) in views.iter().enumerate() {
-        if ser.busy_blocks() != 0 {
+    for (cl, view) in views.iter().enumerate() {
+        if view.node.ser.busy_blocks() != 0 {
             return Err(Violation::for_cluster(
                 cl,
                 format!(
                     "still has {} busy blocks after quiesce",
-                    ser.busy_blocks()
+                    view.node.ser.busy_blocks()
                 ),
             ));
         }
     }
+    match cfg.protocol {
+        ProtocolKind::Dash => verify_dash_views(cfg, views),
+        ProtocolKind::Tardis => {
+            verify_empty_directory(views)?;
+            verify_tardis_views(cfg, views)
+        }
+        ProtocolKind::Dls => {
+            verify_empty_directory(views)?;
+            verify_dls_views(cfg, views, true)
+        }
+    }
+}
 
-    // Deterministic reporting order, independent of hash-map iteration.
-    let mut blocks: Vec<u64> = residency.keys().copied().collect();
-    blocks.sort_unstable();
-    for block in blocks {
+/// Verifies the every-state invariants — the subset of each protocol's
+/// contract that holds at *every* reachable state, transients included.
+/// Safe to call at any point during a run or exploration.
+pub fn verify_step(machine: &Machine) -> Result<(), Violation> {
+    let (cfg, views) = machine.checker_view();
+    match cfg.protocol {
+        ProtocolKind::Dash => verify_dash_step(&views),
+        ProtocolKind::Tardis => verify_tardis_views(cfg, &views),
+        ProtocolKind::Dls => verify_dls_views(cfg, &views, false),
+    }
+}
+
+/// Directoryless protocols must keep the directory that way: Tardis
+/// replaces it with timestamps, DLS with the absence of remote copies.
+fn verify_empty_directory(views: &[ClusterView<'_>]) -> Result<(), Violation> {
+    for (cl, view) in views.iter().enumerate() {
+        let live = view.node.dir.live_entries();
+        if live != 0 {
+            return Err(Violation::for_cluster(
+                cl,
+                format!("directory holds {live} entries under a directoryless protocol"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// DASH quiescent invariants (see the module docs).
+fn verify_dash_views(
+    cfg: &MachineConfig,
+    views: &[ClusterView<'_>],
+) -> Result<(), Violation> {
+    let residency = residency(views);
+    for block in sorted_blocks(&residency) {
         let (dirty, holders) = &residency[&block];
         if dirty.len() > 1 {
             return Err(Violation::for_block(
@@ -131,7 +207,7 @@ pub(crate) fn verify_views(
         }
         let home = cfg.home_of(block);
         // The directory is keyed by the home-local block index.
-        let entry = views[home].1.probe(block / cfg.clusters as u64);
+        let entry = views[home].node.dir.probe(block / cfg.clusters as u64);
 
         if let Some(e) = entry {
             // Precise representations never record the home cluster; a
@@ -205,27 +281,11 @@ pub(crate) fn verify_views(
     Ok(())
 }
 
-/// Verifies the every-state invariants: at most one dirty holder per block,
-/// and a dirty copy is exclusive (no other cluster caches the block at
-/// all). Safe to call at any point during a run or exploration.
-pub fn verify_step(machine: &Machine) -> Result<(), Violation> {
-    let (_, views) = machine.checker_view();
-
-    let mut residency: std::collections::HashMap<u64, (Vec<usize>, Vec<usize>)> =
-        std::collections::HashMap::new();
-    for (cl, (resident, _, _)) in views.iter().enumerate() {
-        for (&block, &state) in resident {
-            let e = residency.entry(block).or_default();
-            if state == LineState::Dirty {
-                e.0.push(cl);
-            }
-            e.1.push(cl);
-        }
-    }
-
-    let mut blocks: Vec<u64> = residency.keys().copied().collect();
-    blocks.sort_unstable();
-    for block in blocks {
+/// DASH every-state invariants: at most one dirty holder per block, and
+/// a dirty copy is exclusive (no other cluster caches the block at all).
+fn verify_dash_step(views: &[ClusterView<'_>]) -> Result<(), Violation> {
+    let residency = residency(views);
+    for block in sorted_blocks(&residency) {
         let (dirty, holders) = &residency[&block];
         if dirty.len() > 1 {
             return Err(Violation::for_block(
@@ -245,6 +305,118 @@ pub fn verify_step(machine: &Machine) -> Result<(), Violation> {
                          still hold copies (dirty implies exclusive)"
                     ),
                 ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Tardis invariants — temporal single-writer, valid at every reachable
+/// state (writes only ever *raise* the home's `wts` past every granted
+/// lease horizon, so there is no transient window to excuse):
+///
+/// 1. No line is ever dirty: Tardis writes through to the home.
+/// 2. Every resident copy carries a lease, and its home timestamp line
+///    satisfies `rts >= wts`.
+/// 3. A lease's version never leads the home (`lease.wts <= home.wts`),
+///    and a lease over a *superseded* version is already expired:
+///    `lease.wts < home.wts` implies `home.wts > lease.rts`. A write
+///    that bumps `wts` without jumping past the granted read horizon
+///    (the seeded `TardisSkipWtsBump` bug) leaves a live lease on the
+///    stale version and trips this check.
+fn verify_tardis_views(
+    cfg: &MachineConfig,
+    views: &[ClusterView<'_>],
+) -> Result<(), Violation> {
+    for (cl, view) in views.iter().enumerate() {
+        let mut blocks: Vec<u64> = view.resident.keys().copied().collect();
+        blocks.sort_unstable();
+        for block in blocks {
+            if view.resident[&block] == LineState::Dirty {
+                return Err(Violation::locate(
+                    cl,
+                    block,
+                    "dirty line under Tardis (writes must write through)".to_string(),
+                ));
+            }
+            let Some(&(lwts, lrts)) = view.node.tardis.lease.get(&block) else {
+                return Err(Violation::locate(
+                    cl,
+                    block,
+                    "resident copy without a lease".to_string(),
+                ));
+            };
+            let home = cfg.home_of(block);
+            let Some(line) = views[home].node.tardis.lines.get(&block) else {
+                return Err(Violation::locate(
+                    cl,
+                    block,
+                    format!("lease ({lwts},{lrts}) but home {home} has no timestamp line"),
+                ));
+            };
+            if line.rts < line.wts {
+                return Err(Violation::locate(
+                    home,
+                    block,
+                    format!("home timestamps inverted (wts {} > rts {})", line.wts, line.rts),
+                ));
+            }
+            if lwts > line.wts {
+                return Err(Violation::locate(
+                    cl,
+                    block,
+                    format!("lease version {lwts} leads the home's wts {}", line.wts),
+                ));
+            }
+            if lwts < line.wts && line.wts <= lrts {
+                return Err(Violation::locate(
+                    cl,
+                    block,
+                    format!(
+                        "live lease ({lwts},{lrts}) over a superseded version \
+                         (home wts {}): two writers share a timestamp range",
+                        line.wts
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// DLS invariants: no non-home cluster ever holds a copy, and (at
+/// quiescence only — a granted write's fill may still be in flight
+/// mid-run) a home-resident copy carries the block's current version.
+fn verify_dls_views(
+    cfg: &MachineConfig,
+    views: &[ClusterView<'_>],
+    quiescent: bool,
+) -> Result<(), Violation> {
+    for (cl, view) in views.iter().enumerate() {
+        let mut blocks: Vec<u64> = view.resident.keys().copied().collect();
+        blocks.sort_unstable();
+        for block in blocks {
+            let home = cfg.home_of(block);
+            if home != cl {
+                return Err(Violation::locate(
+                    cl,
+                    block,
+                    format!("non-home copy under DLS (home is cluster {home})"),
+                ));
+            }
+            if quiescent {
+                let cur = view.node.cur_version.get(&block).copied().unwrap_or(0);
+                let line = view.node.line_version.get(&block).copied().unwrap_or(0);
+                if line != cur {
+                    return Err(Violation::locate(
+                        cl,
+                        block,
+                        format!(
+                            "home copy at version {line} but the slice is at {cur} \
+                             (a remote write missed the home invalidation)"
+                        ),
+                    ));
+                }
             }
         }
     }

@@ -4,6 +4,58 @@ use scd_core::{Organization, Replacement, Scheme};
 use scd_noc::{FaultPlan, LatencyModel};
 use scd_trace::TraceConfig;
 
+/// Which coherence protocol family the machine speaks (DESIGN.md §16).
+///
+/// All three backends run on the same engine — event wheel, NoC, caches,
+/// fault injector, tracing/attribution, sharding — so runs on identical
+/// op streams compare directory memory × traffic × latency across
+/// protocol families.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// DASH-style invalidation protocol with a home directory (the
+    /// paper's family: Dir_i B/NB/X, coarse vectors, sparse/overflow
+    /// organizations).
+    #[default]
+    Dash,
+    /// Tardis-style timestamp coherence: per-block (wts, rts) counters
+    /// at the home, lease-based reads, no sharer lists and no
+    /// invalidation fan-out; writes bump the write timestamp past every
+    /// outstanding lease. Modeled without the exclusive-ownership
+    /// optimization — writes write through to the home slice.
+    Tardis,
+    /// Directoryless shared LLC baseline: no directory state at all;
+    /// every remote miss resolves at the home LLC slice and remote
+    /// clusters never cache shared data.
+    Dls,
+}
+
+impl ProtocolKind {
+    /// Stable lower-case name (CLI `--protocol` values, sweep ids).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Dash => "dash",
+            ProtocolKind::Tardis => "tardis",
+            ProtocolKind::Dls => "dls",
+        }
+    }
+
+    /// Parses a CLI name; accepts `dash`, `tardis`, `dls`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "dash" => Ok(ProtocolKind::Dash),
+            "tardis" => Ok(ProtocolKind::Tardis),
+            "dls" => Ok(ProtocolKind::Dls),
+            other => Err(format!(
+                "unknown protocol `{other}` (known: dash, tardis, dls)"
+            )),
+        }
+    }
+
+    /// All backends, in canonical order.
+    pub const ALL: [ProtocolKind; 3] =
+        [ProtocolKind::Dash, ProtocolKind::Tardis, ProtocolKind::Dls];
+}
+
 /// Fixed-cost timing parameters, calibrated so that the three canonical
 /// DASH latencies come out near the paper's §5 numbers: local misses
 /// "on the order of 23 processor cycles", remote two-cluster misses
@@ -107,6 +159,15 @@ pub struct MachineConfig {
     /// (`scd-trace`). `None` — like an inactive config — leaves the run
     /// bit-identical to a machine without trace hooks.
     pub trace: Option<TraceConfig>,
+    /// Coherence protocol backend (DESIGN.md §16).
+    pub protocol: ProtocolKind,
+    /// Record a protocol-independent value oracle: every retired write
+    /// is tagged `(writer, write-seq)` and every retired read logs which
+    /// write it observed, so the differential harness can assert that
+    /// two protocols produce identical final memory images and load
+    /// values on the same (race-free) program. Off by default — leaves
+    /// the run bit-identical to a machine without the oracle.
+    pub value_oracle: bool,
 }
 
 impl MachineConfig {
@@ -142,6 +203,8 @@ impl MachineConfig {
             watchdog_cycles: 0,
             event_log: 64,
             trace: None,
+            protocol: ProtocolKind::Dash,
+            value_oracle: false,
         }
     }
 
@@ -172,6 +235,8 @@ impl MachineConfig {
             watchdog_cycles: 0,
             event_log: 64,
             trace: None,
+            protocol: ProtocolKind::Dash,
+            value_oracle: false,
         }
     }
 
@@ -226,6 +291,18 @@ impl MachineConfig {
         let l1 = (per_proc / 4).max(1);
         self.l1_ways = 1;
         self.l1_blocks = l1;
+        self
+    }
+
+    /// Replaces the coherence protocol backend.
+    pub fn with_protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Enables the differential value oracle.
+    pub fn with_value_oracle(mut self) -> Self {
+        self.value_oracle = true;
         self
     }
 

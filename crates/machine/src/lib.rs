@@ -30,9 +30,9 @@ pub mod machine;
 pub mod stats;
 
 pub use checker::Violation;
-pub use config::{MachineConfig, Timing};
+pub use config::{MachineConfig, ProtocolKind, Timing};
 pub use error::{PostMortem, SimError};
 pub use machine::explore::{Choice, FaultEdges, Mutation};
 pub use machine::shard::ShardedMachine;
-pub use machine::Machine;
-pub use stats::{FaultCounters, RunStats};
+pub use machine::{Machine, ValueOracleReport};
+pub use stats::{DlsCounters, FaultCounters, RunStats, TardisCounters};

@@ -43,7 +43,7 @@ use crate::stats::RunStats;
 /// These exist to validate the *checker*: a mutated machine must produce a
 /// counterexample. They are test-only in purpose but live in the public
 /// API so `scd-check --mutate` can reach them.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Mutation {
     /// On every write fan-out, skip one invalidation target *and* lower
     /// the acknowledgement count to match. The write completes normally,
@@ -51,6 +51,15 @@ pub enum Mutation {
     /// a silent coherence violation (not a deadlock), exactly the class of
     /// bug only an invariant checker can see.
     SkipInval,
+    /// Tardis only: on a write, advance `wts` by one instead of jumping
+    /// past the old lease horizon (`rts + 1`). Readers holding live
+    /// leases keep consuming the stale version as if it were current —
+    /// the timestamp-coherence analogue of a missed invalidation.
+    TardisSkipWtsBump,
+    /// DLS only: a remote write updates the home LLC slice without
+    /// invalidating the home cluster's own cached copies, so home-local
+    /// reads keep returning the overwritten data.
+    DlsSkipWriteback,
 }
 
 /// Which fault edges [`Machine::exploration_choices`] enumerates, mirroring
@@ -134,7 +143,13 @@ impl Choice {
 /// rides ordering assumptions that faults must not break — mirroring
 /// `Machine::faulty_schedule`.
 fn is_coherence_request(kind: MsgKind) -> bool {
-    matches!(kind, MsgKind::ReadReq { .. } | MsgKind::WriteReq { .. })
+    matches!(
+        kind,
+        MsgKind::ReadReq { .. }
+            | MsgKind::WriteReq { .. }
+            | MsgKind::TardisReadReq { .. }
+            | MsgKind::TardisWriteReq { .. }
+    )
 }
 
 impl Machine {
@@ -213,7 +228,10 @@ impl Machine {
                     out.push(Choice::Delay { idx, delta });
                 }
                 if let Some(gap) = faults.dup {
-                    if matches!(msg.kind, MsgKind::ReadReq { .. }) {
+                    if matches!(
+                        msg.kind,
+                        MsgKind::ReadReq { .. } | MsgKind::TardisReadReq { .. }
+                    ) {
                         out.push(Choice::Dup { idx, gap });
                     }
                 }
@@ -267,8 +285,12 @@ impl Machine {
                 };
                 let msg = self.arena.take(r).expect("NACK edge on stale handle");
                 let (block, was_write) = match msg.kind {
-                    MsgKind::ReadReq { block } => (block, false),
-                    MsgKind::WriteReq { block } => (block, true),
+                    MsgKind::ReadReq { block } | MsgKind::TardisReadReq { block, .. } => {
+                        (block, false)
+                    }
+                    MsgKind::WriteReq { block } | MsgKind::TardisWriteReq { block } => {
+                        (block, true)
+                    }
                     k => panic!("NACK edge on non-request {k:?}"),
                 };
                 // Mirror the fault plan's NACK: refused at delivery, no
@@ -298,7 +320,10 @@ impl Machine {
                     panic!("DUP edge on non-delivery event {ev:?}");
                 };
                 let msg = *self.arena.get(r).expect("DUP edge on stale handle");
-                debug_assert!(matches!(msg.kind, MsgKind::ReadReq { .. }));
+                debug_assert!(matches!(
+                    msg.kind,
+                    MsgKind::ReadReq { .. } | MsgKind::TardisReadReq { .. }
+                ));
                 // The duplicate gets its own arena slot: every handle is
                 // taken exactly once.
                 let dup = self.arena.alloc(msg);
@@ -406,6 +431,32 @@ impl Machine {
             let mut bumps: Vec<u64> = c.pending_write_bump.iter().copied().collect();
             bumps.sort_unstable();
             bumps.hash(&mut h);
+            // Tardis timestamp state (default-empty under other protocols).
+            c.tardis.pts.hash(&mut h);
+            let mut leases: Vec<(u64, (u64, u64))> =
+                c.tardis.lease.iter().map(|(&b, &v)| (b, v)).collect();
+            leases.sort_unstable();
+            leases.hash(&mut h);
+            let mut renews: Vec<(u64, &Vec<usize>)> =
+                c.tardis.renew_pending.iter().map(|(&b, v)| (b, v)).collect();
+            renews.sort_unstable_by_key(|&(b, _)| b);
+            renews.hash(&mut h);
+            let mut tlines: Vec<(u64, (u64, u64))> = c
+                .tardis
+                .lines
+                .iter()
+                .map(|(&b, l)| (b, (l.wts, l.rts)))
+                .collect();
+            tlines.sort_unstable();
+            tlines.hash(&mut h);
+            let mut lpts: Vec<(u32, u64)> =
+                c.tardis.lock_pts.iter().map(|(&k, &v)| (k, v)).collect();
+            lpts.sort_unstable();
+            lpts.hash(&mut h);
+            let mut bpts: Vec<(u32, u64)> =
+                c.tardis.barrier_pts.iter().map(|(&k, &v)| (k, v)).collect();
+            bpts.sort_unstable();
+            bpts.hash(&mut h);
         }
         0xE2u8.hash(&mut h);
         // Version-oracle observations steer future assertions.
@@ -422,7 +473,7 @@ impl Machine {
             .collect();
         clamps.sort_unstable();
         clamps.hash(&mut h);
-        self.mutation.is_some().hash(&mut h);
+        self.mutation.hash(&mut h);
         // Contention carries absolute link-busy times in the network;
         // include the clock so states at different times never merge.
         if self.cfg.link_occupancy.is_some() {

@@ -1,0 +1,65 @@
+//! The pluggable coherence-protocol interface.
+//!
+//! The engine (`machine.rs`) owns everything a protocol does *not*
+//! define: the event wheel, message transport and fault injection,
+//! processor scheduling, synchronization, telemetry, and the sharding
+//! substrate. A backend defines what happens when a processor touches
+//! shared memory and when a protocol-specific message arrives. Three
+//! backends exist:
+//!
+//! * [`DashProtocol`](super::dash::DashProtocol) — the paper's
+//!   directory-based invalidation protocol (the default).
+//! * [`TardisProtocol`](super::tardis::TardisProtocol) — timestamp
+//!   coherence: lease-based reads, no invalidation fan-out.
+//! * [`DlsProtocol`](super::dls::DlsProtocol) — directoryless shared
+//!   LLC: every remote miss resolves at the home slice, no directory
+//!   state at all.
+//!
+//! Backends are stateless unit structs (`&'static dyn`), so the engine
+//! can dispatch without borrowing any machine state.
+
+use super::*;
+use crate::config::ProtocolKind;
+
+/// One coherence protocol: the processor-side access path plus the
+/// protocol-specific message handlers.
+pub(crate) trait CoherenceProtocol: Sync {
+    /// Which [`ProtocolKind`] this backend implements.
+    #[allow(dead_code)]
+    fn kind(&self) -> ProtocolKind;
+
+    /// A processor touched shared memory: run the access to completion
+    /// (hit) or issue the protocol's miss transaction and block the
+    /// processor. `block` is already line-aligned.
+    fn mem_access(&self, m: &mut Machine, t: Cycle, p: usize, block: u64, kind: MshrKind);
+
+    /// A protocol-specific message arrived at `msg.dst`. Returns `false`
+    /// when the kind belongs to another backend (the engine treats that
+    /// as a routing bug and panics).
+    fn deliver(&self, m: &mut Machine, t: Cycle, msg: Msg) -> bool;
+
+    /// The request message this protocol (re)issues for `block` — used
+    /// by the engine's NACK-retry path, which must reissue whatever the
+    /// original miss sent.
+    fn request_msg(&self, m: &Machine, cl: usize, block: u64, was_write: bool) -> MsgKind;
+
+    /// A queued home-side request came off the serializer: service it.
+    /// Only protocols that queue (DASH always; DLS behind a home-local
+    /// write) ever see a replay.
+    fn replay(&self, m: &mut Machine, t: Cycle, home: usize, req: scd_protocol::QueuedReq);
+
+    /// How many live directory-equivalent entries `node` holds (the
+    /// paper's memory-overhead metric; timestamp state for Tardis, zero
+    /// for the directoryless LLC).
+    fn live_entries(&self, node: &ClusterNode) -> usize;
+}
+
+/// Resolves a [`ProtocolKind`] to its backend. `'static` so call sites
+/// can hold the handle across `&mut Machine` borrows.
+pub(crate) fn backend(kind: ProtocolKind) -> &'static dyn CoherenceProtocol {
+    match kind {
+        ProtocolKind::Dash => &super::dash::DashProtocol,
+        ProtocolKind::Tardis => &super::tardis::TardisProtocol,
+        ProtocolKind::Dls => &super::dls::DlsProtocol,
+    }
+}

@@ -596,7 +596,14 @@ impl ShardedMachine {
                     let classes: Vec<(&'static str, Json)> = AttribClass::ALL
                         .iter()
                         .enumerate()
-                        .map(|(i, c)| (c.label(), acc.attrib[i].to_json()))
+                        .filter_map(|(i, c)| {
+                            // Mirror the solo emitter: protocol-specific
+                            // classes are omitted when idle this window.
+                            if c.optional() && acc.attrib[i].messages == 0 {
+                                return None;
+                            }
+                            Some((c.label(), acc.attrib[i].to_json()))
+                        })
                         .collect();
                     const TOP_LINKS: usize = 32;
                     let mut deltas: Vec<(usize, usize, u64)> = acc
@@ -753,7 +760,10 @@ impl ShardedMachine {
             .map(|c| {
                 let owner = &self.machines[self.owner_of(c)];
                 let node = &owner.clusters[c];
-                (node.caches.cluster_resident(), &node.dir, &node.ser)
+                ClusterView {
+                    resident: node.caches.cluster_resident(),
+                    node,
+                }
             })
             .collect();
         crate::checker::verify_views(cfg, &views)
@@ -806,6 +816,18 @@ impl ShardedMachine {
             total.faults.strays_dropped += p.faults.strays_dropped;
             total.faults.delay_spikes += p.faults.delay_spikes;
             total.faults.reorders += p.faults.reorders;
+            total.tardis = merge_opt(total.tardis, p.tardis, |a, b| {
+                crate::stats::TardisCounters {
+                    lease_fills: a.lease_fills + b.lease_fills,
+                    renewals: a.renewals + b.renewals,
+                    renew_refetches: a.renew_refetches + b.renew_refetches,
+                    write_throughs: a.write_throughs + b.write_throughs,
+                }
+            });
+            total.dls = merge_opt(total.dls, p.dls, |a, b| crate::stats::DlsCounters {
+                llc_fills: a.llc_fills + b.llc_fills,
+                llc_writes: a.llc_writes + b.llc_writes,
+            });
             total.versions_assigned += p.versions_assigned;
             total.events_delivered += p.events_delivered;
             for (a, b) in total.stalls.mem_stall.iter_mut().zip(&p.stalls.mem_stall) {
@@ -903,6 +925,23 @@ impl ShardedMachine {
             j.set("sparse", sp);
         }
         Some(j)
+    }
+
+    /// The fleet-wide value-oracle report — see
+    /// [`Machine::value_oracle_report`]. Deferred loads resolve against
+    /// the union of every shard's write log.
+    pub fn value_oracle_report(&self) -> Option<super::oracle::ValueOracleReport> {
+        if self.machines.len() == 1 {
+            return self.machines[0].value_oracle_report();
+        }
+        if !self.machines[0].oracle.on {
+            return None;
+        }
+        let mut merged = self.machines[0].oracle.clone();
+        for m in &self.machines[1..] {
+            merged.absorb(&m.oracle);
+        }
+        Some(merged.report())
     }
 
     /// All retained trace events across shards, merged into the canonical

@@ -22,6 +22,32 @@ pub struct ProtocolCounters {
     pub sparse_stalls: u64,
 }
 
+/// Tardis-backend event counters (DESIGN.md §16). `None` unless the run
+/// used `ProtocolKind::Tardis`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TardisCounters {
+    /// Lease-carrying read fills installed at requesters.
+    pub lease_fills: u64,
+    /// Lease renewal requests sent (expired lease on a resident line).
+    pub renewals: u64,
+    /// Renewals the home declined (the block had been rewritten), each
+    /// forcing a refetch through the normal miss path.
+    pub renew_refetches: u64,
+    /// Writes written through to the home timestamp slice (every Tardis
+    /// write; there is no exclusive-ownership fast path).
+    pub write_throughs: u64,
+}
+
+/// DLS-backend event counters (DESIGN.md §16). `None` unless the run
+/// used `ProtocolKind::Dls`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DlsCounters {
+    /// Remote reads served from the home LLC slice (no requester fill).
+    pub llc_fills: u64,
+    /// Remote writes absorbed by the home LLC slice.
+    pub llc_writes: u64,
+}
+
 /// Counts of injected faults and the protocol's recovery work. All zeros
 /// when no fault plan is active.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -107,6 +133,10 @@ pub struct RunStats {
     pub live_dir_entries: usize,
     /// Rare-path counters.
     pub protocol: ProtocolCounters,
+    /// Tardis-backend counters (`None` for other protocols).
+    pub tardis: Option<TardisCounters>,
+    /// DLS-backend counters (`None` for other protocols).
+    pub dls: Option<DlsCounters>,
     /// Fault-injection counters (all zero when no fault plan is active).
     pub faults: FaultCounters,
     /// Ownership-epoch versions assigned by the version oracle (0 when
@@ -224,6 +254,24 @@ impl RunStats {
                     .with("demotions", Json::U64(o.demotions))
                     .with("displacements", Json::U64(o.displacements))
                     .with("fallback_evictions", Json::U64(o.fallback_evictions)),
+            );
+        }
+        if let Some(t) = &self.tardis {
+            j.set(
+                "tardis",
+                Json::obj()
+                    .with("lease_fills", Json::U64(t.lease_fills))
+                    .with("renewals", Json::U64(t.renewals))
+                    .with("renew_refetches", Json::U64(t.renew_refetches))
+                    .with("write_throughs", Json::U64(t.write_throughs)),
+            );
+        }
+        if let Some(d) = &self.dls {
+            j.set(
+                "dls",
+                Json::obj()
+                    .with("llc_fills", Json::U64(d.llc_fills))
+                    .with("llc_writes", Json::U64(d.llc_writes)),
             );
         }
         j

@@ -180,6 +180,10 @@ pub enum MsgKind {
     LockGrant {
         /// Lock identifier.
         lock: u32,
+        /// Timestamp piggyback (Tardis): the maximum program timestamp
+        /// any previous releaser of this lock carried. 0 under protocols
+        /// without logical timestamps.
+        pts: u64,
     },
     /// Coarse-vector grant-to-region: the destination should retry its
     /// acquire (one region member will win).
@@ -191,16 +195,104 @@ pub enum MsgKind {
     UnlockReq {
         /// Lock identifier.
         lock: u32,
+        /// Timestamp piggyback (Tardis): the releasing cluster's program
+        /// timestamp. 0 under protocols without logical timestamps.
+        pts: u64,
     },
     /// A cluster's processor arrived at a barrier.
     BarrierArrive {
         /// Barrier identifier.
         barrier: u32,
+        /// Timestamp piggyback (Tardis): the arriving cluster's program
+        /// timestamp. 0 under protocols without logical timestamps.
+        pts: u64,
     },
     /// All participants arrived; the destination may proceed.
     BarrierRelease {
         /// Barrier identifier.
         barrier: u32,
+        /// Timestamp piggyback (Tardis): the maximum program timestamp
+        /// over all arrivals. 0 under protocols without logical
+        /// timestamps.
+        pts: u64,
+    },
+
+    // ----- Tardis (timestamp coherence, DESIGN.md §16) -----
+    /// Tardis read miss: asks the home for a leased shared copy. Carries
+    /// the requester's program timestamp so the home can grant a lease
+    /// that is valid at (and beyond) the requester's logical time.
+    TardisReadReq {
+        /// The missing block.
+        block: Block,
+        /// Requesting cluster's program timestamp.
+        pts: u64,
+    },
+    /// Tardis write: written through to the home timestamp slice. The
+    /// home bumps the block's write timestamp past every outstanding
+    /// lease — no sharer list, no invalidation fan-out.
+    TardisWriteReq {
+        /// The block to write.
+        block: Block,
+    },
+    /// Data + lease reply for a Tardis read.
+    TardisReadReply {
+        /// The block.
+        block: Block,
+        /// Write timestamp of the version carried.
+        wts: u64,
+        /// Lease end: the copy may satisfy reads while `pts <= rts`.
+        rts: u64,
+        /// Version of the data carried (version oracle; 0 when off).
+        version: u64,
+    },
+    /// Completion reply for a Tardis write-through.
+    TardisWriteReply {
+        /// The block.
+        block: Block,
+        /// The new version's write timestamp.
+        wts: u64,
+        /// Version the write created (version oracle; 0 when off).
+        version: u64,
+    },
+    /// Lease renewal: a resident copy's lease expired; ask the home to
+    /// extend it without moving data.
+    RenewReq {
+        /// The block.
+        block: Block,
+        /// Write timestamp of the copy held (renewal is only valid if
+        /// the home still has this version).
+        wts: u64,
+        /// Requesting cluster's program timestamp.
+        pts: u64,
+    },
+    /// Renewal outcome. `renewed == false` means the block was rewritten
+    /// since the lease was granted; the requester must refetch.
+    RenewReply {
+        /// The block.
+        block: Block,
+        /// Whether the lease was extended.
+        renewed: bool,
+        /// The new lease end (meaningful only when `renewed`).
+        rts: u64,
+    },
+
+    // ----- DLS (directoryless shared LLC, DESIGN.md §16) -----
+    /// Data reply from the home LLC slice for a remote DLS read. The
+    /// requester consumes the data without caching it — the next read
+    /// goes back to the LLC.
+    LlcFill {
+        /// The block.
+        block: Block,
+        /// Version of the data carried (version oracle; 0 when off).
+        version: u64,
+    },
+    /// Completion reply for a remote DLS write absorbed by the home LLC
+    /// slice.
+    LlcWriteAck {
+        /// The block.
+        block: Block,
+        /// Version the write created (version oracle; 0 when off).
+        version: u64,
     },
 }
 
@@ -220,6 +312,9 @@ impl MsgKind {
             | MsgKind::WritebackRace { .. }
             | MsgKind::LockReq { .. }
             | MsgKind::UnlockReq { .. }
+            | MsgKind::TardisReadReq { .. }
+            | MsgKind::TardisWriteReq { .. }
+            | MsgKind::RenewReq { .. }
             | MsgKind::BarrierArrive { .. } => Request,
             MsgKind::ReadReply { .. }
             | MsgKind::WriteReply { .. }
@@ -227,6 +322,11 @@ impl MsgKind {
             | MsgKind::Nack { .. }
             | MsgKind::LockGrant { .. }
             | MsgKind::LockRetry { .. }
+            | MsgKind::TardisReadReply { .. }
+            | MsgKind::TardisWriteReply { .. }
+            | MsgKind::RenewReply { .. }
+            | MsgKind::LlcFill { .. }
+            | MsgKind::LlcWriteAck { .. }
             | MsgKind::BarrierRelease { .. } => Reply,
             MsgKind::Inval { .. } | MsgKind::DirFlush { .. } => Invalidation,
             MsgKind::InvalAck { .. } | MsgKind::DirFlushAck { .. } => Acknowledgement,
@@ -260,6 +360,14 @@ impl MsgKind {
             MsgKind::UnlockReq { .. } => "unlock_req",
             MsgKind::BarrierArrive { .. } => "barrier_arrive",
             MsgKind::BarrierRelease { .. } => "barrier_release",
+            MsgKind::TardisReadReq { .. } => "tardis_read_req",
+            MsgKind::TardisWriteReq { .. } => "tardis_write_req",
+            MsgKind::TardisReadReply { .. } => "tardis_read_reply",
+            MsgKind::TardisWriteReply { .. } => "tardis_write_reply",
+            MsgKind::RenewReq { .. } => "renew_req",
+            MsgKind::RenewReply { .. } => "renew_reply",
+            MsgKind::LlcFill { .. } => "llc_fill",
+            MsgKind::LlcWriteAck { .. } => "llc_write_ack",
         }
     }
 
@@ -282,7 +390,15 @@ impl MsgKind {
             | MsgKind::Inval { block, .. }
             | MsgKind::InvalAck { block }
             | MsgKind::DirFlush { block, .. }
-            | MsgKind::DirFlushAck { block } => Some(block),
+            | MsgKind::DirFlushAck { block }
+            | MsgKind::TardisReadReq { block, .. }
+            | MsgKind::TardisWriteReq { block }
+            | MsgKind::TardisReadReply { block, .. }
+            | MsgKind::TardisWriteReply { block, .. }
+            | MsgKind::RenewReq { block, .. }
+            | MsgKind::RenewReply { block, .. }
+            | MsgKind::LlcFill { block, .. }
+            | MsgKind::LlcWriteAck { block, .. } => Some(block),
             _ => None,
         }
     }
@@ -337,7 +453,25 @@ mod tests {
         );
         assert_eq!(MsgKind::DirFlushAck { block: 1 }.class(), Acknowledgement);
         assert_eq!(MsgKind::LockReq { lock: 0 }.class(), Request);
-        assert_eq!(MsgKind::BarrierRelease { barrier: 0 }.class(), Reply);
+        assert_eq!(
+            MsgKind::BarrierRelease { barrier: 0, pts: 0 }.class(),
+            Reply
+        );
+        assert_eq!(MsgKind::TardisReadReq { block: 1, pts: 0 }.class(), Request);
+        assert_eq!(
+            MsgKind::RenewReq {
+                block: 1,
+                wts: 0,
+                pts: 0
+            }
+            .class(),
+            Request
+        );
+        assert_eq!(MsgKind::LlcFill { block: 1, version: 0 }.class(), Reply);
+        assert_eq!(
+            MsgKind::LlcWriteAck { block: 1, version: 0 }.class(),
+            Reply
+        );
         assert_eq!(
             MsgKind::Nack {
                 block: 1,
@@ -377,11 +511,19 @@ mod tests {
             MsgKind::DirFlush { block: 1, epoch: 0, owner_flush: false },
             MsgKind::DirFlushAck { block: 1 },
             MsgKind::LockReq { lock: 0 },
-            MsgKind::LockGrant { lock: 0 },
+            MsgKind::LockGrant { lock: 0, pts: 0 },
             MsgKind::LockRetry { lock: 0 },
-            MsgKind::UnlockReq { lock: 0 },
-            MsgKind::BarrierArrive { barrier: 0 },
-            MsgKind::BarrierRelease { barrier: 0 },
+            MsgKind::UnlockReq { lock: 0, pts: 0 },
+            MsgKind::BarrierArrive { barrier: 0, pts: 0 },
+            MsgKind::BarrierRelease { barrier: 0, pts: 0 },
+            MsgKind::TardisReadReq { block: 1, pts: 0 },
+            MsgKind::TardisWriteReq { block: 1 },
+            MsgKind::TardisReadReply { block: 1, wts: 0, rts: 0, version: 0 },
+            MsgKind::TardisWriteReply { block: 1, wts: 0, version: 0 },
+            MsgKind::RenewReq { block: 1, wts: 0, pts: 0 },
+            MsgKind::RenewReply { block: 1, renewed: false, rts: 0 },
+            MsgKind::LlcFill { block: 1, version: 0 },
+            MsgKind::LlcWriteAck { block: 1, version: 0 },
         ];
         let labels: std::collections::HashSet<_> =
             kinds.iter().map(|k| k.label()).collect();

@@ -45,11 +45,20 @@ pub enum AttribClass {
     SparseFlush,
     /// Lock and barrier traffic.
     Sync,
+    /// Tardis lease renewals (timestamp-only round trips that replace
+    /// refetches — the traffic Tardis trades invalidations for).
+    Renewal,
+    /// DLS fills served from the home LLC slice to a non-caching remote
+    /// reader (the repeat traffic DLS trades directory memory for).
+    LlcFill,
 }
 
 impl AttribClass {
-    /// Every class, in schema order.
-    pub const ALL: [AttribClass; 8] = [
+    /// Every class, in schema order. The first eight are the original
+    /// `scd-attrib/v1` classes and are always emitted; the classes after
+    /// them are protocol-specific and appear in documents only when
+    /// nonzero, so DASH outputs are byte-identical to the 8-class era.
+    pub const ALL: [AttribClass; 10] = [
         AttribClass::Request,
         AttribClass::Reply,
         AttribClass::Invalidation,
@@ -58,6 +67,8 @@ impl AttribClass {
         AttribClass::Writeback,
         AttribClass::SparseFlush,
         AttribClass::Sync,
+        AttribClass::Renewal,
+        AttribClass::LlcFill,
     ];
 
     /// Stable schema name.
@@ -71,14 +82,25 @@ impl AttribClass {
             AttribClass::Writeback => "writebacks",
             AttribClass::SparseFlush => "sparse_flushes",
             AttribClass::Sync => "sync",
+            AttribClass::Renewal => "renewals",
+            AttribClass::LlcFill => "llc_fills",
         }
+    }
+
+    /// Whether this class is omitted from documents when all-zero
+    /// (protocol-specific classes added after `scd-attrib/v1` froze).
+    pub fn optional(self) -> bool {
+        matches!(self, AttribClass::Renewal | AttribClass::LlcFill)
     }
 
     /// Classifies a stable message label. Unknown labels (a future
     /// protocol extension) conservatively count as requests.
     pub fn classify(label: &str) -> AttribClass {
         match label {
-            "read_reply" | "write_reply" | "transfer_reply" => AttribClass::Reply,
+            "read_reply" | "write_reply" | "transfer_reply"
+            | "tardis_read_reply" | "tardis_write_reply" | "llc_write_ack" => {
+                AttribClass::Reply
+            }
             "nack" => AttribClass::Nack,
             "inval" => AttribClass::Invalidation,
             "inval_ack" | "dir_flush_ack" => AttribClass::Ack,
@@ -86,6 +108,8 @@ impl AttribClass {
             "dir_flush" => AttribClass::SparseFlush,
             "lock_req" | "lock_grant" | "lock_retry" | "unlock_req"
             | "barrier_arrive" | "barrier_release" => AttribClass::Sync,
+            "renew_req" | "renew_reply" => AttribClass::Renewal,
+            "llc_fill" => AttribClass::LlcFill,
             _ => AttribClass::Request,
         }
     }
@@ -133,7 +157,8 @@ impl AttribParams {
         matches!(
             label,
             "read_reply" | "write_reply" | "transfer_reply" | "writeback"
-                | "sharing_writeback"
+                | "sharing_writeback" | "tardis_read_reply"
+                | "tardis_write_reply" | "llc_fill"
         )
     }
 
@@ -292,7 +317,11 @@ impl Attribution {
     pub fn to_json(&self) -> Json {
         let mut classes = Json::obj();
         for class in AttribClass::ALL {
-            classes.set(class.label(), self.class(class).to_json());
+            let c = self.class(class);
+            if class.optional() && c.messages == 0 {
+                continue;
+            }
+            classes.set(class.label(), c.to_json());
         }
         Json::obj()
             .with("schema", Json::Str(ATTRIB_SCHEMA.into()))
@@ -321,9 +350,17 @@ pub fn validate_attrib_json(j: &Json) -> Result<(), String> {
     let classes = j.get("classes").ok_or("attribution: missing `classes`")?;
     let mut sums = [0u64; 4];
     for class in AttribClass::ALL {
-        let c = classes
-            .get(class.label())
-            .ok_or_else(|| format!("attribution: missing class `{}`", class.label()))?;
+        let c = match classes.get(class.label()) {
+            Some(c) => c,
+            // Protocol-specific classes are omitted when all-zero.
+            None if class.optional() => continue,
+            None => {
+                return Err(format!(
+                    "attribution: missing class `{}`",
+                    class.label()
+                ))
+            }
+        };
         for (i, key) in ["messages", "bytes", "flits", "flit_hops"].iter().enumerate() {
             sums[i] += c.get(key).and_then(Json::as_u64).ok_or_else(|| {
                 format!("attribution: classes.{}.{key} missing", class.label())
@@ -364,9 +401,47 @@ mod tests {
         assert_eq!(AttribClass::classify("sharing_writeback"), Writeback);
         assert_eq!(AttribClass::classify("dir_flush"), SparseFlush);
         assert_eq!(AttribClass::classify("barrier_release"), Sync);
+        assert_eq!(AttribClass::classify("renew_req"), Renewal);
+        assert_eq!(AttribClass::classify("renew_reply"), Renewal);
+        assert_eq!(AttribClass::classify("llc_fill"), LlcFill);
+        assert_eq!(AttribClass::classify("llc_write_ack"), Reply);
+        assert_eq!(AttribClass::classify("tardis_read_req"), Request);
+        assert_eq!(AttribClass::classify("tardis_read_reply"), Reply);
+        assert_eq!(AttribClass::classify("tardis_write_reply"), Reply);
         let labels: std::collections::HashSet<_> =
             AttribClass::ALL.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), AttribClass::ALL.len());
+    }
+
+    #[test]
+    fn optional_classes_are_omitted_when_zero_but_validate_when_present() {
+        // A DASH-era mix: no renewals / LLC fills → the document carries
+        // exactly the original eight classes (byte-compat with v1 docs).
+        let mut dash = Attribution::new(AttribParams::default());
+        dash.record("read_req", 1);
+        let j = dash.to_json();
+        validate_attrib_json(&j).unwrap();
+        assert!(j.get("classes").unwrap().get("renewals").is_none());
+        assert!(j.get("classes").unwrap().get("llc_fills").is_none());
+        // A Tardis/DLS mix: both classes appear and count toward totals.
+        let mut t = Attribution::new(AttribParams::default());
+        t.record("renew_req", 2);
+        t.record("renew_reply", 2);
+        t.record("llc_fill", 3);
+        let j = t.to_json();
+        validate_attrib_json(&j).unwrap();
+        let classes = j.get("classes").unwrap();
+        assert_eq!(
+            classes.get("renewals").unwrap().get("messages").and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            classes.get("llc_fills").unwrap().get("messages").and_then(Json::as_u64),
+            Some(1)
+        );
+        // llc_fill carries a data payload; renewals are header-only.
+        assert!(AttribParams::carries_data("llc_fill"));
+        assert!(!AttribParams::carries_data("renew_req"));
     }
 
     #[test]

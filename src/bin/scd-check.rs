@@ -31,6 +31,8 @@ usage: scd-check [options]
 
   --list                   list litmus tests and scenarios, then exit
   --litmus all|NAME[,..]   litmus tests to run (default: all)
+  --protocol all|P[,..]    only scenarios for these coherence protocols
+                           (dash, tardis, dls; default: all)
   --scheme all|PREFIX      only scenarios whose label starts with PREFIX
                            (dense, dir1b, dir1nb, dir1x, dir1cv2)
   --org all|NAME           only scenarios with this organization
@@ -41,7 +43,9 @@ usage: scd-check [options]
   --fault-delay CYCLES     also explore delay fault edges
   --fault-dup CYCLES       also explore duplicate-request fault edges
   --fault-budget N         max injected faults per path (default: per-litmus)
-  --mutate skip-inval      arm a deliberate protocol bug (expect exit 1)
+  --mutate NAME            arm a deliberate protocol bug (expect exit 1):
+                           skip-inval (dash), tardis-skip-wts-bump,
+                           dls-skip-writeback
   --minimize               shrink any counterexample to minimal depth
   --counterexample-out F   write the violating run as scd-trace JSONL
   --walk STEPS             random-walk mode instead of exhaustive search
@@ -51,6 +55,7 @@ usage: scd-check [options]
 
 struct Options {
     litmus: String,
+    protocol: String,
     scheme: String,
     org: String,
     max_depth: usize,
@@ -75,6 +80,7 @@ fn usage(msg: &str) -> ! {
 fn parse_args() -> Options {
     let mut o = Options {
         litmus: "all".into(),
+        protocol: "all".into(),
         scheme: "all".into(),
         org: "all".into(),
         max_depth: 4096,
@@ -103,6 +109,7 @@ fn parse_args() -> Options {
             }
             "--list" => o.list = true,
             "--litmus" => o.litmus = value(&mut args, "--litmus"),
+            "--protocol" => o.protocol = value(&mut args, "--protocol"),
             "--scheme" => o.scheme = value(&mut args, "--scheme"),
             "--org" => o.org = value(&mut args, "--org"),
             "--max-depth" => {
@@ -139,7 +146,12 @@ fn parse_args() -> Options {
             }
             "--mutate" => match value(&mut args, "--mutate").as_str() {
                 "skip-inval" => o.mutate = Some(Mutation::SkipInval),
-                other => usage(&format!("unknown mutation `{other}` (known: skip-inval)")),
+                "tardis-skip-wts-bump" => o.mutate = Some(Mutation::TardisSkipWtsBump),
+                "dls-skip-writeback" => o.mutate = Some(Mutation::DlsSkipWriteback),
+                other => usage(&format!(
+                    "unknown mutation `{other}` (known: skip-inval, \
+                     tardis-skip-wts-bump, dls-skip-writeback)"
+                )),
             },
             "--minimize" => o.minimize = true,
             "--counterexample-out" => o.cex_out = Some(value(&mut args, "--counterexample-out")),
@@ -187,13 +199,25 @@ fn main() {
         Ok(l) => l,
         Err(e) => usage(&e),
     };
+    let protocols: Vec<scd::machine::ProtocolKind> = if o.protocol == "all" {
+        scd::machine::ProtocolKind::ALL.to_vec()
+    } else {
+        o.protocol
+            .split(',')
+            .map(|p| {
+                scd::machine::ProtocolKind::parse(p.trim())
+                    .unwrap_or_else(|e| usage(&e))
+            })
+            .collect()
+    };
     let scens: Vec<_> = scenarios()
         .into_iter()
+        .filter(|s| protocols.contains(&s.protocol))
         .filter(|s| o.scheme == "all" || s.label.starts_with(&o.scheme))
         .filter(|s| o.org == "all" || s.label.ends_with(&o.org))
         .collect();
     if scens.is_empty() {
-        usage("no scenario matches the --scheme/--org filters");
+        usage("no scenario matches the --protocol/--scheme/--org filters");
     }
     if o.list {
         println!("litmus tests:");

@@ -12,6 +12,7 @@ use bench::{
     write_bench_json_in, SparseVariant, SweepSpec,
 };
 use scd::core::Scheme;
+use scd::machine::ProtocolKind;
 use scd::trace::{JsonlFileSink, TraceSink};
 use std::io::IsTerminal;
 
@@ -33,6 +34,10 @@ usage: scd-sweep [options]
   --sparse <v,..>     full | <factor>:<ways>:<lru|rand|lra>
                       (default: full; e.g. full,2:4:rand adds the SS6.3 point)
   --seeds <n,..>      workload seeds (default: 54363 = 0xD45B)
+  --protocol <p,..>   coherence protocol backends: dash | tardis | dls
+                      (default: dash; a multi-protocol list multiplies the
+                      grid so one sweep compares the families on identical
+                      reference streams)
   --scale <f>         problem scale in (0, 1] (default 1.0)
   --clusters <n>      cluster count, one processor each (default 32)
   --out <path>        write the scd-sweep/v1 document (default: stdout)
@@ -92,6 +97,7 @@ fn main() {
         ],
         sparse: vec![SparseVariant::Full],
         seeds: vec![0xD45B],
+        protocols: vec![ProtocolKind::Dash],
         scale: 1.0,
         clusters: 32,
         shards: 1,
@@ -137,6 +143,12 @@ fn main() {
             "--seeds" => {
                 spec.seeds = split_list(&val()).iter().map(|s| parse_seed(s)).collect();
             }
+            "--protocol" => {
+                spec.protocols = split_list(&val())
+                    .iter()
+                    .map(|p| ProtocolKind::parse(p).unwrap_or_else(|e| usage_err(&e)))
+                    .collect();
+            }
             "--scale" => {
                 let v = val();
                 match v.parse::<f64>() {
@@ -174,6 +186,7 @@ fn main() {
         ("schemes", spec.schemes.is_empty()),
         ("sparse", spec.sparse.is_empty()),
         ("seeds", spec.seeds.is_empty()),
+        ("protocol", spec.protocols.is_empty()),
     ] {
         if field.1 {
             usage_err(&format!("--{} list is empty", field.0));
@@ -191,11 +204,16 @@ fn main() {
     let jobs = jobs.unwrap_or_else(|| {
         std::thread::available_parallelism().map_or(1, usize::from)
     });
-    let points = spec.apps.len() * spec.schemes.len() * spec.sparse.len() * spec.seeds.len();
+    let points = spec.apps.len()
+        * spec.protocols.len()
+        * spec.schemes.len()
+        * spec.sparse.len()
+        * spec.seeds.len();
     eprintln!(
-        "[scd-sweep] {points} grid points ({} apps x {} schemes x {} sparse x {} seeds), \
-         {jobs} jobs x {} shards",
+        "[scd-sweep] {points} grid points ({} apps x {} protocols x {} schemes x {} sparse \
+         x {} seeds), {jobs} jobs x {} shards",
         spec.apps.len(),
+        spec.protocols.len(),
         spec.schemes.len(),
         spec.sparse.len(),
         spec.seeds.len(),

@@ -5,6 +5,7 @@
 //!   --app <lu|dwf|mp3d|locusroute>   workload            (default lu)
 //!   --scheme <SPEC>                  directory scheme    (default full)
 //!       full | b:<i> | nb:<i> | x:<i> | cv:<i>:<r>
+//!   --protocol <dash|tardis|dls>     coherence protocol  (default dash)
 //!   --clusters <n>                   cluster count       (default 32)
 //!   --procs-per-cluster <n>          processors/cluster  (default 1)
 //!   --shards <n>                     worker threads (byte-identical output)
@@ -33,7 +34,7 @@
 use scd::apps::{dwf, locusroute, lu, mp3d, AppRun, DwfParams, LocusRouteParams, LuParams,
     Mp3dParams};
 use scd::core::{Replacement, Scheme};
-use scd::machine::{MachineConfig, ShardedMachine};
+use scd::machine::{MachineConfig, ProtocolKind, ShardedMachine};
 use scd::noc::FaultPlan;
 use scd::trace::{analyze, to_perfetto, Json, JsonlFileSink, PatternTable, SpanTree, TraceConfig};
 
@@ -49,6 +50,10 @@ scdsim — event-driven DASH multiprocessor simulator
 usage: scdsim [options]
   --app <lu|dwf|mp3d|locusroute>              workload (default lu)
   --scheme <full|b:I|nb:I|x:I|cv:I:R>         directory scheme (default full)
+  --protocol <dash|tardis|dls>                coherence protocol backend
+                                              (default dash; tardis = lease/
+                                              timestamp reads, dls = direc-
+                                              toryless shared LLC)
   --clusters <n>                              cluster count (default 32)
   --procs-per-cluster <n>                     processors per cluster (default 1)
   --shards <n>                                partition the machine across n
@@ -156,6 +161,7 @@ fn parse_scheme(s: &str) -> Scheme {
 fn main() {
     let mut app_name = "lu".to_string();
     let mut scheme = Scheme::FullVector;
+    let mut protocol = ProtocolKind::Dash;
     let mut clusters = 32usize;
     let mut ppc = 1usize;
     let mut shards = 1usize;
@@ -188,6 +194,12 @@ fn main() {
         match a.as_str() {
             "--app" => app_name = val(),
             "--scheme" => scheme = parse_scheme(&val()),
+            "--protocol" => {
+                protocol = ProtocolKind::parse(&val()).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
             "--clusters" => clusters = val().parse().unwrap_or_else(|_| usage()),
             "--procs-per-cluster" => ppc = val().parse().unwrap_or_else(|_| usage()),
             "--shards" => shards = val().parse().unwrap_or_else(|_| usage()),
@@ -249,7 +261,9 @@ fn main() {
         }
     }
 
-    let mut cfg = MachineConfig::paper_32().with_scheme(scheme);
+    let mut cfg = MachineConfig::paper_32()
+        .with_scheme(scheme)
+        .with_protocol(protocol);
     cfg.clusters = clusters;
     cfg.procs_per_cluster = ppc;
     cfg.serial_invalidations = serial;
@@ -307,17 +321,28 @@ fn main() {
     };
 
     println!(
-        "{}: {} procs ({} clusters x {}), scheme {}, {} shared refs",
+        "{}: {} procs ({} clusters x {}), scheme {}{}, {} shared refs",
         app.name,
         procs,
         cfg.clusters,
         cfg.procs_per_cluster,
         cfg.scheme.name(cfg.clusters),
+        if protocol == ProtocolKind::Dash {
+            String::new()
+        } else {
+            format!(", protocol {}", protocol.name())
+        },
         app.shared_refs(),
     );
-    let run_meta = Json::obj()
+    // The `protocol` meta key appears only off the DASH default, so every
+    // pre-protocol document (BENCH baselines included) stays byte-stable.
+    let mut run_meta = Json::obj()
         .with("app", Json::Str(app.name.to_string()))
-        .with("scheme", Json::Str(cfg.scheme.name(cfg.clusters)))
+        .with("scheme", Json::Str(cfg.scheme.name(cfg.clusters)));
+    if protocol != ProtocolKind::Dash {
+        run_meta = run_meta.with("protocol", Json::Str(protocol.name().into()));
+    }
+    let run_meta = run_meta
         .with("clusters", Json::U64(cfg.clusters as u64))
         .with("procs_per_cluster", Json::U64(cfg.procs_per_cluster as u64))
         .with("seed", Json::U64(seed))
@@ -448,6 +473,16 @@ fn main() {
             "sparse directory: {} hits, {} misses, {} fills, {} replacements",
             sp.hits, sp.misses, sp.fills, sp.replacements
         );
+    }
+    if let Some(t) = stats.tardis {
+        println!(
+            "tardis: {} lease fills, {} renewals ({} declined into refetch), \
+             {} write-throughs",
+            t.lease_fills, t.renewals, t.renew_refetches, t.write_throughs
+        );
+    }
+    if let Some(d) = stats.dls {
+        println!("dls: {} LLC fills, {} LLC writes", d.llc_fills, d.llc_writes);
     }
     if let Some(o) = stats.overflow {
         println!(
